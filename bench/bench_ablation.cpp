@@ -1,0 +1,78 @@
+// Ablation study over the design choices DESIGN.md calls out. Each HPE
+// binding feature is disabled in isolation and the full 16-scenario attack
+// matrix re-run, showing which rows each feature is responsible for:
+//
+//   writer-existence gate — victim-side read filtering of command ids in
+//       modes with no legitimate commander (stops outside spoofing);
+//   mode-conditional lists — per-mode approved lists with autonomous mode
+//       snooping (stops cross-mode abuse like fail-safe override);
+//   content rules — payload-level constraints (the paper's "behavioural
+//       or situational" policies; stops T09/T14/T15).
+#include <cstdio>
+#include <iostream>
+
+#include "attack/runner.h"
+#include "report/table.h"
+
+int main() {
+  using namespace psme;
+  using car::Enforcement;
+
+  std::cout << "=== Ablation: which binding feature blocks which Table I "
+               "rows ===\n\n";
+
+  struct Variant {
+    const char* label;
+    attack::RunnerOptions options;
+  };
+  auto base = [] {
+    attack::RunnerOptions o;
+    o.enforcement = Enforcement::kHpe;
+    o.content_rules = true;  // start from the full system
+    return o;
+  };
+  Variant variants[5];
+  variants[0] = {"full system", base()};
+  variants[1] = {"- content rules", base()};
+  variants[1].options.content_rules = false;
+  variants[2] = {"- writer gate", base()};
+  variants[2].options.writer_gate = false;
+  variants[3] = {"- mode-conditional", base()};
+  variants[3].options.mode_conditional = false;
+  variants[4] = {"- all three (plain id lists)", base()};
+  variants[4].options.content_rules = false;
+  variants[4].options.writer_gate = false;
+  variants[4].options.mode_conditional = false;
+
+  report::TextTable matrix({"Threat", "full system", "- content rules",
+                            "- writer gate", "- mode-conditional",
+                            "- all three (plain id lists)"});
+  std::size_t hazards[5] = {0, 0, 0, 0, 0};
+  for (const auto& scenario : attack::all_scenarios()) {
+    std::vector<std::string> row{scenario.threat_id};
+    for (std::size_t v = 0; v < 5; ++v) {
+      const auto outcome = attack::run_scenario(scenario, variants[v].options);
+      row.push_back(outcome.hazard ? "HAZARD" : "blocked");
+      if (outcome.hazard) ++hazards[v];
+    }
+    matrix.add_row(row);
+  }
+  std::cout << matrix.render() << "\n";
+
+  report::TextTable summary({"variant", "hazards / 16"});
+  for (std::size_t v = 0; v < 5; ++v) {
+    summary.add(variants[v].label, hazards[v]);
+  }
+  std::cout << summary.render();
+
+  std::cout << "\nreading: removing a feature can only lose coverage. Each "
+               "feature owns the\nrows that flip to HAZARD when it is "
+               "removed; 'plain id lists' is the naive\nstatic whitelist a "
+               "CAN controller's mask filter could express.\n";
+
+  const bool ok = hazards[0] == 0;
+  for (std::size_t v = 1; v < 5; ++v) {
+    if (hazards[v] < hazards[0]) return 1;  // removing features must not help
+  }
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,74 @@
+// Claim C1 — the paper's central claim: policies derived from threat
+// modelling (Table I) block the modelled attacks when enforced.
+//
+// Runs all sixteen Table I attack scenarios under four regimes:
+//   none            — unprotected broadcast CAN (the problem statement);
+//   software-filter — controllers' acceptance filters programmed from the
+//                     policy (receive-side only, firmware-rewritable);
+//   hpe             — hardware policy engine, id-granular approved lists;
+//   hpe+content     — the fine-grained payload-rule extension enabled.
+//
+// Expected shape: 16/16 hazards unprotected; the software filter blocks
+// outside spoofing but misses transmit-side (inside) attacks; the HPE
+// blocks everything id filtering can express (13/16); the content-rule
+// extension closes the remaining three (T09, T14, T15).
+#include <cstdio>
+#include <iostream>
+
+#include "attack/runner.h"
+#include "report/table.h"
+
+int main() {
+  using namespace psme;
+  using car::Enforcement;
+
+  std::cout << "=== Attack-mitigation matrix: 16 Table I scenarios x 4 "
+               "enforcement regimes ===\n\n";
+
+  struct Regime {
+    const char* label;
+    attack::RunnerOptions options;
+  };
+  const Regime regimes[] = {
+      {"none", {Enforcement::kNone, false, false, 7}},
+      {"sw-filter", {Enforcement::kSoftwareFilter, false, false, 7}},
+      {"hpe", {Enforcement::kHpe, false, false, 7}},
+      {"hpe+content", {Enforcement::kHpe, true, false, 7}},
+  };
+
+  report::TextTable matrix({"Threat", "Origin", "Scenario", "none",
+                            "sw-filter", "hpe", "hpe+content"});
+  std::size_t hazards[4] = {0, 0, 0, 0};
+  std::uint64_t blocked[4] = {0, 0, 0, 0};
+
+  for (const auto& scenario : attack::all_scenarios()) {
+    std::vector<std::string> row{scenario.threat_id,
+                                 std::string(to_string(scenario.origin)),
+                                 scenario.name};
+    for (std::size_t r = 0; r < 4; ++r) {
+      const auto outcome = attack::run_scenario(scenario, regimes[r].options);
+      row.push_back(outcome.hazard ? "HAZARD" : "blocked");
+      if (outcome.hazard) ++hazards[r];
+      blocked[r] += outcome.hpe_blocked;
+    }
+    matrix.add_row(row);
+  }
+  std::cout << matrix.render() << "\n";
+
+  report::TextTable summary({"regime", "attacks succeeded", "attacks blocked",
+                             "frames blocked by HPEs"});
+  for (std::size_t r = 0; r < 4; ++r) {
+    summary.add(regimes[r].label, hazards[r], 16 - hazards[r], blocked[r]);
+  }
+  std::cout << summary.render();
+
+  std::cout << "\nshape check vs paper: unprotected CAN admits every "
+               "modelled threat; the\npolicy engine blocks all id-"
+               "filterable rows; fine-grained ('behavioural or\n"
+               "situational') policies are required for T09/T14/T15, exactly "
+               "the rows the\npaper marks as needing more complex policies.\n";
+
+  const bool ok = hazards[0] == 16 && hazards[2] <= 3 && hazards[3] == 0 &&
+                  hazards[1] > hazards[2];
+  return ok ? 0 : 1;
+}

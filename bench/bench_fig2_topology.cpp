@@ -1,0 +1,74 @@
+// Regenerates Fig. 2 — "different system components of the connected car
+// and their connectivity using CAN bus" — by booting the full vehicle and
+// running ten seconds of normal-mode traffic. Prints per-node traffic
+// rates, the policy-derived reachability matrix (who may write toward
+// whom), and bus-level statistics.
+#include <cstdio>
+#include <iostream>
+
+#include "car/vehicle.h"
+#include "report/table.h"
+
+int main() {
+  using namespace psme;
+  using namespace std::chrono_literals;
+
+  std::cout << "=== Fig. 2: Connected car components on the shared CAN bus "
+               "===\n\n";
+
+  sim::Scheduler sched;
+  car::Vehicle vehicle(sched);
+  sched.run_until(sched.now() + 10s);
+
+  report::TextTable traffic(
+      {"Node", "TX sent", "RX seen", "RX accepted", "TX/s", "State"});
+  const double seconds = sim::to_seconds(sched.now());
+  for (const auto& name : vehicle.node_names()) {
+    const auto& stats = vehicle.node(name)->controller().stats();
+    traffic.add(name, stats.tx_sent, stats.rx_seen, stats.rx_accepted,
+                static_cast<double>(stats.tx_sent) / seconds,
+                std::string(can::to_string(
+                    vehicle.node(name)->controller().error_state())));
+  }
+  std::cout << traffic.render() << "\n";
+
+  std::printf("bus: %llu frames delivered, utilisation %.1f%%, "
+              "%llu arbitration rounds\n\n",
+              static_cast<unsigned long long>(vehicle.bus().frames_delivered()),
+              vehicle.bus().utilisation() * 100.0,
+              static_cast<unsigned long long>(vehicle.bus().arbitration_rounds()));
+
+  // Reachability under the derived policy (normal mode): X may command Y
+  // when X's write list intersects Y's owned command ids.
+  std::cout << "--- policy-derived write-reachability (normal mode): row "
+               "node may command column asset ---\n";
+  std::vector<std::string> headers = {"node \\ asset"};
+  for (const auto& asset : car::asset_bindings()) headers.push_back(asset.asset_id);
+  report::TextTable reach(headers);
+  for (const auto& name : vehicle.node_names()) {
+    std::vector<std::string> row{name};
+    for (const auto& asset : car::asset_bindings()) {
+      const bool owns = asset.owner_node == name;
+      const bool may = car::node_may(name, asset.asset_id,
+                                     core::AccessType::kWrite,
+                                     car::CarMode::kNormal, vehicle.policy());
+      row.push_back(owns ? "own" : (may ? "W" : "."));
+    }
+    reach.add_row(row);
+  }
+  std::cout << reach.render();
+
+  // Functional checks mirroring the figure's narrative.
+  std::cout << "\n--- functional cross-checks ---\n";
+  std::printf("ECU tracks sensor speed:        %s (%u == %u)\n",
+              vehicle.ecu().speed() == vehicle.sensors().speed() ? "yes" : "NO",
+              vehicle.ecu().speed(), vehicle.sensors().speed());
+  std::printf("engine receives torque demands: %llu commands\n",
+              static_cast<unsigned long long>(vehicle.engine().torque_commands()));
+  std::printf("modem tracking reports:         %llu\n",
+              static_cast<unsigned long long>(
+                  vehicle.connectivity().tracking_reports()));
+  std::printf("infotainment displays speed:    %u\n",
+              vehicle.infotainment().displayed_speed());
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Regenerates Fig. 3 — the CAN node internals (transceiver, controller,
+// processor) — as measured behaviour:
+//   * wire-level frame cost per payload size (bit-stuffed length, CRC);
+//   * the programmable software acceptance filter in action;
+//   * arbitration under contention: latency of high- vs low-priority
+//     traffic as competing nodes are added.
+#include <cstdio>
+#include <iostream>
+
+#include "can/bus.h"
+#include "can/controller.h"
+#include "report/table.h"
+
+using namespace psme;
+using namespace std::chrono_literals;
+
+namespace {
+
+void frame_cost_table() {
+  std::cout << "--- frame wire cost per payload size (500 kbit/s) ---\n";
+  report::TextTable t({"DLC", "wire bits (0x55 payload)",
+                       "wire bits (0x00 payload)", "tx time us", "CRC-15"});
+  for (std::uint8_t dlc = 0; dlc <= 8; ++dlc) {
+    std::vector<std::uint8_t> alt(dlc, 0x55), zeros(dlc, 0x00);
+    const can::Frame smooth(can::CanId::standard(0x2AA), alt);
+    const can::Frame stuffy(can::CanId::standard(0x2AA), zeros);
+    t.add(static_cast<int>(dlc), smooth.wire_bits(), stuffy.wire_bits(),
+          static_cast<double>(smooth.wire_bits()) * 2.0,  // 2 us per bit
+          static_cast<int>(smooth.crc15()));
+  }
+  std::cout << t.render() << "\n";
+}
+
+void filter_behaviour() {
+  std::cout << "--- programmable software acceptance filter ---\n";
+  sim::Scheduler sched;
+  can::Bus bus(sched);
+  can::Port& tx_port = bus.attach("tx");
+  can::Port& rx_port = bus.attach("rx");
+  can::Controller tx(sched, tx_port, "tx");
+  can::Controller rx(sched, rx_port, "rx");
+  rx.set_filters({can::AcceptanceFilter::exact(0x100),
+                  can::AcceptanceFilter{0x700, 0x200, 0}});  // 0x200..0x2FF
+  rx.set_rx_handler([](const can::Frame&, sim::SimTime) {});
+
+  for (std::uint32_t id = 0x080; id <= 0x380; id += 0x40) {
+    tx.transmit(can::make_frame(id, {1}));
+  }
+  sched.run();
+  const auto& stats = rx.stats();
+  std::printf("frames seen: %llu, accepted: %llu, filtered: %llu\n",
+              static_cast<unsigned long long>(stats.rx_seen),
+              static_cast<unsigned long long>(stats.rx_accepted),
+              static_cast<unsigned long long>(stats.rx_filtered));
+  std::printf("note: this filter is reprogrammable by node firmware — the\n"
+              "vulnerability the paper's hardware policy engine removes.\n\n");
+}
+
+void arbitration_contention_sweep() {
+  std::cout << "--- arbitration under contention: delivery latency of one "
+               "high-priority frame vs competing senders ---\n";
+  report::TextTable t({"competing senders", "frames delivered",
+                       "high-prio latency us", "low-prio latency us",
+                       "bus utilisation %"});
+  for (int contenders : {1, 2, 4, 8, 16}) {
+    sim::Scheduler sched;
+    can::Bus bus(sched);
+    struct Sink final : can::FrameSink {
+      void on_frame(const can::Frame& f, sim::SimTime at) override {
+        if (f.id().raw() == 0x010) hi_at = at;
+        if (f.id().raw() >= 0x400) lo_at = at;
+      }
+      sim::SimTime hi_at{-1}, lo_at{-1};
+    } sink;
+    can::Port& observer = bus.attach("obs");
+    observer.set_sink(&sink);
+
+    std::vector<std::unique_ptr<can::Controller>> nodes;
+    // One low-priority victim sender plus `contenders` mid-priority nodes,
+    // then a single high-priority frame injected into the storm.
+    can::Port& victim_port = bus.attach("victim");
+    nodes.push_back(std::make_unique<can::Controller>(sched, victim_port, "victim"));
+    nodes.back()->transmit(can::make_frame(0x400, {1}));
+    for (int i = 0; i < contenders; ++i) {
+      can::Port& port = bus.attach("c" + std::to_string(i));
+      nodes.push_back(std::make_unique<can::Controller>(sched, port, "c"));
+      for (int k = 0; k < 4; ++k) {
+        nodes.back()->transmit(
+            can::make_frame(0x100 + static_cast<std::uint32_t>(i), {1, 2}));
+      }
+    }
+    can::Port& hi_port = bus.attach("hi");
+    can::Controller hi(sched, hi_port, "hi");
+    hi.transmit(can::make_frame(0x010, {1}));
+
+    sched.run();
+    t.add(contenders, bus.frames_delivered(),
+          sim::to_micros(sink.hi_at), sim::to_micros(sink.lo_at),
+          bus.utilisation() * 100.0);
+  }
+  std::cout << t.render();
+  std::cout << "\nshape check: the high-priority frame's latency stays flat "
+               "while the\nlow-priority frame is starved linearly — CAN "
+               "bitwise arbitration.\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Fig. 3: CAN node internals (transceiver -> controller -> "
+               "processor) ===\n\n";
+  frame_cost_table();
+  filter_behaviour();
+  arbitration_contention_sweep();
+  return 0;
+}

@@ -1,0 +1,117 @@
+// Claim C4 — the HPE "provides an additional layer of defence over
+// existing security mechanisms as it remains transparent to the system
+// software" and survives firmware compromise, unlike the programmable
+// software filter (paper Sec. V-B.2).
+//
+// Part 1: firmware-compromise drill. The same inside attack (T02: sensor
+// spoofing ECU disable) runs under both regimes, before and after the
+// attacker rewrites the victim node's software filters. The software
+// regime collapses; the HPE regime does not change behaviour at all.
+//
+// Part 2: throughput overhead. Identical 10-second vehicle workloads with
+// and without HPEs; frames delivered and control-loop health must match
+// (the HPE decision is modelled at CAM speed — a few hardware cycles —
+// and must not perturb bus behaviour).
+//
+// Part 3: tamper-surface accounting. Attempts to reconfigure a locked HPE
+// and to push forged/replayed updates are counted and must all fail.
+#include <cstdio>
+#include <iostream>
+
+#include "attack/runner.h"
+#include "car/vehicle.h"
+#include "core/update.h"
+#include "report/table.h"
+
+using namespace psme;
+using namespace std::chrono_literals;
+
+int main() {
+  std::cout << "=== HPE tamper resistance and overhead ===\n\n";
+
+  // --- Part 1: firmware compromise ---------------------------------------
+  std::cout << "--- inside attack (T02) with and without firmware compromise "
+               "---\n";
+  report::TextTable drill({"regime", "firmware intact", "firmware compromised"});
+  for (const car::Enforcement regime :
+       {car::Enforcement::kSoftwareFilter, car::Enforcement::kHpe}) {
+    std::vector<std::string> row{std::string(car::to_string(regime))};
+    for (const bool compromised : {false, true}) {
+      attack::RunnerOptions options;
+      options.enforcement = regime;
+      options.firmware_compromise = compromised;
+      const auto outcome =
+          attack::run_scenario(attack::scenario("T02"), options);
+      row.push_back(outcome.hazard ? "HAZARD" : "blocked");
+    }
+    drill.add_row(row);
+  }
+  std::cout << drill.render();
+  std::cout << "\nshape check: the software filter's guarantees evaporate "
+               "under firmware\ncompromise; the hardware engine's do not "
+               "(it is a separate block the\nfirmware cannot address).\n\n";
+
+  // --- Part 2: throughput overhead ---------------------------------------
+  std::cout << "--- transparency / overhead: identical 10 s workloads ---\n";
+  report::TextTable overhead({"regime", "frames delivered", "bus util %",
+                              "torque cmds", "ecu==sensor speed",
+                              "HPE cycles spent"});
+  std::uint64_t frames_plain = 0, frames_hpe = 0;
+  for (const car::Enforcement regime :
+       {car::Enforcement::kNone, car::Enforcement::kHpe}) {
+    sim::Scheduler sched;
+    car::VehicleConfig config;
+    config.enforcement = regime;
+    car::Vehicle vehicle(sched, config);
+    sched.run_until(sched.now() + 10s);
+    std::uint64_t cycles = 0;
+    for (const auto& name : vehicle.node_names()) {
+      if (const auto* engine = vehicle.hpe(name)) cycles += engine->cycles_spent();
+    }
+    overhead.add(std::string(car::to_string(regime)),
+                 vehicle.bus().frames_delivered(),
+                 vehicle.bus().utilisation() * 100.0,
+                 vehicle.engine().torque_commands(),
+                 vehicle.ecu().speed() == vehicle.sensors().speed(), cycles);
+    (regime == car::Enforcement::kNone ? frames_plain : frames_hpe) =
+        vehicle.bus().frames_delivered();
+  }
+  std::cout << overhead.render();
+  const double delta =
+      100.0 * (static_cast<double>(frames_plain) - static_cast<double>(frames_hpe)) /
+      static_cast<double>(frames_plain);
+  std::printf("\nthroughput delta with HPEs on every node: %.2f%% "
+              "(0%% = fully transparent)\n\n", delta);
+
+  // --- Part 3: tamper surface --------------------------------------------
+  std::cout << "--- tamper surface of a locked HPE ---\n";
+  sim::Scheduler sched;
+  car::VehicleConfig config;
+  config.enforcement = car::Enforcement::kHpe;
+  car::Vehicle vehicle(sched, config);
+  auto* engine = vehicle.hpe("ecu");
+  const core::PolicySigner oem(0x0E3);
+
+  int rejected = 0;
+  try {
+    engine->set_config(hpe::HpeConfig{});
+  } catch (const std::logic_error&) {
+    ++rejected;
+  }
+  core::PolicySet evil("evil", 99);
+  if (!engine->apply_update({evil, 0xF00D, "mallory"}, oem, hpe::HpeConfig{})) {
+    ++rejected;
+  }
+  core::PolicySet stale("stale", 1);  // not newer than provisioned v1
+  if (!engine->apply_update({stale, oem.sign(stale), "replayer"}, oem,
+                            hpe::HpeConfig{})) {
+    ++rejected;
+  }
+  std::printf("tamper attempts rejected: %d/3 (engine counter: %llu)\n",
+              rejected,
+              static_cast<unsigned long long>(engine->stats().tamper_attempts));
+
+  const bool ok = rejected == 3 && delta < 1.0;
+  std::printf("\nC4 verdict: %s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,138 @@
+// Claim C3 — software policy-enforcement cost (paper Sec. V-B.1).
+//
+// SELinux-style MAC is affordable because the access vector cache answers
+// the hot path. google-benchmark measurements:
+//   * uncached policy-database lookups vs ruleset size;
+//   * AVC-mediated lookups (hot cache) vs ruleset size — should be flat;
+//   * cold-cache behaviour (flush per iteration);
+//   * full MacEngine::evaluate including labelling translation;
+//   * policy module load (rebuild + neverallow validation) cost.
+#include <benchmark/benchmark.h>
+
+#include "mac/avc.h"
+#include "mac/mac_engine.h"
+#include "mac/te_policy.h"
+#include "sim/rng.h"
+
+using namespace psme;
+
+namespace {
+
+std::vector<std::string> make_types(int n) {
+  std::vector<std::string> types;
+  types.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) types.push_back("type_" + std::to_string(i) + "_t");
+  return types;
+}
+
+mac::PolicyDb make_db(int n_types, int n_rules, std::uint64_t seqno = 1) {
+  sim::Rng rng(42);
+  const auto types = make_types(n_types);
+  mac::PolicyDbBuilder builder;
+  builder.add_class("asset", {"read", "write"});
+  for (const auto& t : types) builder.add_type(t);
+  for (int i = 0; i < n_rules; ++i) {
+    builder.allow({types[rng.uniform(0, types.size() - 1)],
+                   types[rng.uniform(0, types.size() - 1)],
+                   "asset",
+                   {rng.chance(0.5) ? std::string("read") : std::string("write")}});
+  }
+  return builder.build(seqno);
+}
+
+void BM_PolicyDbLookup(benchmark::State& state) {
+  const auto db = make_db(32, static_cast<int>(state.range(0)));
+  const auto types = make_types(32);
+  sim::Rng rng(7);
+  for (auto _ : state) {
+    const auto& src = types[rng.uniform(0, types.size() - 1)];
+    const auto& tgt = types[rng.uniform(0, types.size() - 1)];
+    benchmark::DoNotOptimize(db.allowed(src, tgt, "asset", "read"));
+  }
+}
+BENCHMARK(BM_PolicyDbLookup)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_AvcHotLookup(benchmark::State& state) {
+  const auto db = make_db(32, static_cast<int>(state.range(0)));
+  mac::Avc avc(4096);
+  const auto types = make_types(32);
+  sim::Rng rng(7);
+  // Warm the cache with the full working set.
+  for (int i = 0; i < 4096; ++i) {
+    const auto& src = types[rng.uniform(0, types.size() - 1)];
+    const auto& tgt = types[rng.uniform(0, types.size() - 1)];
+    (void)avc.allowed(db, src, tgt, "asset", "read");
+  }
+  sim::Rng rng2(9);
+  for (auto _ : state) {
+    const auto& src = types[rng2.uniform(0, types.size() - 1)];
+    const auto& tgt = types[rng2.uniform(0, types.size() - 1)];
+    benchmark::DoNotOptimize(avc.allowed(db, src, tgt, "asset", "read"));
+  }
+}
+BENCHMARK(BM_AvcHotLookup)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_AvcColdLookup(benchmark::State& state) {
+  const auto db = make_db(32, 256);
+  mac::Avc avc(4096);
+  const auto types = make_types(32);
+  sim::Rng rng(7);
+  for (auto _ : state) {
+    state.PauseTiming();
+    avc.flush();
+    state.ResumeTiming();
+    const auto& src = types[rng.uniform(0, types.size() - 1)];
+    const auto& tgt = types[rng.uniform(0, types.size() - 1)];
+    benchmark::DoNotOptimize(avc.allowed(db, src, tgt, "asset", "read"));
+  }
+}
+BENCHMARK(BM_AvcColdLookup);
+
+void BM_MacEngineEvaluate(benchmark::State& state) {
+  mac::MacEngine engine(4096);
+  mac::PolicyModule module;
+  module.name = "bench";
+  module.types = make_types(16);
+  for (std::size_t i = 0; i + 1 < module.types.size(); ++i) {
+    module.allows.push_back(
+        {module.types[i], module.types[i + 1], "asset", {"read", "write"}});
+  }
+  engine.load_module(module);
+  for (int i = 0; i < 16; ++i) {
+    engine.label("entity" + std::to_string(i),
+                 mac::SecurityContext("u", "r", module.types[static_cast<std::size_t>(i)]));
+  }
+  sim::Rng rng(3);
+  for (auto _ : state) {
+    core::AccessRequest req;
+    req.subject = "entity" + std::to_string(rng.uniform(0, 15));
+    req.object = "entity" + std::to_string(rng.uniform(0, 15));
+    req.access = rng.chance(0.5) ? core::AccessType::kRead
+                                 : core::AccessType::kWrite;
+    benchmark::DoNotOptimize(engine.evaluate(req));
+  }
+}
+BENCHMARK(BM_MacEngineEvaluate);
+
+void BM_ModuleLoadRebuild(benchmark::State& state) {
+  const int n_types = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    mac::MacEngine engine;
+    mac::PolicyModule module;
+    module.name = "m";
+    module.types = make_types(n_types);
+    for (int i = 0; i + 1 < n_types; ++i) {
+      module.allows.push_back({module.types[static_cast<std::size_t>(i)],
+                               module.types[static_cast<std::size_t>(i + 1)],
+                               "asset",
+                               {"read"}});
+    }
+    engine.load_module(module);
+    benchmark::DoNotOptimize(engine.policy_seqno());
+  }
+}
+BENCHMARK(BM_ModuleLoadRebuild)->Arg(8)->Arg(32)->Arg(128);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,131 @@
+// Claim C5 — the software side of the paper's policy engine also
+// "identif[ies] anomalous behaviour" (Sec. IV). Measures the bus anomaly
+// monitor on the live vehicle:
+//   * false-positive check over a long clean run;
+//   * detection latency vs injection rate for unknown-id attacks;
+//   * rate-anomaly detection for floods of a legitimate id;
+//   * defence in depth: the monitor sees and reports frames even when the
+//     HPE has already blocked their effect at the victims.
+#include <cstdio>
+#include <iostream>
+
+#include "attack/attacker.h"
+#include "car/vehicle.h"
+#include "monitor/anomaly.h"
+#include "report/table.h"
+
+using namespace psme;
+using namespace std::chrono_literals;
+
+namespace {
+
+struct Run {
+  sim::Scheduler sched;
+  std::unique_ptr<car::Vehicle> vehicle;
+  std::unique_ptr<monitor::FrameRateMonitor> ids;
+
+  explicit Run(car::Enforcement enforcement,
+               monitor::RateMonitorOptions options = {}) {
+    car::VehicleConfig config;
+    config.enforcement = enforcement;
+    vehicle = std::make_unique<car::Vehicle>(sched, config);
+    ids = std::make_unique<monitor::FrameRateMonitor>(sched, options);
+    vehicle->bus().attach("ids-tap").set_sink(ids.get());
+    ids->start_training();
+    sched.run_until(sched.now() + 3s);
+    ids->start_detection();
+  }
+};
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Bus anomaly monitor (IDS) on the live vehicle ===\n\n";
+
+  // --- false positives ----------------------------------------------------
+  {
+    Run run(car::Enforcement::kNone);
+    run.sched.run_until(run.sched.now() + 20s);
+    std::printf("clean 20 s drive: %zu alerts over %llu frames "
+                "(%zu learned ids)\n\n",
+                run.ids->alerts().size(),
+                static_cast<unsigned long long>(run.ids->frames_observed()),
+                run.ids->known_ids());
+  }
+
+  // --- detection latency vs injection rate -------------------------------
+  std::cout << "--- unknown-id injection: detection latency vs rate ---\n";
+  report::TextTable latency({"injection period", "frames to alert",
+                             "detection latency ms"});
+  for (const auto period : {100ms, 20ms, 5ms, 1ms}) {
+    Run run(car::Enforcement::kNone);
+    attack::OutsideAttacker attacker(run.sched,
+                                     run.vehicle->attach_attacker("m"));
+    const sim::SimTime start = run.sched.now();
+    attacker.inject_repeated(
+        car::command_frame(car::msg::kEcuCommand, car::op::kDisable), 200,
+        period);
+    run.sched.run_until(run.sched.now() + 2s);
+    if (run.ids->alerts().empty()) {
+      latency.add(sim::to_millis(period), "-", "not detected");
+      continue;
+    }
+    const auto& first = run.ids->alerts().front();
+    const auto period_ns = sim::SimDuration(period).count();
+    latency.add(sim::to_millis(period),
+                static_cast<std::uint64_t>(
+                    (first.at - start).count() / period_ns + 1),
+                sim::to_millis(first.at - start));
+  }
+  std::cout << latency.render() << "\n";
+
+  // --- rate anomaly on a legitimate id ------------------------------------
+  std::cout << "--- flood of the legitimate speed-sensor id ---\n";
+  report::TextTable flood({"flood period", "alerts", "first alert kind"});
+  for (const auto period : {50ms, 5ms, 1ms}) {
+    Run run(car::Enforcement::kNone);
+    attack::OutsideAttacker attacker(run.sched,
+                                     run.vehicle->attach_attacker("m"));
+    attacker.inject_repeated(car::command_frame(car::msg::kSensorSpeed, 0),
+                             400, period);
+    run.sched.run_until(run.sched.now() + 2s);
+    flood.add(sim::to_millis(period), run.ids->alerts().size(),
+              run.ids->alerts().empty()
+                  ? "-"
+                  : std::string(to_string(run.ids->alerts()[0].kind)));
+  }
+  std::cout << flood.render();
+  std::cout << "\nshape check: slow floods that stay inside the learned "
+               "envelope are invisible\n(and harmless); fast floods trip the "
+               "rate detector within one window.\n\n";
+
+  // --- defence in depth with the HPE --------------------------------------
+  std::cout << "--- monitor + HPE together ---\n";
+  {
+    Run run(car::Enforcement::kHpe);
+    attack::inject_via_repeated(
+        run.sched, *run.vehicle, "sensors",
+        car::command_frame(car::msg::kAlarmCommand, car::op::kDisarm), 20, 10ms);
+    run.sched.run_until(run.sched.now() + 1s);
+    std::printf("inside T16 attack under HPE: hazard=%s, source HPE blocked "
+                "%llu writes,\nmonitor alerts=%zu (blocked-at-source frames "
+                "never reach the wire)\n",
+                run.vehicle->safety().disarm_events() > 0 ? "YES" : "no",
+                static_cast<unsigned long long>(
+                    run.vehicle->hpe("sensors")->stats().write_blocked),
+                run.ids->alerts().size());
+
+    attack::OutsideAttacker attacker(run.sched,
+                                     run.vehicle->attach_attacker("m"));
+    attacker.inject_repeated(
+        car::command_frame(car::msg::kAlarmCommand, car::op::kDisarm), 20, 10ms);
+    run.sched.run_until(run.sched.now() + 1s);
+    std::printf("outside variant: hazard=%s, monitor alerts=%zu — the wire "
+                "tap sees what\nper-node filters silently drop, giving the "
+                "OEM the detection signal that\ntriggers the policy-update "
+                "response.\n",
+                run.vehicle->safety().disarm_events() > 0 ? "YES" : "no",
+                run.ids->alerts().size());
+  }
+  return 0;
+}

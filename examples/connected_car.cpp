@@ -1,0 +1,74 @@
+// The connected-car case study end to end: boot the vehicle, watch normal
+// operation, launch the paper's headline attack (spoofed CAN data
+// disabling the EV-ECU while driving), and contrast the unprotected
+// vehicle with one whose nodes carry hardware policy engines.
+//
+// Build & run:  ./build/examples/connected_car
+#include <cstdio>
+#include <iostream>
+
+#include "attack/attacker.h"
+#include "car/vehicle.h"
+
+using namespace psme;
+using namespace std::chrono_literals;
+
+namespace {
+
+void drive_and_attack(car::Enforcement regime) {
+  std::printf("\n--- enforcement: %s ---\n",
+              std::string(car::to_string(regime)).c_str());
+
+  sim::Scheduler sched;
+  sim::Trace trace(sim::TraceLevel::kSecurity);
+  car::VehicleConfig config;
+  config.enforcement = regime;
+  car::Vehicle vehicle(sched, config, &trace);
+
+  // Drive for a second of simulated time.
+  sched.run_until(sched.now() + 1s);
+  std::printf("t=%.0fms  cruising at %u m/s, ECU %s, %llu frames on the bus\n",
+              sim::to_millis(sched.now()), vehicle.ecu().speed(),
+              vehicle.ecu().active() ? "active" : "DISABLED",
+              static_cast<unsigned long long>(vehicle.bus().frames_delivered()));
+
+  // The T01 attack: the compromised door-lock node spoofs ECU-disable
+  // commands while the car is moving.
+  std::printf("t=%.0fms  door-lock node compromised; spoofing ECU disable\n",
+              sim::to_millis(sched.now()));
+  attack::inject_via_repeated(
+      sched, vehicle, "doors",
+      car::command_frame(car::msg::kEcuCommand, car::op::kDisable), 20, 10ms);
+  sched.run_until(sched.now() + 500ms);
+
+  std::printf("t=%.0fms  ECU %s", sim::to_millis(sched.now()),
+              vehicle.ecu().active() ? "still active — attack blocked"
+                                     : "DISABLED while driving — attack succeeded");
+  if (const auto* engine = vehicle.hpe("doors")) {
+    std::printf(" (door HPE blocked %llu writes)",
+                static_cast<unsigned long long>(engine->stats().write_blocked));
+  }
+  std::printf("\n");
+
+  // Security-relevant trace lines recorded during the run.
+  std::size_t shown = 0;
+  trace.for_each("", [&](const sim::TraceEntry& e) {
+    if (shown++ < 3) {
+      std::printf("  trace: t=%.1fms [%s] %s: %s\n", sim::to_millis(e.at),
+                  std::string(to_string(e.level)).c_str(), e.component.c_str(),
+                  e.message.c_str());
+    }
+  });
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Connected car under attack: spoofed ECU disablement "
+               "(Table I row T01) ===\n";
+  drive_and_attack(car::Enforcement::kNone);
+  drive_and_attack(car::Enforcement::kHpe);
+  std::cout << "\nThe same vehicle, the same attack: only the policy-"
+               "enforcing variant keeps driving.\n";
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Intrusion detection + forensics: the monitoring half of the paper's
+// software policy engine. A passive IDS tap learns the vehicle's traffic
+// matrix and flags anomalies; a frame recorder preserves the evidence for
+// the OEM's incident response — the trigger for the policy-update cycle.
+//
+// Build & run:  ./build/examples/intrusion_detection
+#include <cstdio>
+#include <iostream>
+
+#include "attack/attacker.h"
+#include "can/recorder.h"
+#include "car/vehicle.h"
+#include "monitor/anomaly.h"
+
+using namespace psme;
+using namespace std::chrono_literals;
+
+int main() {
+  std::cout << "=== Intrusion detection and evidence capture ===\n\n";
+
+  sim::Scheduler sched;
+  car::Vehicle vehicle(sched);
+
+  monitor::FrameRateMonitor ids(sched);
+  vehicle.bus().attach("ids-tap").set_sink(&ids);
+  can::FrameRecorder recorder;
+  vehicle.bus().attach("forensics-tap").set_sink(&recorder);
+
+  // Learn the vehicle's normal traffic matrix for three seconds.
+  ids.start_training();
+  sched.run_until(sched.now() + 3s);
+  ids.start_detection();
+  std::printf("trained on %llu frames; %zu distinct ids in the matrix\n",
+              static_cast<unsigned long long>(ids.frames_observed()),
+              ids.known_ids());
+
+  // Clean driving: the IDS stays silent.
+  sched.run_until(sched.now() + 3s);
+  std::printf("after 3 s clean driving: %zu alerts\n\n", ids.alerts().size());
+
+  // An attacker appears: ECU-disable injection plus a sensor flood.
+  std::cout << "attacker injects ECU-disable commands and floods the speed "
+               "sensor id...\n";
+  attack::OutsideAttacker rogue(sched, vehicle.attach_attacker("rogue"));
+  rogue.inject_repeated(
+      car::command_frame(car::msg::kEcuCommand, car::op::kDisable), 5, 20ms);
+  rogue.inject_repeated(car::command_frame(car::msg::kSensorSpeed, 99), 200, 1ms);
+  sched.run_until(sched.now() + 1s);
+
+  std::printf("\nIDS raised %zu alert(s):\n", ids.alerts().size());
+  for (const auto& alert : ids.alerts()) {
+    std::printf("  t=%.1fms  %-14s id=%s observed=%llu ceiling=%llu\n",
+                sim::to_millis(alert.at),
+                std::string(to_string(alert.kind)).c_str(),
+                alert.id.to_string().c_str(),
+                static_cast<unsigned long long>(alert.observed),
+                static_cast<unsigned long long>(alert.ceiling));
+  }
+
+  // Forensics: extract the evidence window around the first alert.
+  if (!ids.alerts().empty()) {
+    const auto& first = ids.alerts().front();
+    const auto evidence =
+        recorder.between(first.at - 50ms, first.at + 50ms);
+    std::printf("\nevidence window (+/-50 ms around first alert): %zu frames "
+                "captured\n", evidence.size());
+    const auto injected =
+        recorder.filter_by_id(can::CanId::standard(car::msg::kEcuCommand));
+    std::printf("frames with the injected ECU-command id on the wire: %zu\n",
+                injected.size());
+    std::printf("CSV export ready for the security team (%zu bytes) — the\n"
+                "input to the threat-model update that produces the policy "
+                "fix.\n", recorder.to_csv().size());
+  }
+  return 0;
+}

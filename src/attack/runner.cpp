@@ -1,0 +1,76 @@
+#include "attack/runner.h"
+
+#include <memory>
+
+namespace psme::attack {
+
+using namespace std::chrono_literals;
+
+ScenarioOutcome run_scenario(const Scenario& scenario,
+                             const RunnerOptions& options) {
+  sim::Scheduler sched;
+  car::VehicleConfig config;
+  config.enforcement = options.enforcement;
+  config.hpe_content_rules = options.content_rules;
+  config.hpe_writer_gate = options.writer_gate;
+  config.hpe_mode_conditional = options.mode_conditional;
+  config.seed = options.seed;
+  car::Vehicle vehicle(sched, config);
+
+  // Let normal traffic establish steady state.
+  sched.run_until(sched.now() + 200ms);
+
+  // Move into the scenario's mode and let the change propagate.
+  if (scenario.mode != car::CarMode::kNormal) {
+    vehicle.set_mode(scenario.mode);
+    sched.run_until(sched.now() + 50ms);
+  }
+
+  std::unique_ptr<OutsideAttacker> attacker;
+  if (scenario.origin == Origin::kOutside) {
+    attacker = std::make_unique<OutsideAttacker>(
+        sched, vehicle.attach_attacker("attacker"));
+  }
+
+  ScenarioContext ctx{sched, vehicle, attacker.get()};
+
+  if (options.firmware_compromise && scenario.origin == Origin::kInside) {
+    compromise_firmware(vehicle, scenario.origin_node);
+  }
+
+  if (scenario.setup) scenario.setup(ctx);
+  sched.run_until(sched.now() + 20ms);
+
+  scenario.attack(ctx);
+  sched.run_until(sched.now() + 500ms);
+
+  ScenarioOutcome outcome;
+  outcome.threat_id = scenario.threat_id;
+  outcome.name = scenario.name;
+  outcome.origin = scenario.origin;
+  outcome.enforcement = options.enforcement;
+  outcome.content_rules = options.content_rules;
+  outcome.hazard = scenario.succeeded(ctx);
+  outcome.hpe_blocked = vehicle.total_hpe_blocks();
+  outcome.frames_on_bus = vehicle.bus().frames_delivered();
+  return outcome;
+}
+
+std::vector<ScenarioOutcome> run_all(const RunnerOptions& options) {
+  std::vector<ScenarioOutcome> outcomes;
+  outcomes.reserve(all_scenarios().size());
+  for (const Scenario& s : all_scenarios()) {
+    outcomes.push_back(run_scenario(s, options));
+  }
+  return outcomes;
+}
+
+std::size_t hazard_count(const std::vector<ScenarioOutcome>& outcomes) {
+  std::size_t n = 0;
+  for (const auto& o : outcomes) {
+    if (o.hazard) ++n;
+  }
+  return n;
+}
+
+}  // namespace psme::attack

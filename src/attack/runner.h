@@ -1,0 +1,52 @@
+// psme::attack — scenario execution harness.
+//
+// Runs a Table I scenario against a freshly built vehicle under a chosen
+// enforcement regime and reports whether the attack reached its hazard.
+// The full cross product (16 scenarios × regimes) is the paper's
+// mitigation matrix; bench_attack_matrix prints it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "attack/scenarios.h"
+#include "car/vehicle.h"
+
+namespace psme::attack {
+
+struct RunnerOptions {
+  car::Enforcement enforcement = car::Enforcement::kNone;
+  /// Enable the fine-grained payload-rule extension (HPE regime only).
+  bool content_rules = false;
+  /// Compromise the origin node's firmware before the attack (clears its
+  /// software acceptance filters — defeats the software regime, not HPE).
+  bool firmware_compromise = false;
+  std::uint64_t seed = 7;
+  /// Ablation switches (see car::BindingOptions); normally left on.
+  bool writer_gate = true;
+  bool mode_conditional = true;
+};
+
+struct ScenarioOutcome {
+  std::string threat_id;
+  std::string name;
+  Origin origin = Origin::kInside;
+  car::Enforcement enforcement = car::Enforcement::kNone;
+  bool content_rules = false;
+  bool hazard = false;          // true = attack succeeded
+  std::uint64_t hpe_blocked = 0;  // frames blocked by all HPEs during run
+  std::uint64_t frames_on_bus = 0;
+};
+
+/// Executes one scenario end to end (fresh scheduler + vehicle per run, so
+/// outcomes are independent and deterministic given the seed).
+[[nodiscard]] ScenarioOutcome run_scenario(const Scenario& scenario,
+                                           const RunnerOptions& options);
+
+/// Runs every Table I scenario under one regime.
+[[nodiscard]] std::vector<ScenarioOutcome> run_all(const RunnerOptions& options);
+
+/// Count of outcomes where the attack succeeded.
+[[nodiscard]] std::size_t hazard_count(const std::vector<ScenarioOutcome>& outcomes);
+
+}  // namespace psme::attack

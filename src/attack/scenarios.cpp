@@ -1,0 +1,253 @@
+#include "attack/scenarios.h"
+
+#include <stdexcept>
+
+#include "car/ids.h"
+
+namespace psme::attack {
+
+using namespace std::chrono_literals;
+using car::command_frame;
+namespace msg = car::msg;
+namespace op = car::op;
+
+std::string_view to_string(Origin origin) noexcept {
+  return origin == Origin::kInside ? "inside" : "outside";
+}
+
+namespace {
+
+constexpr std::uint32_t kBurst = 20;
+constexpr sim::SimDuration kSpacing = 10ms;
+
+/// Schedules the standard attack burst from the scenario's origin.
+void burst(ScenarioContext& ctx, const Scenario& scenario,
+           const can::Frame& frame) {
+  if (scenario.origin == Origin::kOutside) {
+    ctx.attacker->inject_repeated(frame, kBurst, kSpacing);
+  } else {
+    inject_via_repeated(ctx.sched, ctx.vehicle, scenario.origin_node, frame,
+                        kBurst, kSpacing);
+  }
+}
+
+/// Most scenarios share the "burst one command frame" shape.
+Scenario make_burst_scenario(std::string threat_id, std::string name,
+                             Origin origin, std::string origin_node,
+                             car::CarMode mode, can::Frame frame,
+                             std::function<bool(ScenarioContext&)> succeeded,
+                             std::string defence_note,
+                             std::function<void(ScenarioContext&)> setup = {}) {
+  Scenario s;
+  s.threat_id = std::move(threat_id);
+  s.name = std::move(name);
+  s.origin = origin;
+  s.origin_node = std::move(origin_node);
+  s.mode = mode;
+  s.setup = std::move(setup);
+  s.succeeded = std::move(succeeded);
+  s.defence_note = std::move(defence_note);
+  // The scenario object outlives the context, so capturing `s`'s data by
+  // value inside the lambda keeps everything self-contained.
+  Scenario* self = nullptr;  // filled below via the static registry
+  (void)self;
+  s.attack = [frame, origin, origin_node = s.origin_node](ScenarioContext& ctx) {
+    Scenario probe;
+    probe.origin = origin;
+    probe.origin_node = origin_node;
+    burst(ctx, probe, frame);
+  };
+  return s;
+}
+
+}  // namespace
+
+const std::vector<Scenario>& all_scenarios() {
+  static const std::vector<Scenario> scenarios = [] {
+    std::vector<Scenario> list;
+
+    // T01 — spoofed ECU disable from the door-lock subsystem while driving.
+    list.push_back(make_burst_scenario(
+        "T01", "ECU disable spoofed from compromised door node",
+        Origin::kInside, "doors", car::CarMode::kNormal,
+        command_frame(msg::kEcuCommand, op::kDisable),
+        [](ScenarioContext& ctx) { return !ctx.vehicle.ecu().active(); },
+        "origin HPE write filter (doors has R-only on ev-ecu); victim read "
+        "filter (no legitimate ECU commander in normal mode)"));
+
+    // T02 — same attack from a compromised sensor.
+    list.push_back(make_burst_scenario(
+        "T02", "ECU disable spoofed from compromised sensor",
+        Origin::kInside, "sensors", car::CarMode::kNormal,
+        command_frame(msg::kEcuCommand, op::kDisable),
+        [](ScenarioContext& ctx) { return !ctx.vehicle.ecu().active(); },
+        "origin HPE write filter; victim read filter"));
+
+    // T03 — thief's device silences the tracking subsystem after theft.
+    list.push_back(make_burst_scenario(
+        "T03", "Remote tracking disabled after theft", Origin::kOutside, "",
+        car::CarMode::kNormal,
+        command_frame(msg::kModemCommand, op::kDisable),
+        [](ScenarioContext& ctx) {
+          return ctx.vehicle.connectivity().modem_disables() > 0;
+        },
+        "victim read filter (no legitimate modem commander in normal mode)"));
+
+    // T04 — stolen & immobilised vehicle reactivated via connectivity.
+    {
+      Scenario s = make_burst_scenario(
+          "T04", "Fail-safe override to reactivate immobilised vehicle",
+          Origin::kInside, "connectivity", car::CarMode::kFailSafe,
+          command_frame(msg::kEcuCommand, op::kEnable),
+          [](ScenarioContext& ctx) { return ctx.vehicle.ecu().active(); },
+          "origin HPE write filter (connectivity is R-only on ev-ecu in "
+          "fail-safe per T04)",
+          [](ScenarioContext& ctx) {
+            // Legitimate immobilisation first: the safety subsystem cuts
+            // propulsion (base grant B02 permits this in fail-safe).
+            inject_via(ctx.vehicle, "safety",
+                       command_frame(msg::kEcuCommand, op::kDisable));
+          });
+      list.push_back(std::move(s));
+    }
+
+    // T05 — EPS deactivation from any compromised node.
+    list.push_back(make_burst_scenario(
+        "T05", "EPS deactivated from compromised infotainment",
+        Origin::kInside, "infotainment", car::CarMode::kNormal,
+        command_frame(msg::kEpsCommand, op::kDisable),
+        [](ScenarioContext& ctx) { return !ctx.vehicle.eps().active(); },
+        "Table I 'Any node' rule: nobody may write the EPS outside "
+        "remote diagnostics"));
+
+    // T06 — engine deactivation through a compromised sensor.
+    list.push_back(make_burst_scenario(
+        "T06", "Engine deactivated from compromised sensor", Origin::kInside,
+        "sensors", car::CarMode::kNormal,
+        command_frame(msg::kEngineCommand, op::kDisable),
+        [](ScenarioContext& ctx) { return !ctx.vehicle.engine().active(); },
+        "origin HPE write filter (sensors are R-only on engine)"));
+
+    // T07 — critical component modification during operation (firmware
+    // pushed at the modem from the drivetrain side).
+    list.push_back(make_burst_scenario(
+        "T07", "Radio firmware modification from compromised ECU",
+        Origin::kInside, "ecu", car::CarMode::kNormal,
+        command_frame(msg::kFirmwareUpdate, 0xBD),
+        [](ScenarioContext& ctx) {
+          return ctx.vehicle.connectivity().firmware_tampers() > 0;
+        },
+        "origin write filter + victim read filter (firmware intake only in "
+        "remote-diagnostic mode)"));
+
+    // T08 — privacy attack using modified radio firmware via infotainment.
+    list.push_back(make_burst_scenario(
+        "T08", "Radio firmware modification from infotainment",
+        Origin::kInside, "infotainment", car::CarMode::kNormal,
+        command_frame(msg::kFirmwareUpdate, 0xBD),
+        [](ScenarioContext& ctx) {
+          return ctx.vehicle.connectivity().firmware_tampers() > 0;
+        },
+        "origin write filter + victim read filter"));
+
+    // T09 — fail-safe comms prevented by disabling the modem (via doors,
+    // which Table I leaves RW toward connectivity in fail-safe).
+    list.push_back(make_burst_scenario(
+        "T09", "Modem disabled during fail-safe via door subsystem",
+        Origin::kInside, "doors", car::CarMode::kFailSafe,
+        command_frame(msg::kModemCommand, op::kDisable),
+        [](ScenarioContext& ctx) {
+          return ctx.vehicle.connectivity().modem_disables() > 0;
+        },
+        "NOT stopped by id filtering (Table I grants RW); requires the "
+        "fine-grained content-rule extension (enable-only in fail-safe)"));
+
+    // T10 — same goal via a compromised sensor (R-only per Table I).
+    list.push_back(make_burst_scenario(
+        "T10", "Modem disabled during fail-safe via sensor", Origin::kInside,
+        "sensors", car::CarMode::kFailSafe,
+        command_frame(msg::kModemCommand, op::kDisable),
+        [](ScenarioContext& ctx) {
+          return ctx.vehicle.connectivity().modem_disables() > 0;
+        },
+        "origin HPE write filter (sensors R-only on connectivity)"));
+
+    // T11 — head-unit exploit to gain higher control level.
+    list.push_back(make_burst_scenario(
+        "T11", "Head-unit exploit installed over the bus", Origin::kOutside,
+        "", car::CarMode::kNormal,
+        command_frame(msg::kIviCommand, op::kInstall, 0xEE),
+        [](ScenarioContext& ctx) {
+          return ctx.vehicle.infotainment().compromised();
+        },
+        "victim read filter (nobody may command the head unit in normal "
+        "mode); inside the unit, SELinux-style MAC confines the browser"));
+
+    // T12 — car status values modified on the display.
+    list.push_back(make_burst_scenario(
+        "T12", "Displayed car status forced from compromised ECU",
+        Origin::kInside, "ecu", car::CarMode::kNormal,
+        command_frame(msg::kIviCommand, op::kDisplay, 99),
+        [](ScenarioContext& ctx) {
+          return ctx.vehicle.infotainment().display_overrides() > 0;
+        },
+        "origin write filter (ecu is R-only toward infotainment)"));
+
+    // T13 — doors unlocked while the vehicle is in motion.
+    list.push_back(make_burst_scenario(
+        "T13", "Unlock attempt while in motion", Origin::kOutside, "",
+        car::CarMode::kNormal, command_frame(msg::kLockCommand, op::kUnlock),
+        [](ScenarioContext& ctx) {
+          return ctx.vehicle.doors().unlocks_while_moving() > 0;
+        },
+        "victim read filter (no legitimate lock commander in normal mode)",
+        [](ScenarioContext& ctx) { ctx.vehicle.doors().set_locked(true); }));
+
+    // T14 — lock mechanism triggered during an accident.
+    list.push_back(make_burst_scenario(
+        "T14", "Doors locked during accident", Origin::kOutside, "",
+        car::CarMode::kFailSafe, command_frame(msg::kLockCommand, op::kLock),
+        [](ScenarioContext& ctx) {
+          return ctx.vehicle.doors().locks_during_failsafe() > 0;
+        },
+        "NOT stopped by id filtering (lock id must stay readable for the "
+        "legitimate unlock); requires the content-rule extension "
+        "(unlock-only during fail-safe)"));
+
+    // T15 — false fail-safe trigger through spoofed crash acceleration.
+    list.push_back(make_burst_scenario(
+        "T15", "False fail-safe trigger to unlock vehicle", Origin::kOutside,
+        "", car::CarMode::kNormal,
+        command_frame(msg::kSensorAccel, 250),
+        [](ScenarioContext& ctx) {
+          return ctx.vehicle.safety().failsafe_triggers() > 0;
+        },
+        "NOT stopped by id filtering (sensor broadcasts must stay "
+        "readable); requires the content-rule extension (plausibility bound "
+        "on bus-reported acceleration)"));
+
+    // T16 — alarm and locking disabled to allow theft.
+    list.push_back(make_burst_scenario(
+        "T16", "Alarm disarmed from compromised sensor", Origin::kInside,
+        "sensors", car::CarMode::kNormal,
+        command_frame(msg::kAlarmCommand, op::kDisarm),
+        [](ScenarioContext& ctx) {
+          return ctx.vehicle.safety().disarm_events() > 0;
+        },
+        "origin HPE write filter; the software regime misses this one "
+        "because controllers do not filter their own transmissions",
+        [](ScenarioContext& ctx) { ctx.vehicle.safety().set_armed(true); }));
+
+    return list;
+  }();
+  return scenarios;
+}
+
+const Scenario& scenario(const std::string& threat_id) {
+  for (const Scenario& s : all_scenarios()) {
+    if (s.threat_id == threat_id) return s;
+  }
+  throw std::invalid_argument("scenario: unknown threat id '" + threat_id + "'");
+}
+
+}  // namespace psme::attack

@@ -1,0 +1,53 @@
+// psme::attack — executable versions of the paper's Table I threats.
+//
+// Every row of Table I becomes a Scenario: a precondition, an attack
+// traffic pattern (inside via a compromised node's transmit path, or
+// outside via a rogue device), and a success predicate over the vehicle's
+// hazard counters. Running the same scenario under different enforcement
+// regimes yields the attack-mitigation matrix — the measurable form of the
+// paper's central claim that policies derived from threat modelling stop
+// the modelled attacks.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "attack/attacker.h"
+#include "car/vehicle.h"
+
+namespace psme::attack {
+
+enum class Origin : std::uint8_t {
+  kInside,   // compromised existing node (traverses its own HPE)
+  kOutside,  // malicious added device (unpoliced port)
+};
+
+[[nodiscard]] std::string_view to_string(Origin origin) noexcept;
+
+struct ScenarioContext {
+  sim::Scheduler& sched;
+  car::Vehicle& vehicle;
+  OutsideAttacker* attacker = nullptr;  // set for Origin::kOutside
+};
+
+struct Scenario {
+  std::string threat_id;  // Table I row, "T01".."T16"
+  std::string name;
+  Origin origin = Origin::kInside;
+  std::string origin_node;  // inside scenarios: the compromised node
+  car::CarMode mode = car::CarMode::kNormal;  // mode during the attack
+  std::function<void(ScenarioContext&)> setup;          // may be empty
+  std::function<void(ScenarioContext&)> attack;         // schedules traffic
+  std::function<bool(ScenarioContext&)> succeeded;      // hazard check
+  std::string defence_note;  // which mechanism is expected to stop it
+};
+
+/// All sixteen Table I scenarios, in paper order.
+[[nodiscard]] const std::vector<Scenario>& all_scenarios();
+
+/// Scenario by threat id; throws std::invalid_argument when unknown.
+[[nodiscard]] const Scenario& scenario(const std::string& threat_id);
+
+}  // namespace psme::attack

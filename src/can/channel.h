@@ -1,0 +1,54 @@
+// psme::can — attachment-point interfaces.
+//
+// A Channel is what a CAN controller sees as "the bus": it can submit
+// frames toward the wire and registers a FrameSink to receive deliveries.
+// The Bus hands out Channel implementations (ports); security shims such
+// as the hardware policy engine (psme::hpe) also implement Channel and
+// wrap an inner one, which is exactly how the paper's Fig. 4 places the
+// HPE between the CAN controller and the transceiver — transparently to
+// node software.
+#pragma once
+
+#include "can/frame.h"
+#include "sim/time.h"
+
+namespace psme::can {
+
+/// Receives frames delivered from the bus side.
+class FrameSink {
+ public:
+  virtual ~FrameSink() = default;
+
+  /// A frame observed on the bus (sent by some other node).
+  virtual void on_frame(const Frame& frame, sim::SimTime at) = 0;
+
+  /// The node's own pending transmission finished. `success` is false when
+  /// the frame was destroyed by a (possibly injected) bus error; the
+  /// data-link layer is then expected to retransmit.
+  virtual void on_transmit_complete(const Frame& frame, bool success,
+                                    sim::SimTime at) {
+    (void)frame;
+    (void)success;
+    (void)at;
+  }
+};
+
+/// Bidirectional attachment point toward the bus.
+class Channel {
+ public:
+  virtual ~Channel() = default;
+
+  /// Hands one frame to the wire side for arbitration. Returns false if the
+  /// single hardware transmit slot is already occupied (caller should queue
+  /// and retry on transmit completion) or if the frame was refused by a
+  /// policy shim.
+  virtual bool submit(const Frame& frame) = 0;
+
+  /// Registers the delivery target. Passing nullptr detaches.
+  virtual void set_sink(FrameSink* sink) = 0;
+
+  /// True while a submitted frame is awaiting or undergoing transmission.
+  [[nodiscard]] virtual bool busy() const = 0;
+};
+
+}  // namespace psme::can

@@ -1,0 +1,44 @@
+#include "can/errors.h"
+
+namespace psme::can {
+
+std::string_view to_string(ErrorState state) noexcept {
+  switch (state) {
+    case ErrorState::kErrorActive: return "error-active";
+    case ErrorState::kErrorPassive: return "error-passive";
+    case ErrorState::kBusOff: return "bus-off";
+  }
+  return "?";
+}
+
+ErrorState ErrorCounters::state() const noexcept {
+  if (tec_ > 255) return ErrorState::kBusOff;
+  if (tec_ > 127 || rec_ > 127) return ErrorState::kErrorPassive;
+  return ErrorState::kErrorActive;
+}
+
+void ErrorCounters::on_transmit_success() noexcept {
+  if (tec_ > 0) --tec_;
+}
+
+void ErrorCounters::on_transmit_error() noexcept {
+  // Once bus-off, counters freeze until reset().
+  if (state() == ErrorState::kBusOff) return;
+  tec_ += 8;
+}
+
+void ErrorCounters::on_receive_success() noexcept {
+  if (rec_ > 0) --rec_;
+}
+
+void ErrorCounters::on_receive_error() noexcept {
+  if (state() == ErrorState::kBusOff) return;
+  rec_ += 1;
+}
+
+void ErrorCounters::reset() noexcept {
+  tec_ = 0;
+  rec_ = 0;
+}
+
+}  // namespace psme::can

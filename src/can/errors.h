@@ -1,0 +1,49 @@
+// psme::can — CAN fault-confinement state machine (ISO 11898-1 §12).
+//
+// Every controller keeps a transmit error counter (TEC) and a receive error
+// counter (REC). Nodes move between error-active, error-passive and bus-off
+// states based on counter thresholds; bus-off nodes may not transmit. The
+// attack framework relies on this to model denial-of-service through
+// deliberate error injection.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace psme::can {
+
+enum class ErrorState : std::uint8_t {
+  kErrorActive,   // normal participation
+  kErrorPassive,  // TEC or REC exceeded 127: may still communicate
+  kBusOff,        // TEC exceeded 255: disconnected until reset
+};
+
+[[nodiscard]] std::string_view to_string(ErrorState state) noexcept;
+
+/// TEC/REC bookkeeping with the standard increments: +8 on an error as
+/// transmitter, +1 as receiver, -1 on success (floored at 0).
+class ErrorCounters {
+ public:
+  [[nodiscard]] std::uint32_t tec() const noexcept { return tec_; }
+  [[nodiscard]] std::uint32_t rec() const noexcept { return rec_; }
+  [[nodiscard]] ErrorState state() const noexcept;
+
+  [[nodiscard]] bool can_transmit() const noexcept {
+    return state() != ErrorState::kBusOff;
+  }
+
+  void on_transmit_success() noexcept;
+  void on_transmit_error() noexcept;
+  void on_receive_success() noexcept;
+  void on_receive_error() noexcept;
+
+  /// Models the bus-off recovery sequence (128 × 11 recessive bits) having
+  /// completed: counters are cleared and the node re-enters error-active.
+  void reset() noexcept;
+
+ private:
+  std::uint32_t tec_ = 0;
+  std::uint32_t rec_ = 0;
+};
+
+}  // namespace psme::can

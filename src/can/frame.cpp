@@ -1,0 +1,157 @@
+#include "can/frame.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace psme::can {
+
+CanId CanId::standard(std::uint32_t raw) {
+  if (raw > kMaxStandard) {
+    throw std::out_of_range("CanId::standard: id exceeds 11 bits");
+  }
+  return CanId(raw, /*extended=*/false);
+}
+
+CanId CanId::extended(std::uint32_t raw) {
+  if (raw > kMaxExtended) {
+    throw std::out_of_range("CanId::extended: id exceeds 29 bits");
+  }
+  return CanId(raw, /*extended=*/true);
+}
+
+std::uint64_t CanId::arbitration_key() const noexcept {
+  return arbitration_key_constexpr();
+}
+
+std::string CanId::to_string() const {
+  std::ostringstream out;
+  out << "0x" << std::hex << std::uppercase << raw_;
+  if (extended_) out << "x";  // suffix marks extended format
+  return out.str();
+}
+
+Frame::Frame(CanId id, std::span<const std::uint8_t> data) : id_(id) {
+  if (data.size() > kMaxData) {
+    throw std::length_error("Frame: classic CAN carries at most 8 data bytes");
+  }
+  dlc_ = static_cast<std::uint8_t>(data.size());
+  std::copy(data.begin(), data.end(), data_.begin());
+}
+
+Frame Frame::remote(CanId id, std::uint8_t dlc) {
+  if (dlc > kMaxData) {
+    throw std::length_error("Frame::remote: dlc exceeds 8");
+  }
+  Frame f;
+  f.id_ = id;
+  f.rtr_ = true;
+  f.dlc_ = dlc;
+  return f;
+}
+
+namespace {
+
+void push_bits(std::vector<bool>& bits, std::uint32_t value, int width) {
+  for (int i = width - 1; i >= 0; --i) {
+    bits.push_back(((value >> i) & 1u) != 0);
+  }
+}
+
+}  // namespace
+
+void Frame::append_bitstream(std::vector<bool>& bits) const {
+  // SOF (dominant).
+  bits.push_back(false);
+  if (!id_.is_extended()) {
+    push_bits(bits, id_.raw(), 11);
+    bits.push_back(rtr_);   // RTR
+    bits.push_back(false);  // IDE = 0 (standard)
+    bits.push_back(false);  // r0
+  } else {
+    push_bits(bits, (id_.raw() >> 18) & 0x7FF, 11);  // base id
+    bits.push_back(true);                            // SRR (recessive)
+    bits.push_back(true);                            // IDE = 1 (extended)
+    push_bits(bits, id_.raw() & 0x3FFFF, 18);        // id extension
+    bits.push_back(rtr_);                            // RTR
+    bits.push_back(false);                           // r1
+    bits.push_back(false);                           // r0
+  }
+  push_bits(bits, dlc_, 4);
+  if (!rtr_) {
+    for (std::uint8_t i = 0; i < dlc_; ++i) push_bits(bits, data_[i], 8);
+  }
+}
+
+std::uint16_t Frame::crc15() const noexcept {
+  // ISO 11898-1 CRC: polynomial 0xC599 (x^15+x^14+x^10+x^8+x^7+x^4+x^3+1),
+  // computed over SOF through the last data bit, initial value 0.
+  std::vector<bool> bits;
+  append_bitstream(bits);
+  std::uint16_t crc = 0;
+  for (const bool bit : bits) {
+    const bool crc_next = bit ^ (((crc >> 14) & 1u) != 0);
+    crc = static_cast<std::uint16_t>((crc << 1) & 0x7FFF);
+    if (crc_next) crc ^= 0x4599;
+  }
+  return crc;
+}
+
+std::size_t Frame::wire_bits() const noexcept {
+  // Stuffing applies from SOF through the CRC sequence: after five
+  // consecutive equal bits a stuff bit of opposite polarity is inserted.
+  std::vector<bool> bits;
+  append_bitstream(bits);
+  push_bits(bits, crc15(), 15);
+
+  std::size_t stuffed = 0;
+  int run = 0;
+  bool prev = false;
+  bool first = true;
+  for (bool b : bits) {
+    if (!first && b == prev) {
+      ++run;
+      if (run == 5) {
+        ++stuffed;     // stuff bit inserted, opposite polarity
+        prev = !b;     // the stuff bit becomes the new "previous"
+        run = 1;
+        continue;
+      }
+    } else {
+      run = 1;
+    }
+    prev = b;
+    first = false;
+  }
+
+  // CRC delimiter (1) + ACK slot (1) + ACK delimiter (1) + EOF (7)
+  // + interframe space (3); none of these are subject to stuffing.
+  return bits.size() + stuffed + 1 + 1 + 1 + 7 + 3;
+}
+
+std::string Frame::to_string() const {
+  std::ostringstream out;
+  out << "id=" << id_.to_string();
+  if (rtr_) {
+    out << " RTR dlc=" << static_cast<int>(dlc_);
+    return out.str();
+  }
+  out << " dlc=" << static_cast<int>(dlc_) << " [";
+  for (std::uint8_t i = 0; i < dlc_; ++i) {
+    if (i != 0) out << ' ';
+    out << std::hex << std::setw(2) << std::setfill('0')
+        << static_cast<int>(data_[i]);
+  }
+  out << ']';
+  return out.str();
+}
+
+Frame make_frame(std::uint32_t standard_id,
+                 std::initializer_list<std::uint8_t> bytes) {
+  std::vector<std::uint8_t> data(bytes);
+  return Frame(CanId::standard(standard_id),
+               std::span<const std::uint8_t>(data));
+}
+
+}  // namespace psme::can

@@ -1,0 +1,22 @@
+#include "can/node.h"
+
+namespace psme::can {
+
+Node::Node(sim::Scheduler& sched, Channel& channel, std::string name,
+           sim::Trace* trace, std::uint64_t rng_seed)
+    : sched_(sched),
+      name_(std::move(name)),
+      trace_(trace),
+      rng_(rng_seed),
+      controller_(sched, channel, name_, trace) {
+  controller_.set_rx_handler(
+      [this](const Frame& f, sim::SimTime at) { handle_frame(f, at); });
+}
+
+void Node::trace(sim::TraceLevel level, const std::string& msg) {
+  if (trace_ != nullptr) {
+    trace_->record(sched_.now(), level, "node." + name_, msg);
+  }
+}
+
+}  // namespace psme::can

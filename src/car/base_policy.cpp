@@ -1,0 +1,105 @@
+#include "car/base_policy.h"
+
+#include "car/ids.h"
+#include "car/modes.h"
+#include "core/policy_compiler.h"
+
+namespace psme::car {
+
+namespace {
+
+core::PolicyRule grant(std::string id, std::string subject, std::string object,
+                       threat::Permission permission,
+                       std::vector<CarMode> modes, std::string why) {
+  core::PolicyRule rule;
+  rule.id = std::move(id);
+  rule.subject = std::move(subject);
+  rule.object = std::move(object);
+  rule.permission = permission;
+  for (CarMode m : modes) rule.modes.push_back(mode_id(m));
+  rule.priority = 0;  // Table I restrictions (priority >= 10) dominate
+  rule.rationale = std::move(why);
+  return rule;
+}
+
+}  // namespace
+
+core::PolicySet base_policy() {
+  using threat::Permission;
+  core::PolicySet set("car-base", 1);
+  set.set_default_allow(false);
+
+  // Sensor broadcasts are the vehicle's shared situational picture.
+  set.add_rule(grant("B01", "*", asset::kSensors, Permission::kRead, {},
+                     "all nodes consume sensor broadcasts"));
+
+  // Crash response: the safety subsystem cuts propulsion and unlocks.
+  set.add_rule(grant("B02", entry::kSafetyCritical, asset::kEvEcu,
+                     Permission::kWrite, {CarMode::kFailSafe},
+                     "fail-safe propulsion cut-off after accident"));
+  set.add_rule(grant("B03", entry::kDoorLocks, asset::kEvEcu,
+                     Permission::kWrite, {CarMode::kFailSafe},
+                     "immobilise vehicle when theft confirmed"));
+  set.add_rule(grant("B04", entry::kSafetyCritical, asset::kDoorLocks,
+                     Permission::kWrite, {CarMode::kFailSafe},
+                     "unlock doors during accident"));
+  set.add_rule(grant("B05", entry::kEmergency, asset::kConnectivity,
+                     Permission::kWrite, {CarMode::kFailSafe},
+                     "place emergency call"));
+
+  // Drivetrain control loop. Note: deliberately NO write grant toward the
+  // EPS — steering input is mechanical/direct, and Table I row T05 ("Any
+  // node" restricted to R of EPS) only stays consistent if no node needs
+  // to command the EPS outside remote diagnostics (B12 below).
+  set.add_rule(grant("B07", entry::kEvEcu, asset::kEngine, Permission::kWrite,
+                     {CarMode::kNormal},
+                     "torque demand"));
+
+  // Comfort and telematics.
+  set.add_rule(grant("B08", entry::kDoorLocks, asset::kSafetyCritical,
+                     Permission::kWrite, {CarMode::kNormal},
+                     "arm alarm when locking"));
+  set.add_rule(grant("B09", entry::kInfotainment, asset::kEvEcu,
+                     Permission::kRead, {CarMode::kNormal},
+                     "display vehicle status"));
+  set.add_rule(grant("B10", entry::kInfotainment, asset::kSensors,
+                     Permission::kRead, {CarMode::kNormal},
+                     "display speed / navigation"));
+
+  // Remote diagnostics (authorised engineer only, by mode gating).
+  set.add_rule(grant("B11", entry::kConnectivity, asset::kEvEcu,
+                     Permission::kReadWrite, {CarMode::kRemoteDiagnostic},
+                     "remote diagnostics of ECU"));
+  set.add_rule(grant("B12", entry::kConnectivity, asset::kEps,
+                     Permission::kReadWrite, {CarMode::kRemoteDiagnostic},
+                     "remote diagnostics of EPS"));
+  set.add_rule(grant("B13", entry::kConnectivity, asset::kEngine,
+                     Permission::kReadWrite, {CarMode::kRemoteDiagnostic},
+                     "remote diagnostics of engine"));
+  set.add_rule(grant("B14", entry::kConnectivity, asset::kDoorLocks,
+                     Permission::kWrite, {CarMode::kRemoteDiagnostic},
+                     "workshop door control"));
+  set.add_rule(grant("B15", entry::kConnectivity, asset::kInfotainment,
+                     Permission::kWrite, {CarMode::kRemoteDiagnostic},
+                     "head-unit software provisioning"));
+
+  return set;
+}
+
+core::PolicySet full_policy(const threat::ThreatModel& model,
+                            std::uint64_t version) {
+  core::CompilerOptions options;
+  options.name = "car";
+  options.version = version;
+  options.default_allow = false;
+  options.base_priority = 10;  // above every base grant
+  const core::PolicySet derived = core::PolicyCompiler(options).compile(model);
+
+  core::PolicySet full("car", version);
+  full.set_default_allow(false);
+  full.merge(base_policy());
+  full.merge(derived);
+  return full;
+}
+
+}  // namespace psme::car

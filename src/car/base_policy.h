@@ -1,0 +1,25 @@
+// psme::car — functional base policy for the connected car.
+//
+// The policy set derived from Table I only *restricts*: it says what each
+// entry point may not do to a threatened asset. Under the deny-by-default
+// engine, the vehicle also needs grants for legitimate traffic (resource
+// isolation "base permissions" in the sense of Tan et al., which the paper
+// extends). base_policy() provides those grants at low priority so that
+// Table I restrictions always dominate on conflict; full_policy() is the
+// deployable union of both.
+#pragma once
+
+#include "core/policy.h"
+#include "threat/threat_model.h"
+
+namespace psme::car {
+
+/// Low-priority grants covering normal operation of every node.
+[[nodiscard]] core::PolicySet base_policy();
+
+/// base_policy() merged with the policy compiled from `model` (version
+/// `version`, name "car"). This is what the vehicle deploys.
+[[nodiscard]] core::PolicySet full_policy(const threat::ThreatModel& model,
+                                          std::uint64_t version = 1);
+
+}  // namespace psme::car

@@ -1,0 +1,341 @@
+// psme::car — the connected car's component nodes (paper Fig. 2).
+//
+// Each class models one CAN node with just enough behaviour to (a) generate
+// realistic periodic traffic, (b) carry out its legitimate control duties,
+// and (c) expose *hazard counters* that record when a modelled threat
+// actually fired (ECU disabled while driving, doors locked during an
+// accident, ...). The attack framework measures enforcement regimes by
+// reading these counters.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "can/node.h"
+#include "car/diagnostics.h"
+#include "car/ids.h"
+#include "car/modes.h"
+#include "sim/event_queue.h"
+
+namespace psme::car {
+
+/// Builds a 2-byte command frame [opcode, arg].
+[[nodiscard]] can::Frame command_frame(std::uint32_t id, std::uint8_t opcode,
+                                       std::uint8_t arg = 0);
+
+/// Base for all car nodes: tracks the current car mode from the gateway's
+/// mode-change broadcast, then forwards frames to on_message().
+class CarNode : public can::Node {
+ public:
+  CarNode(sim::Scheduler& sched, can::Channel& channel, std::string name,
+          sim::Trace* trace, std::uint64_t seed);
+
+  [[nodiscard]] CarMode mode() const noexcept { return mode_; }
+
+  /// Activates the node's diagnostic responder under the given address.
+  /// Requests are honoured only in remote-diagnostic mode; the security-
+  /// access unlock is dropped on every mode change away from it.
+  void enable_diagnostics(std::uint8_t address);
+  [[nodiscard]] bool diagnostics_enabled() const noexcept {
+    return responder_.has_value();
+  }
+  [[nodiscard]] bool diag_unlocked() const noexcept {
+    return responder_.has_value() && responder_->unlocked();
+  }
+
+ protected:
+  void handle_frame(const can::Frame& frame, sim::SimTime at) final;
+
+  /// Component-specific behaviour.
+  virtual void on_message(const can::Frame& frame, sim::SimTime at) = 0;
+  virtual void on_mode_change(CarMode mode) { (void)mode; }
+
+  // Diagnostic service hooks (UDS 0x22 / 0x2E / 0x11); default: nothing
+  // readable or writable, reset is a no-op.
+  virtual std::optional<std::uint8_t> diag_read(std::uint8_t did) {
+    (void)did;
+    return std::nullopt;
+  }
+  virtual bool diag_write(std::uint8_t did, std::uint8_t value) {
+    (void)did;
+    (void)value;
+    return false;
+  }
+  virtual void diag_reset() {}
+
+ private:
+  CarMode mode_ = CarMode::kNormal;
+  std::optional<diag::DiagResponder> responder_;
+};
+
+/// Common shape of ECU/EPS/engine: an actuator with an active flag and a
+/// setpoint, commanded via one id and reporting via another.
+class ActuatorNode : public CarNode {
+ public:
+  ActuatorNode(sim::Scheduler& sched, can::Channel& channel, std::string name,
+               std::uint32_t command_id, std::uint32_t status_id,
+               sim::SimDuration status_period, sim::SimTime first_status,
+               sim::Trace* trace, std::uint64_t seed);
+
+  [[nodiscard]] bool active() const noexcept { return active_; }
+  [[nodiscard]] std::uint8_t setpoint() const noexcept { return setpoint_; }
+
+  /// Hazard counter: how often the actuator was disabled by a command.
+  [[nodiscard]] std::uint64_t disable_events() const noexcept {
+    return disable_events_;
+  }
+
+ protected:
+  void on_message(const can::Frame& frame, sim::SimTime at) override;
+
+  // Diagnostic services: expose the actuator state (read), setpoint
+  // (write, security-gated) and a reset that re-enables the actuator.
+  std::optional<std::uint8_t> diag_read(std::uint8_t did) override;
+  bool diag_write(std::uint8_t did, std::uint8_t value) override;
+  void diag_reset() override;
+  /// Hook for subclasses interested in non-command frames.
+  virtual void on_other_message(const can::Frame& frame, sim::SimTime at) {
+    (void)frame;
+    (void)at;
+  }
+  virtual void broadcast_status();
+
+  std::uint32_t command_id_;
+  std::uint32_t status_id_;
+  bool active_ = true;
+  std::uint8_t setpoint_ = 0;
+  std::uint64_t disable_events_ = 0;
+
+ private:
+  std::unique_ptr<sim::PeriodicTask> status_task_;
+};
+
+/// EV-ECU: propulsion/brake/transmission control. Tracks vehicle speed
+/// from the speed sensor and periodically issues engine torque demands.
+class EvEcuNode final : public ActuatorNode {
+ public:
+  EvEcuNode(sim::Scheduler& sched, can::Channel& channel, sim::Trace* trace,
+            std::uint64_t seed);
+
+  [[nodiscard]] std::uint8_t speed() const noexcept { return speed_; }
+
+ protected:
+  void on_other_message(const can::Frame& frame, sim::SimTime at) override;
+  void broadcast_status() override;
+
+ private:
+  std::uint8_t speed_ = 0;
+  std::unique_ptr<sim::PeriodicTask> torque_task_;
+};
+
+/// Electronic power steering.
+class EpsNode final : public ActuatorNode {
+ public:
+  EpsNode(sim::Scheduler& sched, can::Channel& channel, sim::Trace* trace,
+          std::uint64_t seed);
+};
+
+/// Engine management.
+class EngineNode final : public ActuatorNode {
+ public:
+  EngineNode(sim::Scheduler& sched, can::Channel& channel, sim::Trace* trace,
+             std::uint64_t seed);
+
+  [[nodiscard]] std::uint64_t torque_commands() const noexcept {
+    return torque_commands_;
+  }
+
+ protected:
+  void on_message(const can::Frame& frame, sim::SimTime at) override;
+
+ private:
+  std::uint64_t torque_commands_ = 0;
+};
+
+/// Accel / brake / speed / proximity sensor cluster.
+class SensorNode final : public CarNode {
+ public:
+  SensorNode(sim::Scheduler& sched, can::Channel& channel, sim::Trace* trace,
+             std::uint64_t seed);
+
+  void set_speed(std::uint8_t mps) noexcept { speed_ = mps; }
+  [[nodiscard]] std::uint8_t speed() const noexcept { return speed_; }
+
+ protected:
+  void on_message(const can::Frame& frame, sim::SimTime at) override;
+
+ private:
+  void broadcast();
+
+  std::uint8_t speed_ = 14;  // ~50 km/h default driving speed
+  std::unique_ptr<sim::PeriodicTask> task_;
+};
+
+/// Central locking.
+class DoorLockNode final : public CarNode {
+ public:
+  DoorLockNode(sim::Scheduler& sched, can::Channel& channel, sim::Trace* trace,
+               std::uint64_t seed);
+
+  [[nodiscard]] bool locked() const noexcept { return locked_; }
+
+  /// Direct state hook modelling the physical key (attack scenarios use it
+  /// to establish preconditions without bus traffic).
+  void set_locked(bool locked) noexcept { locked_ = locked; }
+
+  // Hazard counters (paper threats T13 / T14).
+  [[nodiscard]] std::uint64_t unlocks_while_moving() const noexcept {
+    return unlocks_while_moving_;
+  }
+  [[nodiscard]] std::uint64_t locks_during_failsafe() const noexcept {
+    return locks_during_failsafe_;
+  }
+
+ protected:
+  void on_message(const can::Frame& frame, sim::SimTime at) override;
+
+ private:
+  void broadcast_status();
+
+  bool locked_ = false;
+  std::uint8_t speed_ = 0;
+  std::uint64_t unlocks_while_moving_ = 0;
+  std::uint64_t locks_during_failsafe_ = 0;
+  std::unique_ptr<sim::PeriodicTask> task_;
+};
+
+/// Alarm / airbag / fail-safe supervision.
+class SafetyCriticalNode final : public CarNode {
+ public:
+  /// Acceleration magnitude above which a crash is assumed.
+  static constexpr std::uint8_t kCrashThreshold = 200;
+
+  SafetyCriticalNode(sim::Scheduler& sched, can::Channel& channel,
+                     sim::Trace* trace, std::uint64_t seed);
+
+  [[nodiscard]] bool armed() const noexcept { return armed_; }
+
+  /// Direct state hook modelling the physical key fob.
+  void set_armed(bool armed) noexcept { armed_ = armed; }
+
+  /// Hard-wired airbag deployment input (the airbag squib is not a CAN
+  /// message; it reaches the safety controller directly). Triggers the
+  /// fail-safe sequence immediately.
+  void airbag_deployed() { trigger_failsafe(); }
+
+  // Hazard counters (paper threats T15 / T16).
+  [[nodiscard]] std::uint64_t failsafe_triggers() const noexcept {
+    return failsafe_triggers_;
+  }
+  [[nodiscard]] std::uint64_t disarm_events() const noexcept {
+    return disarm_events_;
+  }
+
+ protected:
+  void on_message(const can::Frame& frame, sim::SimTime at) override;
+
+ private:
+  void trigger_failsafe();
+  void broadcast_status();
+
+  bool armed_ = false;
+  std::uint64_t failsafe_triggers_ = 0;
+  std::uint64_t disarm_events_ = 0;
+  std::unique_ptr<sim::PeriodicTask> task_;
+};
+
+/// 3G/4G/WiFi modem: tracking reports, emergency calls, firmware intake.
+class ConnectivityNode final : public CarNode {
+ public:
+  ConnectivityNode(sim::Scheduler& sched, can::Channel& channel,
+                   sim::Trace* trace, std::uint64_t seed);
+
+  [[nodiscard]] bool modem_enabled() const noexcept { return modem_enabled_; }
+  [[nodiscard]] bool firmware_ok() const noexcept { return firmware_ok_; }
+
+  // Hazard counters (paper threats T07-T10).
+  [[nodiscard]] std::uint64_t modem_disables() const noexcept {
+    return modem_disables_;
+  }
+  [[nodiscard]] std::uint64_t firmware_tampers() const noexcept {
+    return firmware_tampers_;
+  }
+  [[nodiscard]] std::uint64_t ecalls_made() const noexcept { return ecalls_made_; }
+  [[nodiscard]] std::uint64_t ecalls_failed() const noexcept {
+    return ecalls_failed_;
+  }
+  [[nodiscard]] std::uint64_t tracking_reports() const noexcept {
+    return tracking_reports_;
+  }
+
+ protected:
+  void on_message(const can::Frame& frame, sim::SimTime at) override;
+
+ private:
+  void report_tracking();
+
+  bool modem_enabled_ = true;
+  bool firmware_ok_ = true;
+  std::uint64_t modem_disables_ = 0;
+  std::uint64_t firmware_tampers_ = 0;
+  std::uint64_t ecalls_made_ = 0;
+  std::uint64_t ecalls_failed_ = 0;
+  std::uint64_t tracking_reports_ = 0;
+  std::unique_ptr<sim::PeriodicTask> task_;
+};
+
+/// Head unit: status display and (attackable) app installation.
+class InfotainmentNode final : public CarNode {
+ public:
+  InfotainmentNode(sim::Scheduler& sched, can::Channel& channel,
+                   sim::Trace* trace, std::uint64_t seed);
+
+  [[nodiscard]] std::uint8_t displayed_speed() const noexcept {
+    return displayed_speed_;
+  }
+  [[nodiscard]] bool compromised() const noexcept { return compromised_; }
+  [[nodiscard]] std::uint64_t installs() const noexcept { return installs_; }
+
+  /// Hazard counter (paper threat T12): forced display overrides.
+  [[nodiscard]] std::uint64_t display_overrides() const noexcept {
+    return display_overrides_;
+  }
+
+ protected:
+  void on_message(const can::Frame& frame, sim::SimTime at) override;
+
+ private:
+  std::uint8_t displayed_speed_ = 0;
+  bool compromised_ = false;
+  std::uint64_t installs_ = 0;
+  std::uint64_t display_overrides_ = 0;
+};
+
+/// Central gateway: owns the car mode and broadcasts changes. Also enters
+/// fail-safe autonomously when it observes a fail-safe trigger.
+class GatewayNode final : public CarNode {
+ public:
+  using ModeCallback = std::function<void(CarMode)>;
+
+  GatewayNode(sim::Scheduler& sched, can::Channel& channel, sim::Trace* trace,
+              std::uint64_t seed);
+
+  /// Broadcasts the new mode; invokes the callback (used by the vehicle to
+  /// reprogram software filters — a step the HPE does not need).
+  void change_mode(CarMode new_mode);
+
+  void set_on_change(ModeCallback callback) { on_change_ = std::move(callback); }
+  [[nodiscard]] CarMode current_mode() const noexcept { return current_; }
+
+ protected:
+  void on_message(const can::Frame& frame, sim::SimTime at) override;
+
+ private:
+  CarMode current_ = CarMode::kNormal;
+  ModeCallback on_change_;
+};
+
+}  // namespace psme::car

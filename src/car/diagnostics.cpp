@@ -1,0 +1,117 @@
+#include "car/diagnostics.h"
+
+#include <array>
+#include <stdexcept>
+
+#include "car/ids.h"
+
+namespace psme::car::diag {
+
+can::Frame make_request(std::uint8_t target, std::uint8_t service,
+                        std::uint8_t d0, std::uint8_t d1) {
+  const std::array<std::uint8_t, 4> payload{target, service, d0, d1};
+  return can::Frame(can::CanId::standard(msg::kDiagRequest),
+                    std::span<const std::uint8_t>(payload));
+}
+
+std::optional<Response> parse_response(const can::Frame& frame) {
+  if (frame.id().is_extended() || frame.id().raw() != msg::kDiagResponse ||
+      frame.dlc() < 4) {
+    return std::nullopt;
+  }
+  const auto data = frame.data();
+  Response r;
+  r.target = data[0];
+  if (data[1] == kNegativeResponse) {
+    r.negative = true;
+    r.service = data[2];
+    r.d0 = data[2];
+    r.d1 = data[3];
+  } else {
+    r.negative = false;
+    r.service = static_cast<std::uint8_t>(data[1] - 0x40);
+    r.d0 = data[2];
+    r.d1 = data[3];
+  }
+  return r;
+}
+
+DiagResponder::DiagResponder(std::uint8_t address, ReadFn read, WriteFn write,
+                             ResetFn reset)
+    : address_(address),
+      read_(std::move(read)),
+      write_(std::move(write)),
+      reset_(std::move(reset)) {
+  if (!read_ || !write_ || !reset_) {
+    throw std::invalid_argument("DiagResponder: all service hooks required");
+  }
+}
+
+can::Frame DiagResponder::positive(std::uint8_t service, std::uint8_t d0,
+                                   std::uint8_t d1) const {
+  const std::array<std::uint8_t, 4> payload{
+      address_, static_cast<std::uint8_t>(service + 0x40), d0, d1};
+  return can::Frame(can::CanId::standard(msg::kDiagResponse),
+                    std::span<const std::uint8_t>(payload));
+}
+
+can::Frame DiagResponder::negative(std::uint8_t service, std::uint8_t nrc) const {
+  const std::array<std::uint8_t, 4> payload{address_, kNegativeResponse,
+                                            service, nrc};
+  return can::Frame(can::CanId::standard(msg::kDiagResponse),
+                    std::span<const std::uint8_t>(payload));
+}
+
+std::optional<can::Frame> DiagResponder::handle(const can::Frame& request,
+                                                sim::Rng& rng) {
+  if (request.id().is_extended() ||
+      request.id().raw() != msg::kDiagRequest || request.dlc() < 4) {
+    return std::nullopt;
+  }
+  const auto data = request.data();
+  if (data[0] != address_) return std::nullopt;
+  const std::uint8_t service = data[1];
+  const std::uint8_t d0 = data[2];
+  const std::uint8_t d1 = data[3];
+
+  switch (service) {
+    case kReadDataById: {
+      const auto value = read_(d0);
+      if (!value.has_value()) return negative(service, kNrcRequestOutOfRange);
+      return positive(service, d0, *value);
+    }
+    case kSecurityAccess: {
+      if (d0 == kSubRequestSeed) {
+        pending_seed_ = static_cast<std::uint8_t>(rng.uniform(1, 255));
+        return positive(service, kSubRequestSeed, *pending_seed_);
+      }
+      if (d0 == kSubSendKey) {
+        if (!pending_seed_.has_value()) {
+          return negative(service, kNrcSecurityAccessDenied);
+        }
+        if (d1 != key_from_seed(*pending_seed_)) {
+          pending_seed_.reset();
+          return negative(service, kNrcInvalidKey);
+        }
+        unlocked_ = true;
+        pending_seed_.reset();
+        return positive(service, kSubSendKey, 0);
+      }
+      return negative(service, kNrcRequestOutOfRange);
+    }
+    case kEcuReset: {
+      if (!unlocked_) return negative(service, kNrcSecurityAccessDenied);
+      reset_();
+      return positive(service, 0, 0);
+    }
+    case kWriteDataById: {
+      if (!unlocked_) return negative(service, kNrcSecurityAccessDenied);
+      if (!write_(d0, d1)) return negative(service, kNrcRequestOutOfRange);
+      return positive(service, d0, d1);
+    }
+    default:
+      return negative(service, kNrcServiceNotSupported);
+  }
+}
+
+}  // namespace psme::car::diag

@@ -1,0 +1,109 @@
+// psme::car — remote diagnostics over CAN (UDS-flavoured).
+//
+// Table I's second car mode exists for "maintenance by manufacturer or
+// authorised engineer". This module gives that mode substance: a compact
+// diagnostic protocol carried in kDiagRequest/kDiagResponse frames,
+// mode-gated twice — by the policy binding (only connectivity may emit
+// requests, and only in remote-diagnostic mode) and by each responder
+// (requests outside the mode are ignored). Sensitive services additionally
+// require a seed/key security-access handshake, mirroring UDS 0x27.
+//
+// Frame layout (4 data bytes):
+//   request : [target, service, d0, d1]
+//   response: [target, service+0x40, d0, d1]      positive
+//             [target, 0x7F, service, nrc]        negative
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "can/frame.h"
+#include "sim/rng.h"
+
+namespace psme::car::diag {
+
+// Services (UDS ids where they exist).
+inline constexpr std::uint8_t kEcuReset = 0x11;
+inline constexpr std::uint8_t kReadDataById = 0x22;
+inline constexpr std::uint8_t kSecurityAccess = 0x27;
+inline constexpr std::uint8_t kWriteDataById = 0x2E;
+inline constexpr std::uint8_t kNegativeResponse = 0x7F;
+
+// Negative response codes.
+inline constexpr std::uint8_t kNrcServiceNotSupported = 0x11;
+inline constexpr std::uint8_t kNrcRequestOutOfRange = 0x31;
+inline constexpr std::uint8_t kNrcSecurityAccessDenied = 0x33;
+inline constexpr std::uint8_t kNrcInvalidKey = 0x35;
+
+// Data identifiers readable/writable via 0x22/0x2E.
+inline constexpr std::uint8_t kDidActive = 0x01;
+inline constexpr std::uint8_t kDidSetpoint = 0x02;
+
+// Security-access sub-functions.
+inline constexpr std::uint8_t kSubRequestSeed = 0x01;
+inline constexpr std::uint8_t kSubSendKey = 0x02;
+
+/// The (deliberately simple, documented-as-simulation) key derivation:
+/// real deployments use a challenge-response with a shared secret.
+[[nodiscard]] constexpr std::uint8_t key_from_seed(std::uint8_t seed) noexcept {
+  return static_cast<std::uint8_t>(seed ^ 0xA5);
+}
+
+/// Builds a diagnostic request frame.
+[[nodiscard]] can::Frame make_request(std::uint8_t target, std::uint8_t service,
+                                      std::uint8_t d0 = 0, std::uint8_t d1 = 0);
+
+/// A parsed diagnostic response.
+struct Response {
+  std::uint8_t target = 0;
+  std::uint8_t service = 0;  // original service id
+  bool negative = false;
+  std::uint8_t d0 = 0;       // payload (positive) / echoed service (negative)
+  std::uint8_t d1 = 0;       // payload (positive) / NRC (negative)
+
+  [[nodiscard]] std::uint8_t nrc() const noexcept { return d1; }
+};
+
+/// Parses a kDiagResponse frame; nullopt when the frame is not one.
+[[nodiscard]] std::optional<Response> parse_response(const can::Frame& frame);
+
+/// Per-node diagnostic service state machine. The owning node supplies
+/// read/write/reset behaviour through callbacks; the responder enforces
+/// the security-access gate for EcuReset and WriteDataById.
+class DiagResponder {
+ public:
+  using ReadFn = std::function<std::optional<std::uint8_t>(std::uint8_t did)>;
+  using WriteFn = std::function<bool(std::uint8_t did, std::uint8_t value)>;
+  using ResetFn = std::function<void()>;
+
+  DiagResponder(std::uint8_t address, ReadFn read, WriteFn write, ResetFn reset);
+
+  [[nodiscard]] std::uint8_t address() const noexcept { return address_; }
+  [[nodiscard]] bool unlocked() const noexcept { return unlocked_; }
+
+  /// Relocks (e.g. on leaving remote-diagnostic mode).
+  void relock() noexcept {
+    unlocked_ = false;
+    pending_seed_.reset();
+  }
+
+  /// Handles a request frame addressed to anyone; returns the response
+  /// frame if the request targets this responder, nullopt otherwise.
+  [[nodiscard]] std::optional<can::Frame> handle(const can::Frame& request,
+                                                 sim::Rng& rng);
+
+ private:
+  [[nodiscard]] can::Frame positive(std::uint8_t service, std::uint8_t d0,
+                                    std::uint8_t d1) const;
+  [[nodiscard]] can::Frame negative(std::uint8_t service, std::uint8_t nrc) const;
+
+  std::uint8_t address_;
+  ReadFn read_;
+  WriteFn write_;
+  ResetFn reset_;
+  bool unlocked_ = false;
+  std::optional<std::uint8_t> pending_seed_;
+};
+
+}  // namespace psme::car::diag

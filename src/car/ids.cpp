@@ -1,0 +1,65 @@
+#include "car/ids.h"
+
+namespace psme::car {
+
+const std::vector<AssetBinding>& asset_bindings() {
+  static const std::vector<AssetBinding> bindings = {
+      {asset::kEvEcu, "ecu", {msg::kEcuCommand}, {msg::kEcuStatus}},
+      {asset::kEps, "eps", {msg::kEpsCommand}, {msg::kEpsStatus}},
+      {asset::kEngine, "engine", {msg::kEngineCommand}, {msg::kEngineStatus}},
+      {asset::kConnectivity,
+       "connectivity",
+       {msg::kModemCommand, msg::kEmergencyCall, msg::kFirmwareUpdate},
+       {msg::kModemStatus, msg::kTrackingReport}},
+      {asset::kInfotainment, "infotainment", {msg::kIviCommand}, {msg::kIviStatus}},
+      {asset::kDoorLocks, "doors", {msg::kLockCommand}, {msg::kLockStatus}},
+      {asset::kSafetyCritical,
+       "safety",
+       {msg::kAlarmCommand},
+       {msg::kAlarmStatus, msg::kAirbagEvent, msg::kFailSafeTrigger}},
+      {asset::kSensors,
+       "sensors",
+       {},
+       {msg::kSensorAccel, msg::kSensorBrake, msg::kSensorSpeed,
+        msg::kSensorProximity}},
+  };
+  return bindings;
+}
+
+const std::vector<NodeBinding>& node_bindings() {
+  static const std::vector<NodeBinding> bindings = {
+      {"ecu", {entry::kEvEcu}},
+      {"eps", {entry::kEps}},
+      {"engine", {entry::kEngine}},
+      {"sensors", {entry::kSensors}},
+      {"doors", {entry::kDoorLocks, entry::kManualOpen}},
+      {"safety", {entry::kSafetyCritical, entry::kEmergency, entry::kAirbags}},
+      {"connectivity", {entry::kConnectivity}},
+      {"infotainment", {entry::kInfotainment, entry::kMediaBrowser}},
+  };
+  return bindings;
+}
+
+const AssetBinding* find_asset_binding(const std::string& asset_id) {
+  for (const auto& b : asset_bindings()) {
+    if (b.asset_id == asset_id) return &b;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> entry_points_of(const std::string& node) {
+  for (const auto& b : node_bindings()) {
+    if (b.node == node) return b.entry_points;
+  }
+  return {};
+}
+
+std::uint8_t diag_address_of(const std::string& node) {
+  const auto& bindings = node_bindings();
+  for (std::size_t i = 0; i < bindings.size(); ++i) {
+    if (bindings[i].node == node) return static_cast<std::uint8_t>(i + 1);
+  }
+  return 0;
+}
+
+}  // namespace psme::car

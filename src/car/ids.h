@@ -1,0 +1,124 @@
+// psme::car — the CAN message-ID map and its binding to threat-model
+// entities.
+//
+// The policy rules derived from Table I speak about *entry points* and
+// *assets*; the bus speaks in message IDs. This header fixes the mapping:
+// each asset has command IDs (frames that WRITE to/control the asset) and
+// status IDs (frames that READ from/report the asset), and each vehicle
+// node represents one threat-model entry point and owns some assets.
+// psme::car::policy_binding uses these tables to translate a PolicySet
+// into per-node approved read/write lists (for the HPE) or acceptance
+// filters (software).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace psme::car {
+
+// --- message identifiers (standard 11-bit; lower id = higher priority) ---
+namespace msg {
+inline constexpr std::uint32_t kModeChange = 0x020;       // byte0 = CarMode
+inline constexpr std::uint32_t kFailSafeTrigger = 0x050;  // byte0: 1=enter
+inline constexpr std::uint32_t kEmergencyCall = 0x060;    // to connectivity
+inline constexpr std::uint32_t kEcuCommand = 0x100;       // see op::*
+inline constexpr std::uint32_t kEcuStatus = 0x101;
+inline constexpr std::uint32_t kEpsCommand = 0x110;
+inline constexpr std::uint32_t kEpsStatus = 0x111;
+inline constexpr std::uint32_t kEngineCommand = 0x120;
+inline constexpr std::uint32_t kEngineStatus = 0x121;
+inline constexpr std::uint32_t kLockCommand = 0x130;
+inline constexpr std::uint32_t kLockStatus = 0x131;
+inline constexpr std::uint32_t kAlarmCommand = 0x140;
+inline constexpr std::uint32_t kAlarmStatus = 0x141;
+inline constexpr std::uint32_t kModemCommand = 0x150;
+inline constexpr std::uint32_t kModemStatus = 0x151;
+inline constexpr std::uint32_t kIviCommand = 0x160;
+inline constexpr std::uint32_t kIviStatus = 0x161;
+inline constexpr std::uint32_t kSensorAccel = 0x200;
+inline constexpr std::uint32_t kSensorBrake = 0x201;
+inline constexpr std::uint32_t kSensorSpeed = 0x202;
+inline constexpr std::uint32_t kSensorProximity = 0x203;
+inline constexpr std::uint32_t kAirbagEvent = 0x210;
+inline constexpr std::uint32_t kTrackingReport = 0x300;
+inline constexpr std::uint32_t kFirmwareUpdate = 0x400;
+inline constexpr std::uint32_t kDiagRequest = 0x500;
+inline constexpr std::uint32_t kDiagResponse = 0x501;
+}  // namespace msg
+
+// --- command opcodes (payload byte 0 of command frames) ---
+namespace op {
+inline constexpr std::uint8_t kDisable = 0x01;
+inline constexpr std::uint8_t kEnable = 0x02;
+inline constexpr std::uint8_t kSetValue = 0x03;
+inline constexpr std::uint8_t kLock = 0x01;    // kLockCommand
+inline constexpr std::uint8_t kUnlock = 0x02;  // kLockCommand
+inline constexpr std::uint8_t kArm = 0x01;     // kAlarmCommand
+inline constexpr std::uint8_t kDisarm = 0x02;  // kAlarmCommand
+inline constexpr std::uint8_t kInstall = 0x01; // kIviCommand
+inline constexpr std::uint8_t kDisplay = 0x02; // kIviCommand
+}  // namespace op
+
+// --- threat-model entity identifiers ---
+namespace asset {
+inline const std::string kEvEcu = "ev-ecu";
+inline const std::string kEps = "eps";
+inline const std::string kEngine = "engine";
+inline const std::string kConnectivity = "connectivity";
+inline const std::string kInfotainment = "infotainment";
+inline const std::string kDoorLocks = "door-locks";
+inline const std::string kSafetyCritical = "safety-critical";
+inline const std::string kSensors = "sensors";
+}  // namespace asset
+
+namespace entry {
+inline const std::string kDoorLocks = "ep.door-locks";
+inline const std::string kSafetyCritical = "ep.safety-critical";
+inline const std::string kSensors = "ep.sensors";
+inline const std::string kConnectivity = "ep.connectivity";
+inline const std::string kInfotainment = "ep.infotainment";
+inline const std::string kMediaBrowser = "ep.media-browser";
+inline const std::string kEmergency = "ep.emergency";
+inline const std::string kAirbags = "ep.airbags";
+inline const std::string kEvEcu = "ep.ev-ecu";
+inline const std::string kEps = "ep.eps";
+inline const std::string kEngine = "ep.engine";
+inline const std::string kManualOpen = "ep.manual-open";
+/// Sentinel: compiles to the wildcard subject "*" (Table I row "Any node").
+inline const std::string kAnyNode = "any";
+}  // namespace entry
+
+/// Binding of one asset to its bus identifiers and owning node.
+struct AssetBinding {
+  std::string asset_id;
+  std::string owner_node;                 // vehicle node hosting the asset
+  std::vector<std::uint32_t> command_ids; // writing the asset
+  std::vector<std::uint32_t> status_ids;  // reading the asset
+};
+
+/// Binding of one vehicle node to the threat-model entry points it hosts
+/// (a physical node can expose several logical entry points: the safety
+/// node hosts the safety-critical, emergency and airbag interfaces).
+struct NodeBinding {
+  std::string node;                       // e.g. "ecu"
+  std::vector<std::string> entry_points;  // e.g. {entry::kEvEcu}
+};
+
+/// All asset bindings for the connected-car case study.
+[[nodiscard]] const std::vector<AssetBinding>& asset_bindings();
+
+/// All node bindings for the connected-car case study.
+[[nodiscard]] const std::vector<NodeBinding>& node_bindings();
+
+/// Looks up the binding for one asset id; nullptr when unknown.
+[[nodiscard]] const AssetBinding* find_asset_binding(const std::string& asset_id);
+
+/// Entry points hosted by a node; empty when the node is unknown.
+[[nodiscard]] std::vector<std::string> entry_points_of(const std::string& node);
+
+/// Diagnostic address of a node (targets of kDiagRequest frames);
+/// 0 when the node is unknown.
+[[nodiscard]] std::uint8_t diag_address_of(const std::string& node);
+
+}  // namespace psme::car

@@ -1,0 +1,28 @@
+#include "car/modes.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace psme::car {
+
+std::string_view to_string(CarMode mode) noexcept {
+  switch (mode) {
+    case CarMode::kNormal: return "normal";
+    case CarMode::kRemoteDiagnostic: return "remote-diagnostic";
+    case CarMode::kFailSafe: return "fail-safe";
+  }
+  return "?";
+}
+
+threat::ModeId mode_id(CarMode mode) {
+  return threat::ModeId{std::string(to_string(mode))};
+}
+
+CarMode mode_from_id(const threat::ModeId& id) {
+  for (CarMode m : kAllModes) {
+    if (id.value == to_string(m)) return m;
+  }
+  throw std::invalid_argument("mode_from_id: unknown mode '" + id.value + "'");
+}
+
+}  // namespace psme::car

@@ -1,0 +1,34 @@
+// psme::car — the connected car's operating modes (paper Sec. V, Table I).
+//
+//  1) Normal:            standard vehicle functionality (driving, parked);
+//  2) Remote Diagnostic:  maintenance by manufacturer or authorised engineer;
+//  3) Fail-safe:          reserved for emergency situations.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "threat/asset.h"
+
+namespace psme::car {
+
+enum class CarMode : std::uint8_t {
+  kNormal = 0,
+  kRemoteDiagnostic = 1,
+  kFailSafe = 2,
+};
+
+inline constexpr CarMode kAllModes[] = {CarMode::kNormal,
+                                        CarMode::kRemoteDiagnostic,
+                                        CarMode::kFailSafe};
+
+[[nodiscard]] std::string_view to_string(CarMode mode) noexcept;
+
+/// Threat-model mode id for a car mode ("normal", "remote-diagnostic",
+/// "fail-safe").
+[[nodiscard]] threat::ModeId mode_id(CarMode mode);
+
+/// Inverse of mode_id(); throws std::invalid_argument on unknown ids.
+[[nodiscard]] CarMode mode_from_id(const threat::ModeId& id);
+
+}  // namespace psme::car

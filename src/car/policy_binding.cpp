@@ -1,0 +1,179 @@
+#include "car/policy_binding.h"
+
+#include <algorithm>
+
+namespace psme::car {
+
+namespace {
+
+bool entry_point_may(const std::string& entry_point,
+                     const std::string& asset_id, core::AccessType access,
+                     CarMode mode, const core::PolicySet& policy) {
+  core::AccessRequest request;
+  request.subject = entry_point;
+  request.object = asset_id;
+  request.access = access;
+  request.mode = mode_id(mode);
+  return policy.evaluate(request).allowed;
+}
+
+void add_all(hpe::ApprovedIdList& list, const std::vector<std::uint32_t>& ids) {
+  for (const auto id : ids) list.add(can::CanId::standard(id));
+}
+
+}  // namespace
+
+bool node_may(const std::string& node, const std::string& asset_id,
+              core::AccessType access, CarMode mode,
+              const core::PolicySet& policy) {
+  const auto entry_points = entry_points_of(node);
+  return std::any_of(entry_points.begin(), entry_points.end(),
+                     [&](const std::string& ep) {
+                       return entry_point_may(ep, asset_id, access, mode,
+                                              policy);
+                     });
+}
+
+bool anyone_may_write(const std::string& asset_id, CarMode mode,
+                      const core::PolicySet& policy) {
+  for (const auto& binding : node_bindings()) {
+    for (const auto& ep : binding.entry_points) {
+      if (entry_point_may(ep, asset_id, core::AccessType::kWrite, mode,
+                          policy)) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+namespace {
+
+void add_content_rules(const std::string& node, CarMode mode,
+                       hpe::ListPair& lists) {
+  // Fine-grained, situational constraints (paper Sec. V-A.2's "more
+  // fine-grained policies"). Ids must already be on the relevant list;
+  // these rules narrow the accepted payloads.
+  if (node == "doors" && mode == CarMode::kFailSafe) {
+    // During an accident only UNLOCK may traverse the bus (threat T14).
+    lists.content_rules.push_back(
+        hpe::PayloadRule{msg::kLockCommand, 0, op::kUnlock, op::kUnlock});
+  }
+  if (node == "connectivity" && mode == CarMode::kFailSafe) {
+    // Table I keeps RW toward the modem in fail-safe (T09: emergency and
+    // door subsystems must command it), so id filtering alone cannot stop
+    // a malicious DISABLE; the content rule narrows fail-safe commands to
+    // ENABLE only.
+    lists.content_rules.push_back(
+        hpe::PayloadRule{msg::kModemCommand, 0, op::kEnable, op::kEnable});
+  }
+  if (node == "safety") {
+    if (mode == CarMode::kNormal) {
+      // Alarm can be armed over the bus but never disarmed (threat T16);
+      // disarm happens via the physical key path.
+      lists.content_rules.push_back(
+          hpe::PayloadRule{msg::kAlarmCommand, 0, op::kArm, op::kArm});
+    }
+    // Crash-grade acceleration values from the bus are implausible; the
+    // airbag event (hard-wired) is the authoritative crash signal (T15).
+    lists.content_rules.push_back(hpe::PayloadRule{
+        msg::kSensorAccel, 0, 0,
+        static_cast<std::uint8_t>(199)});
+  }
+}
+
+}  // namespace
+
+hpe::ListPair build_lists(const std::string& node, CarMode mode,
+                          const core::PolicySet& policy,
+                          const BindingOptions& options) {
+  hpe::ListPair lists;
+
+  // Structural: everyone hears mode changes and the fail-safe trigger.
+  lists.read.add(can::CanId::standard(msg::kModeChange));
+  lists.read.add(can::CanId::standard(msg::kFailSafeTrigger));
+
+  // Structural: diagnostics only inside remote-diagnostic mode.
+  if (mode == CarMode::kRemoteDiagnostic) {
+    lists.read.add(can::CanId::standard(msg::kDiagRequest));
+    lists.write.add(can::CanId::standard(msg::kDiagResponse));
+    if (node == "connectivity") {
+      lists.write.add(can::CanId::standard(msg::kDiagRequest));
+      lists.read.add(can::CanId::standard(msg::kDiagResponse));
+    }
+  }
+
+  for (const AssetBinding& asset : asset_bindings()) {
+    const bool owns = asset.owner_node == node;
+    if (owns) {
+      // Owners publish their own status unconditionally...
+      add_all(lists.write, asset.status_ids);
+      // ...but accept commands only in modes where a legitimate commander
+      // exists; otherwise the frames are spoofed by construction.
+      if (!options.writer_existence_gate ||
+          anyone_may_write(asset.asset_id, mode, policy)) {
+        add_all(lists.read, asset.command_ids);
+      }
+      continue;
+    }
+    if (node_may(node, asset.asset_id, core::AccessType::kRead, mode, policy)) {
+      add_all(lists.read, asset.status_ids);
+    }
+    if (node_may(node, asset.asset_id, core::AccessType::kWrite, mode, policy)) {
+      add_all(lists.write, asset.command_ids);
+    }
+  }
+
+  // The safety node owns the fail-safe trigger (listed among its status
+  // ids) — already covered by the owner branch above.
+  if (options.content_rules) add_content_rules(node, mode, lists);
+  return lists;
+}
+
+hpe::HpeConfig build_hpe_config(const std::string& node,
+                                const core::PolicySet& policy,
+                                const BindingOptions& options) {
+  hpe::HpeConfig config;
+  config.mode_frame_id = msg::kModeChange;
+  if (options.mode_conditional) {
+    for (CarMode mode : kAllModes) {
+      config.per_mode[static_cast<std::uint8_t>(mode)] =
+          build_lists(node, mode, policy, options);
+    }
+  }
+  // Default lists (unknown mode byte, or mode-conditionality ablated):
+  // normal-mode lists.
+  config.default_lists = build_lists(node, CarMode::kNormal, policy, options);
+  return config;
+}
+
+std::vector<can::AcceptanceFilter> build_rx_filters(
+    const std::string& node, CarMode mode, const core::PolicySet& policy) {
+  // Reconstruct the read list and express it as exact-match filters. The
+  // approved lists built above only use exact standard ids, so this is a
+  // faithful software equivalent.
+  std::vector<can::AcceptanceFilter> filters;
+  const hpe::ListPair lists = build_lists(node, mode, policy);
+
+  // Enumerate all known standard ids and keep those the list accepts;
+  // exact ids in the car's map are the only ones ever used.
+  std::vector<std::uint32_t> known = {
+      msg::kModeChange,   msg::kFailSafeTrigger, msg::kEmergencyCall,
+      msg::kEcuCommand,   msg::kEcuStatus,       msg::kEpsCommand,
+      msg::kEpsStatus,    msg::kEngineCommand,   msg::kEngineStatus,
+      msg::kLockCommand,  msg::kLockStatus,      msg::kAlarmCommand,
+      msg::kAlarmStatus,  msg::kModemCommand,    msg::kModemStatus,
+      msg::kIviCommand,   msg::kIviStatus,       msg::kSensorAccel,
+      msg::kSensorBrake,  msg::kSensorSpeed,     msg::kSensorProximity,
+      msg::kAirbagEvent,  msg::kTrackingReport,  msg::kFirmwareUpdate,
+      msg::kDiagRequest,  msg::kDiagResponse,
+  };
+  for (const auto id : known) {
+    if (lists.read.contains(can::CanId::standard(id))) {
+      filters.push_back(can::AcceptanceFilter::exact(id));
+    }
+  }
+  return filters;
+}
+
+}  // namespace psme::car

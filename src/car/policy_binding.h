@@ -1,0 +1,76 @@
+// psme::car — translating policy rules into bus-level enforcement.
+//
+// Policy rules talk about entry points and assets; the enforcement points
+// (HPE read/write filters, controller acceptance filters) talk in CAN
+// message IDs. The binding rules are:
+//
+//  WRITE side — node N may emit command id c of asset A in mode m iff some
+//  entry point hosted by N is allowed to write A in m. N may always emit
+//  the status ids of assets it owns.
+//
+//  READ side — node N may receive status id s of asset A in mode m iff
+//  some entry point hosted by N may read A in m. N may receive the command
+//  ids of an asset it owns only in modes where *some* entry point in the
+//  system may legitimately write that asset — if nobody may command the
+//  asset in mode m, a command frame arriving in m is necessarily spoofed
+//  and the reading filter drops it at the victim.
+//
+//  Structural ids — every node reads the mode-change broadcast and the
+//  fail-safe trigger; the gateway alone emits mode changes; diagnostic
+//  request/response ids are enabled only in remote-diagnostic mode.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "can/controller.h"
+#include "car/ids.h"
+#include "car/modes.h"
+#include "core/policy.h"
+#include "hpe/hpe.h"
+
+namespace psme::car {
+
+/// True when `node` may access `asset_id` in the given way under `policy`
+/// while the car is in `mode` (the OR over the node's entry points).
+[[nodiscard]] bool node_may(const std::string& node, const std::string& asset_id,
+                            core::AccessType access, CarMode mode,
+                            const core::PolicySet& policy);
+
+/// True when any entry point in the system may write `asset_id` in `mode`.
+[[nodiscard]] bool anyone_may_write(const std::string& asset_id, CarMode mode,
+                                    const core::PolicySet& policy);
+
+/// Feature switches for the binding — each is one of the design choices
+/// DESIGN.md calls out; the ablation bench toggles them independently.
+struct BindingOptions {
+  /// Paper's fine-grained extension: payload constraints on approved ids
+  /// (only-unlock during fail-safe, only-arm over the bus, plausibility
+  /// bounds on crash acceleration).
+  bool content_rules = false;
+  /// ∃-writer rule: an asset's command ids enter its owner's read list
+  /// only in modes where some entry point may legitimately write the
+  /// asset. Disabling reverts to "owners always accept their commands".
+  bool writer_existence_gate = true;
+  /// Per-mode approved lists with autonomous mode snooping. Disabling
+  /// freezes every HPE on its normal-mode lists.
+  bool mode_conditional = true;
+};
+
+/// Approved read/write lists for one node in one mode.
+[[nodiscard]] hpe::ListPair build_lists(const std::string& node, CarMode mode,
+                                        const core::PolicySet& policy,
+                                        const BindingOptions& options = {});
+
+/// Full HPE configuration: per-mode lists plus autonomous mode snooping.
+[[nodiscard]] hpe::HpeConfig build_hpe_config(const std::string& node,
+                                              const core::PolicySet& policy,
+                                              const BindingOptions& options = {});
+
+/// Software acceptance filters equivalent to the mode-`mode` read list.
+/// (Software filters cannot switch modes autonomously; the node's firmware
+/// must reprogram them on mode change — the vulnerability the HPE removes.)
+[[nodiscard]] std::vector<can::AcceptanceFilter> build_rx_filters(
+    const std::string& node, CarMode mode, const core::PolicySet& policy);
+
+}  // namespace psme::car

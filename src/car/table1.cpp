@@ -1,0 +1,211 @@
+#include "car/table1.h"
+
+#include "car/ids.h"
+
+namespace psme::car {
+
+const std::vector<Table1Row>& table1_rows() {
+  static const std::vector<Table1Row> rows = {
+      {"T01", asset::kEvEcu,
+       {entry::kDoorLocks, entry::kSafetyCritical},
+       "Spoofed data over CANbus causing disablement of ECU", "STD",
+       "8,5,4,6,4 (5.4)", "R",
+       {CarMode::kNormal}},
+      {"T02", asset::kEvEcu,
+       {entry::kSensors},
+       "Spoofed data over CANbus causing disablement of ECU", "STD",
+       "8,5,4,6,4 (5.4)", "R",
+       {CarMode::kNormal}},
+      {"T03", asset::kEvEcu,
+       {entry::kConnectivity},
+       "Disabled remote tracking system after theft", "SD", "6,3,3,6,4 (4.4)",
+       "RW",
+       {CarMode::kNormal}},
+      {"T04", asset::kEvEcu,
+       {entry::kConnectivity},
+       "Fail-safe protection override to reactivate vehicle", "STE",
+       "5,5,5,7,6 (5.6)", "R",
+       {CarMode::kFailSafe}},
+      {"T05", asset::kEps,
+       {entry::kAnyNode},
+       "EPS deactivation through compromised CAN node", "STD",
+       "5,5,5,6,7 (5.6)", "R",
+       {CarMode::kNormal}},
+      {"T06", asset::kEngine,
+       {entry::kSensors},
+       "Deactivation through compromised sensor", "STD", "6,5,4,7,5 (5.4)",
+       "R",
+       {CarMode::kNormal}},
+      {"T07", asset::kConnectivity,
+       {entry::kEvEcu, entry::kSensors},
+       "Critical component modification during operation", "STIDE",
+       "7,5,5,9,4 (6.0)", "R",
+       {CarMode::kNormal, CarMode::kRemoteDiagnostic}},
+      {"T08", asset::kConnectivity,
+       {entry::kInfotainment},
+       "Privacy attack using modified radio firmware", "TIE",
+       "7,5,5,6,5 (5.6)", "R",
+       {CarMode::kNormal, CarMode::kRemoteDiagnostic}},
+      {"T09", asset::kConnectivity,
+       {entry::kEmergency, entry::kDoorLocks},
+       "Prevent operation of fail-safe comms by disabling modem", "TDE",
+       "6,6,7,8,6 (6.6)", "RW",
+       {CarMode::kFailSafe}},
+      {"T10", asset::kConnectivity,
+       {entry::kSensors, entry::kAirbags},
+       "Prevent operation of fail-safe comms by disabling modem", "TDE",
+       "6,6,7,8,6 (6.6)", "R",
+       {CarMode::kFailSafe}},
+      {"T11", asset::kInfotainment,
+       {entry::kMediaBrowser},
+       "Exploit to gain access to higher control level", "STE",
+       "7,5,6,8,6 (6.4)", "R",
+       {CarMode::kNormal}},
+      {"T12", asset::kInfotainment,
+       {entry::kSensors, entry::kEvEcu},
+       "Modification of car status values, GPS, speed, etc", "STR",
+       "3,5,6,4,5 (4.6)", "R",
+       {CarMode::kNormal}},
+      {"T13", asset::kDoorLocks,
+       {entry::kConnectivity, entry::kManualOpen},
+       "Unlock attempt while in motion", "TDE", "8,5,3,8,5 (5.8)", "R",
+       {CarMode::kNormal}},
+      {"T14", asset::kDoorLocks,
+       {entry::kConnectivity, entry::kSafetyCritical},
+       "Lock mechanism triggered during accident", "TDE", "8,6,7,8,5 (6.8)",
+       "W",
+       {CarMode::kFailSafe}},
+      {"T15", asset::kSafetyCritical,
+       {entry::kSensors},
+       "False triggering of fail-safe mode to unlock vehicle", "STE",
+       "7,4,5,8,4 (5.6)", "R",
+       {CarMode::kNormal}},
+      {"T16", asset::kSafetyCritical,
+       {entry::kSensors},
+       "Disable alarm and locking system to allow theft", "TE",
+       "9,4,5,9,4 (6.2)", "W",
+       {CarMode::kNormal}},
+  };
+  return rows;
+}
+
+namespace {
+
+threat::ThreatModelBuilder car_builder() {
+  using threat::Asset;
+  using threat::AssetId;
+  using threat::Criticality;
+  using threat::EntryPoint;
+  using threat::EntryPointId;
+  using threat::Mode;
+
+  threat::ThreatModelBuilder builder("connected-car");
+
+  builder.add_asset(Asset{AssetId{asset::kEvEcu},
+                          "EV-ECU (accel, brake, transmission)",
+                          "Electronic vehicle control unit governing "
+                          "propulsion, braking and transmission",
+                          Criticality::kSafety});
+  builder.add_asset(Asset{AssetId{asset::kEps}, "EPS (Steering)",
+                          "Electronic power steering", Criticality::kSafety});
+  builder.add_asset(Asset{AssetId{asset::kEngine}, "Engine",
+                          "Engine management", Criticality::kSafety});
+  builder.add_asset(Asset{AssetId{asset::kConnectivity}, "3G/4G/WiFi",
+                          "Cellular and WiFi connectivity: telemetry upload, "
+                          "firmware update, emergency services notification",
+                          Criticality::kOperational});
+  builder.add_asset(Asset{AssetId{asset::kInfotainment}, "Infotainment System",
+                          "Media, navigation and status display",
+                          Criticality::kConvenience});
+  builder.add_asset(Asset{AssetId{asset::kDoorLocks}, "Door locks",
+                          "Central locking", Criticality::kSafety});
+  builder.add_asset(Asset{AssetId{asset::kSafetyCritical}, "Safety Critical",
+                          "Alarm, airbags and fail-safe supervision",
+                          Criticality::kSafety});
+  builder.add_asset(Asset{AssetId{asset::kSensors}, "Sensors",
+                          "Acceleration, brake, speed and proximity sensors",
+                          Criticality::kOperational});
+
+  builder.add_entry_point(EntryPoint{EntryPointId{entry::kDoorLocks},
+                                     "Door locks", "Central locking nodes",
+                                     false});
+  builder.add_entry_point(EntryPoint{EntryPointId{entry::kSafetyCritical},
+                                     "Safety critical",
+                                     "Alarm/airbag/fail-safe nodes", false});
+  builder.add_entry_point(EntryPoint{EntryPointId{entry::kSensors}, "Sensors",
+                                     "Accel/brake/speed/proximity sensors",
+                                     false});
+  builder.add_entry_point(EntryPoint{EntryPointId{entry::kConnectivity},
+                                     "3G/4G/WiFi",
+                                     "Cellular/WiFi modem (remote)", true});
+  builder.add_entry_point(EntryPoint{EntryPointId{entry::kInfotainment},
+                                     "Infotainment system",
+                                     "Head unit and its applications", true});
+  builder.add_entry_point(EntryPoint{EntryPointId{entry::kMediaBrowser},
+                                     "Media player browser",
+                                     "Browser app inside the head unit", true});
+  builder.add_entry_point(EntryPoint{EntryPointId{entry::kEmergency},
+                                     "Emergency",
+                                     "Emergency-call subsystem", false});
+  builder.add_entry_point(EntryPoint{EntryPointId{entry::kAirbags}, "Air bags",
+                                     "Airbag deployment units", false});
+  builder.add_entry_point(EntryPoint{EntryPointId{entry::kEvEcu}, "EV-ECU",
+                                     "Vehicle control unit acting as source",
+                                     false});
+  builder.add_entry_point(EntryPoint{EntryPointId{entry::kEps}, "EPS",
+                                     "Power steering node", false});
+  builder.add_entry_point(EntryPoint{EntryPointId{entry::kEngine}, "Engine",
+                                     "Engine management node", false});
+  builder.add_entry_point(EntryPoint{EntryPointId{entry::kManualOpen},
+                                     "Manual open",
+                                     "Physical door handle / key", false});
+  builder.add_entry_point(EntryPoint{EntryPointId{entry::kAnyNode}, "Any node",
+                                     "Any CAN node on the shared bus", false});
+
+  for (CarMode m : kAllModes) {
+    std::string description;
+    switch (m) {
+      case CarMode::kNormal:
+        description = "Standard vehicle functionality (driving, parked)";
+        break;
+      case CarMode::kRemoteDiagnostic:
+        description = "Maintenance by manufacturer or authorised engineer";
+        break;
+      case CarMode::kFailSafe:
+        description = "Reserved for emergency situations";
+        break;
+    }
+    builder.add_mode(Mode{mode_id(m), std::string(to_string(m)), description});
+  }
+  return builder;
+}
+
+}  // namespace
+
+threat::ThreatModel connected_car_threat_model() {
+  threat::ThreatModelBuilder builder = car_builder();
+
+  for (const Table1Row& row : table1_rows()) {
+    threat::Threat t;
+    t.id = threat::ThreatId{row.threat_id};
+    t.title = row.threat;
+    t.description = row.threat;
+    t.asset = threat::AssetId{row.asset};
+    for (const auto& ep : row.entry_points) {
+      t.entry_points.push_back(threat::EntryPointId{ep});
+    }
+    for (CarMode m : row.modes) t.modes.push_back(mode_id(m));
+    t.stride = threat::StrideSet::parse(row.stride);
+    t.dread = threat::DreadScore::parse(row.dread);
+    t.recommended_policy = threat::parse_permission(row.policy);
+    t.countermeasures.push_back(threat::Countermeasure{
+        threat::CountermeasureKind::kPolicy,
+        "Restrict " + row.entry_points.front() + " to " + row.policy + " of " +
+            row.asset + " via policy engine",
+        t.recommended_policy});
+    builder.add_threat(std::move(t));
+  }
+  return builder.build();
+}
+
+}  // namespace psme::car

@@ -1,0 +1,120 @@
+#include "core/fleet.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace psme::core {
+
+FleetRollout::FleetRollout(FleetOptions options) : options_(std::move(options)) {
+  if (options_.fleet_size == 0) {
+    throw std::invalid_argument("FleetRollout: fleet_size must be positive");
+  }
+  if (options_.waves.empty()) {
+    throw std::invalid_argument("FleetRollout: at least one wave required");
+  }
+  double prev = 0.0;
+  for (const double w : options_.waves) {
+    if (w <= prev || w > 1.0) {
+      throw std::invalid_argument(
+          "FleetRollout: waves must be strictly increasing fractions <= 1");
+    }
+    prev = w;
+  }
+}
+
+RolloutReport FleetRollout::run(const PolicyBundle& bundle,
+                                std::uint64_t verifier_key,
+                                std::uint64_t initial_version) {
+  sim::Scheduler sched;
+  sim::Rng rng(options_.seed);
+
+  struct Device {
+    std::unique_ptr<SimplePolicyEngine> engine;
+    std::unique_ptr<UpdateManager> manager;
+    bool updated = false;
+    bool straggler = false;
+  };
+  std::vector<Device> fleet(options_.fleet_size);
+  for (auto& device : fleet) {
+    device.engine = std::make_unique<SimplePolicyEngine>(
+        PolicySet("device", initial_version));
+    device.manager = std::make_unique<UpdateManager>(
+        *device.engine, PolicySigner(verifier_key));
+  }
+
+  RolloutReport report;
+  report.fleet_size = options_.fleet_size;
+  double vulnerable_integral_ns = 0.0;  // device-nanoseconds
+  sim::SimTime last_change{};
+  std::size_t vulnerable = options_.fleet_size;
+
+  auto account = [&](sim::SimTime now) {
+    vulnerable_integral_ns +=
+        static_cast<double>((now - last_change).count()) *
+        static_cast<double>(vulnerable);
+    last_change = now;
+  };
+
+  // Per-device delivery with retries.
+  std::function<void(std::size_t, std::uint32_t)> deliver =
+      [&](std::size_t idx, std::uint32_t attempt) {
+        sched.schedule_in(options_.delivery_latency, [&, idx, attempt] {
+          Device& device = fleet[idx];
+          if (device.updated) return;
+          if (rng.chance(options_.delivery_loss)) {
+            if (attempt >= options_.max_attempts) {
+              device.straggler = true;
+              return;
+            }
+            deliver(idx, attempt + 1);
+            return;
+          }
+          if (device.manager->apply(bundle) == std::nullopt) {
+            device.updated = true;
+            account(sched.now());
+            --vulnerable;
+            report.completed_at = sched.now();
+          }
+        });
+      };
+
+  // Schedule the waves over a deterministic device permutation (so waves
+  // pick disjoint prefixes).
+  std::vector<std::size_t> order(options_.fleet_size);
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  for (std::size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng.uniform(0, i - 1)]);
+  }
+
+  std::size_t already_targeted = 0;
+  for (std::size_t w = 0; w < options_.waves.size(); ++w) {
+    const auto target =
+        static_cast<std::size_t>(options_.waves[w] *
+                                 static_cast<double>(options_.fleet_size));
+    const sim::SimTime at =
+        sim::kSimStart + options_.wave_interval * static_cast<std::int64_t>(w);
+    sched.schedule_at(at, [&, already_targeted, target, at] {
+      for (std::size_t i = already_targeted; i < target; ++i) {
+        deliver(order[i], 1);
+      }
+      report.waves.push_back(WaveRecord{
+          at, target,
+          static_cast<std::size_t>(
+              std::count_if(fleet.begin(), fleet.end(),
+                            [](const Device& d) { return d.updated; }))});
+    });
+    already_targeted = target;
+  }
+
+  sched.run();
+  account(sched.now());
+
+  report.updated = static_cast<std::size_t>(std::count_if(
+      fleet.begin(), fleet.end(), [](const Device& d) { return d.updated; }));
+  report.stragglers = static_cast<std::size_t>(std::count_if(
+      fleet.begin(), fleet.end(), [](const Device& d) { return d.straggler; }));
+  report.exposure_device_hours = vulnerable_integral_ns / 3.6e12;
+  return report;
+}
+
+}  // namespace psme::core

@@ -1,0 +1,68 @@
+// psme::core — fleet-scale staged policy rollout.
+//
+// The paper's operational claim concerns a *fleet*: once a threat is
+// discovered, every deployed device stays vulnerable until its policy is
+// updated. This module models an OEM rollout: devices receive the signed
+// bundle in staged waves (canary first), deliveries have latency and
+// loss with bounded retries, and the report integrates fleet exposure
+// (vulnerable device-hours) — the quantity the redesign-vs-update
+// comparison ultimately trades on.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/update.h"
+#include "sim/event_queue.h"
+#include "sim/rng.h"
+
+namespace psme::core {
+
+struct FleetOptions {
+  std::size_t fleet_size = 1000;
+  /// Cumulative fractions of the fleet targeted per wave (last should be
+  /// 1.0). Example {0.01, 0.1, 0.5, 1.0}: 1% canary, then 10%, 50%, all.
+  std::vector<double> waves = {0.01, 0.10, 0.50, 1.00};
+  /// Time between wave starts.
+  sim::SimDuration wave_interval = std::chrono::hours{6};
+  /// Per-device delivery latency and loss (each attempt).
+  sim::SimDuration delivery_latency = std::chrono::minutes{2};
+  double delivery_loss = 0.05;
+  std::uint32_t max_attempts = 5;
+  std::uint64_t seed = 17;
+};
+
+struct WaveRecord {
+  sim::SimTime at{};          // wave start
+  std::size_t targeted = 0;   // devices targeted so far (cumulative)
+  std::size_t updated = 0;    // devices actually updated so far
+};
+
+struct RolloutReport {
+  std::vector<WaveRecord> waves;
+  std::size_t fleet_size = 0;
+  std::size_t updated = 0;      // final count
+  std::size_t stragglers = 0;   // devices that exhausted retries
+  /// Integral of (vulnerable devices) dt, in device-hours.
+  double exposure_device_hours = 0.0;
+  sim::SimTime completed_at{};  // time of the last successful update
+};
+
+/// Simulates a staged rollout of `bundle` to a fleet of devices, each
+/// running an UpdateManager provisioned with `verifier_key`.
+class FleetRollout {
+ public:
+  explicit FleetRollout(FleetOptions options = {});
+
+  /// Runs to completion on a fresh scheduler; returns the report.
+  /// `initial_version` is the policy version devices start with.
+  [[nodiscard]] RolloutReport run(const PolicyBundle& bundle,
+                                  std::uint64_t verifier_key,
+                                  std::uint64_t initial_version = 1);
+
+ private:
+  FleetOptions options_;
+};
+
+}  // namespace psme::core

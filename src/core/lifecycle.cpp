@@ -1,0 +1,86 @@
+#include "core/lifecycle.h"
+
+#include <stdexcept>
+
+namespace psme::core {
+
+std::string_view to_string(LifecycleStage stage) noexcept {
+  switch (stage) {
+    case LifecycleStage::kRiskAssessment: return "risk-assessment";
+    case LifecycleStage::kAssetIdentification: return "asset-identification";
+    case LifecycleStage::kEntryPointAnalysis: return "entry-point-analysis";
+    case LifecycleStage::kThreatIdentification: return "threat-identification";
+    case LifecycleStage::kThreatRating: return "threat-rating";
+    case LifecycleStage::kCountermeasureDefinition:
+      return "countermeasure-definition";
+    case LifecycleStage::kSecurityModelDefinition:
+      return "security-model-definition";
+    case LifecycleStage::kImplementation: return "implementation";
+    case LifecycleStage::kSecurityTesting: return "security-testing";
+  }
+  return "?";
+}
+
+Lifecycle::Lifecycle(std::function<threat::ThreatModel()> build_model)
+    : build_model_(std::move(build_model)) {
+  if (!build_model_) {
+    throw std::invalid_argument("Lifecycle: model source required");
+  }
+}
+
+const SecurityModel& Lifecycle::run(const CompilerOptions& options) {
+  records_.clear();
+  threat::ThreatModel model = build_model_();
+
+  records_.push_back({LifecycleStage::kRiskAssessment,
+                      "use case decomposed: " + model.use_case(), 1});
+  records_.push_back({LifecycleStage::kAssetIdentification,
+                      "critical assets identified", model.assets().size()});
+  records_.push_back({LifecycleStage::kEntryPointAnalysis,
+                      "attacker-reachable interfaces enumerated",
+                      model.entry_points().size()});
+  records_.push_back({LifecycleStage::kThreatIdentification,
+                      "threats identified and STRIDE-categorised",
+                      model.threats().size()});
+
+  std::size_t high_or_critical = 0;
+  for (const auto& t : model.threats()) {
+    const auto band = t.dread.band();
+    if (band == threat::RiskBand::kHigh || band == threat::RiskBand::kCritical) {
+      ++high_or_critical;
+    }
+  }
+  records_.push_back({LifecycleStage::kThreatRating,
+                      "DREAD-rated; high/critical threats prioritised",
+                      high_or_critical});
+
+  PolicyCompiler compiler(options);
+  PolicySet policies = compiler.compile(model);
+  records_.push_back({LifecycleStage::kCountermeasureDefinition,
+                      "enforceable policy rules derived from threats",
+                      policies.size()});
+
+  model_.emplace(std::move(model), std::move(policies));
+  records_.push_back({LifecycleStage::kSecurityModelDefinition,
+                      "security model (threats + policies) assembled", 1});
+
+  const auto uncovered = model_->uncovered_threats();
+  records_.push_back({LifecycleStage::kImplementation,
+                      "policies deployable to software/hardware engines",
+                      model_->policies().size()});
+  records_.push_back({LifecycleStage::kSecurityTesting,
+                      uncovered.empty()
+                          ? std::string("coverage check passed: all rated threats countered")
+                          : "coverage gaps found: " + std::to_string(uncovered.size()),
+                      uncovered.size()});
+  return *model_;
+}
+
+const SecurityModel& Lifecycle::security_model() const {
+  if (!model_.has_value()) {
+    throw std::logic_error("Lifecycle::security_model: run() not called");
+  }
+  return *model_;
+}
+
+}  // namespace psme::core

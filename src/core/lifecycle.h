@@ -1,0 +1,113 @@
+// psme::core — the secure product development life-cycle (paper Fig. 1)
+// and the post-deployment response model (paper Sec. V-A).
+//
+// Lifecycle executes the application threat modelling stages in order and
+// records the artefacts each stage produced; benches print this as the
+// "step-wise illustration" of Fig. 1.
+//
+// ResponseModel quantifies the paper's comparison between reacting to a
+// newly discovered threat with (a) the traditional guideline approach —
+// redesign, re-test, recall/redeploy — and (b) a policy definition update.
+// The phase durations are explicit, documented parameters (the paper gives
+// no numbers; defaults follow common automotive industry cycle estimates
+// and can be swept by benches).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/policy.h"
+#include "core/policy_compiler.h"
+#include "core/security_model.h"
+#include "threat/threat_model.h"
+
+namespace psme::core {
+
+enum class LifecycleStage : std::uint8_t {
+  kRiskAssessment,
+  kAssetIdentification,
+  kEntryPointAnalysis,
+  kThreatIdentification,
+  kThreatRating,
+  kCountermeasureDefinition,
+  kSecurityModelDefinition,   // the bridge artefact of Fig. 1
+  kImplementation,
+  kSecurityTesting,
+};
+
+[[nodiscard]] std::string_view to_string(LifecycleStage stage) noexcept;
+
+struct StageRecord {
+  LifecycleStage stage;
+  std::string summary;     // what the stage produced
+  std::size_t artefacts;   // count of items produced (assets, threats, ...)
+};
+
+/// Drives the Fig. 1 flow over a caller-supplied threat model source and
+/// produces the SecurityModel artefact.
+class Lifecycle {
+ public:
+  /// `build_model` performs the use-case-specific analysis (stages 1-5).
+  explicit Lifecycle(std::function<threat::ThreatModel()> build_model);
+
+  /// Runs all stages; afterwards records() describes each one and
+  /// security_model() holds the bridge artefact.
+  const SecurityModel& run(const CompilerOptions& options = {});
+
+  [[nodiscard]] const std::vector<StageRecord>& records() const noexcept {
+    return records_;
+  }
+  [[nodiscard]] const SecurityModel& security_model() const;
+  [[nodiscard]] bool completed() const noexcept { return model_.has_value(); }
+
+ private:
+  std::function<threat::ThreatModel()> build_model_;
+  std::vector<StageRecord> records_;
+  std::optional<SecurityModel> model_;
+};
+
+/// Calendar-time phases of responding to a newly discovered threat.
+struct ResponsePhases {
+  std::chrono::hours analysis{0};      // threat analysis & modelling update
+  std::chrono::hours engineering{0};   // redesign or policy authoring
+  std::chrono::hours validation{0};    // testing / verification
+  std::chrono::hours distribution{0};  // recall / OTA rollout
+
+  [[nodiscard]] std::chrono::hours total() const noexcept {
+    return analysis + engineering + validation + distribution;
+  }
+};
+
+/// The two response strategies the paper contrasts.
+struct ResponseModel {
+  /// Traditional guideline approach: hardware/software redesign within the
+  /// next product cycle (paper: "in the worst case, a product recall").
+  /// Defaults: 2 weeks analysis, 12 weeks redesign, 4 weeks validation,
+  /// 4 weeks rollout.
+  [[nodiscard]] static ResponsePhases guideline_redesign() noexcept {
+    using std::chrono::hours;
+    return ResponsePhases{hours{24 * 14}, hours{24 * 84}, hours{24 * 28},
+                          hours{24 * 28}};
+  }
+
+  /// Policy-based approach: derive rule(s) from the updated threat model,
+  /// validate against the existing platform, push OTA. Defaults: 2 days
+  /// analysis, 1 day policy authoring, 2 days validation, 3 hours rollout.
+  [[nodiscard]] static ResponsePhases policy_update() noexcept {
+    using std::chrono::hours;
+    return ResponsePhases{hours{48}, hours{24}, hours{48}, hours{3}};
+  }
+
+  /// Exposure-window ratio guideline/policy (how many times longer the
+  /// fleet stays vulnerable under the traditional approach).
+  [[nodiscard]] static double exposure_ratio() noexcept {
+    const auto g = guideline_redesign().total();
+    const auto p = policy_update().total();
+    return static_cast<double>(g.count()) / static_cast<double>(p.count());
+  }
+};
+
+}  // namespace psme::core

@@ -1,0 +1,142 @@
+#include "core/policy.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace psme::core {
+
+std::string_view to_string(AccessType t) noexcept {
+  return t == AccessType::kRead ? "read" : "write";
+}
+
+std::string AccessRequest::to_string() const {
+  std::ostringstream out;
+  out << subject << " " << core::to_string(access) << " " << object;
+  if (!mode.value.empty()) out << " [mode=" << mode.value << "]";
+  return out.str();
+}
+
+Decision Decision::allow(std::string rule_id, std::string reason) {
+  return Decision{true, std::move(rule_id), std::move(reason)};
+}
+
+Decision Decision::deny(std::string rule_id, std::string reason) {
+  return Decision{false, std::move(rule_id), std::move(reason)};
+}
+
+bool PolicyRule::matches(const AccessRequest& request) const noexcept {
+  if (subject != "*" && subject != request.subject) return false;
+  if (object != "*" && object != request.object) return false;
+  if (!modes.empty() && !request.mode.value.empty()) {
+    if (std::find(modes.begin(), modes.end(), request.mode) == modes.end()) {
+      return false;
+    }
+  }
+  // A mode-conditional rule does not match a mode-less request unless the
+  // caller opted out of mode tracking entirely (empty request mode matches
+  // everything — the engine cannot know the mode, so the rule applies).
+  return true;
+}
+
+int PolicyRule::specificity() const noexcept {
+  return (subject != "*" ? 1 : 0) + (object != "*" ? 1 : 0);
+}
+
+std::string PolicyRule::to_string() const {
+  std::ostringstream out;
+  out << id << ": " << subject << " -> " << object << " = "
+      << threat::to_string(permission);
+  if (!modes.empty()) {
+    out << " when {";
+    for (std::size_t i = 0; i < modes.size(); ++i) {
+      if (i != 0) out << ',';
+      out << modes[i].value;
+    }
+    out << '}';
+  }
+  out << " prio=" << priority;
+  return out.str();
+}
+
+void PolicySet::add_rule(PolicyRule rule) {
+  if (rule.id.empty()) {
+    throw std::invalid_argument("PolicySet::add_rule: empty rule id");
+  }
+  const bool duplicate =
+      std::any_of(rules_.begin(), rules_.end(),
+                  [&](const PolicyRule& r) { return r.id == rule.id; });
+  if (duplicate) {
+    throw std::invalid_argument("PolicySet::add_rule: duplicate rule id '" +
+                                rule.id + "'");
+  }
+  rules_.push_back(std::move(rule));
+}
+
+bool PolicySet::remove_rule(std::string_view rule_id) {
+  const auto it = std::find_if(rules_.begin(), rules_.end(),
+                               [&](const PolicyRule& r) { return r.id == rule_id; });
+  if (it == rules_.end()) return false;
+  rules_.erase(it);
+  return true;
+}
+
+Decision PolicySet::evaluate(const AccessRequest& request) const {
+  const PolicyRule* best = nullptr;
+  for (const auto& rule : rules_) {
+    if (!rule.matches(request)) continue;
+    if (best == nullptr) {
+      best = &rule;
+      continue;
+    }
+    if (rule.priority > best->priority ||
+        (rule.priority == best->priority &&
+         rule.specificity() > best->specificity())) {
+      best = &rule;
+    }
+  }
+  if (best == nullptr) {
+    return default_allow_
+               ? Decision::allow("", "no matching rule; default allow")
+               : Decision::deny("", "no matching rule; default deny");
+  }
+  if (permits(best->permission, request.access)) {
+    return Decision::allow(best->id, best->to_string());
+  }
+  return Decision::deny(best->id,
+                        "permission " + std::string(threat::to_string(best->permission)) +
+                            " does not include " +
+                            std::string(core::to_string(request.access)));
+}
+
+void PolicySet::merge(const PolicySet& other) {
+  for (const auto& rule : other.rules()) add_rule(rule);
+}
+
+std::string PolicySet::serialize() const {
+  std::ostringstream out;
+  out << "policyset " << name_ << " v" << version_
+      << " default=" << (default_allow_ ? "allow" : "deny") << '\n';
+  for (const auto& rule : rules_) out << rule.to_string() << '\n';
+  return out.str();
+}
+
+std::uint64_t PolicySet::fingerprint() const noexcept {
+  // FNV-1a 64-bit over the canonical serialisation.
+  const std::string text = serialize();
+  std::uint64_t hash = 0xCBF29CE484222325ULL;
+  for (const unsigned char ch : text) {
+    hash ^= ch;
+    hash *= 0x100000001B3ULL;
+  }
+  return hash;
+}
+
+Decision SimplePolicyEngine::evaluate(const AccessRequest& request) {
+  ++evaluations_;
+  Decision d = set_.evaluate(request);
+  if (!d.allowed) ++denials_;
+  return d;
+}
+
+}  // namespace psme::core

@@ -1,0 +1,163 @@
+// psme::core — policies, policy sets and the policy engine interface.
+//
+// The paper's central artefact: a security model expressed not as prose
+// guidelines but as machine-enforceable rules. A PolicyRule grants (or
+// explicitly denies) read/write access between a subject (an entry point,
+// node or application) and an object (an asset or resource), optionally
+// conditioned on the device's operational mode. A PolicySet is a versioned
+// collection of rules with deny-by-default semantics (least privilege,
+// paper Sec. V-B citing Saltzer).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "threat/asset.h"
+#include "threat/threat.h"
+
+namespace psme::core {
+
+using threat::Permission;
+
+/// Read or write — the two access types Table I policies govern.
+enum class AccessType : std::uint8_t { kRead, kWrite };
+
+[[nodiscard]] std::string_view to_string(AccessType t) noexcept;
+
+[[nodiscard]] constexpr bool permits(Permission p, AccessType t) noexcept {
+  return t == AccessType::kRead ? threat::allows_read(p)
+                                : threat::allows_write(p);
+}
+
+/// One access to adjudicate: "may <subject> <read|write> <object> while the
+/// device is in <mode>?"
+struct AccessRequest {
+  std::string subject;   // entry point / node / application identity
+  std::string object;    // asset / resource identity
+  AccessType access = AccessType::kRead;
+  threat::ModeId mode;   // empty value => mode-independent request
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Outcome of policy evaluation.
+struct Decision {
+  bool allowed = false;
+  std::string rule_id;   // empty when the default applied
+  std::string reason;
+
+  [[nodiscard]] static Decision allow(std::string rule_id, std::string reason);
+  [[nodiscard]] static Decision deny(std::string rule_id, std::string reason);
+};
+
+/// A single rule. Subject/object accept the wildcard "*" (any); everything
+/// else matches exactly. An empty `modes` list applies in every mode.
+/// `permission` states what the subject may do; kNone is an explicit deny.
+struct PolicyRule {
+  std::string id;
+  std::string subject;
+  std::string object;
+  Permission permission = Permission::kNone;
+  std::vector<threat::ModeId> modes;
+  /// Higher priority wins; ties broken by specificity (exact beats
+  /// wildcard), then by insertion order (first wins).
+  int priority = 0;
+  std::string rationale;  // which threat motivated the rule
+
+  [[nodiscard]] bool matches(const AccessRequest& request) const noexcept;
+
+  /// 0 = both wildcards … 2 = both exact; used for tie-breaking.
+  [[nodiscard]] int specificity() const noexcept;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Versioned, deny-by-default rule collection.
+class PolicySet {
+ public:
+  PolicySet() = default;
+  PolicySet(std::string name, std::uint64_t version)
+      : name_(std::move(name)), version_(version) {}
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] std::uint64_t version() const noexcept { return version_; }
+  void set_version(std::uint64_t v) noexcept { version_ = v; }
+
+  /// Appends a rule. Throws std::invalid_argument on duplicate rule id.
+  void add_rule(PolicyRule rule);
+
+  /// Removes a rule by id; returns true if it existed.
+  bool remove_rule(std::string_view rule_id);
+
+  [[nodiscard]] const std::vector<PolicyRule>& rules() const noexcept {
+    return rules_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return rules_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return rules_.empty(); }
+
+  /// When true, requests matching no rule are allowed. Defaults to false
+  /// (least privilege). Useful for incremental deployment where only the
+  /// riskiest assets are policed.
+  void set_default_allow(bool allow) noexcept { default_allow_ = allow; }
+  [[nodiscard]] bool default_allow() const noexcept { return default_allow_; }
+
+  /// Adjudicates a request against the rules.
+  [[nodiscard]] Decision evaluate(const AccessRequest& request) const;
+
+  /// Merges another set's rules into this one (policy *module* loading, as
+  /// in SELinux's modular policies). Duplicate rule ids throw.
+  void merge(const PolicySet& other);
+
+  /// Stable 64-bit fingerprint over name, version, flags and all rules;
+  /// used by the update mechanism for integrity checking.
+  [[nodiscard]] std::uint64_t fingerprint() const noexcept;
+
+  /// Canonical single-line-per-rule text form (also the fingerprint input).
+  [[nodiscard]] std::string serialize() const;
+
+ private:
+  std::string name_;
+  std::uint64_t version_ = 0;
+  bool default_allow_ = false;
+  std::vector<PolicyRule> rules_;
+};
+
+/// Abstract policy decision point. Implemented by the software MAC engine
+/// (psme::mac::MacEngine) and wrapped by the hardware policy engine
+/// (psme::hpe); SimplePolicyEngine is the reference implementation.
+class PolicyEngine {
+ public:
+  virtual ~PolicyEngine() = default;
+
+  [[nodiscard]] virtual Decision evaluate(const AccessRequest& request) = 0;
+  [[nodiscard]] virtual std::string_view engine_name() const noexcept = 0;
+};
+
+/// PolicySet-backed engine with decision counters.
+class SimplePolicyEngine final : public PolicyEngine {
+ public:
+  explicit SimplePolicyEngine(PolicySet set) : set_(std::move(set)) {}
+
+  [[nodiscard]] Decision evaluate(const AccessRequest& request) override;
+  [[nodiscard]] std::string_view engine_name() const noexcept override {
+    return "simple";
+  }
+
+  /// Swaps in a new policy set (the paper's "policy update"); atomic from
+  /// the caller's perspective — no request ever sees a half-updated set.
+  void load(PolicySet set) { set_ = std::move(set); }
+
+  [[nodiscard]] const PolicySet& policy() const noexcept { return set_; }
+  [[nodiscard]] std::uint64_t evaluations() const noexcept { return evaluations_; }
+  [[nodiscard]] std::uint64_t denials() const noexcept { return denials_; }
+
+ private:
+  PolicySet set_;
+  std::uint64_t evaluations_ = 0;
+  std::uint64_t denials_ = 0;
+};
+
+}  // namespace psme::core

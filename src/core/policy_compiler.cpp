@@ -1,0 +1,109 @@
+#include "core/policy_compiler.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace psme::core {
+
+int PolicyCompiler::band_weight(threat::RiskBand band) noexcept {
+  switch (band) {
+    case threat::RiskBand::kLow: return 0;
+    case threat::RiskBand::kMedium: return 10;
+    case threat::RiskBand::kHigh: return 20;
+    case threat::RiskBand::kCritical: return 30;
+  }
+  return 0;
+}
+
+namespace {
+
+/// True when the two mode lists can apply at the same instant: either list
+/// empty means "all modes", otherwise they must share a mode.
+bool modes_overlap(const std::vector<threat::ModeId>& a,
+                   const std::vector<threat::ModeId>& b) {
+  if (a.empty() || b.empty()) return true;
+  return std::any_of(a.begin(), a.end(), [&](const threat::ModeId& m) {
+    return std::find(b.begin(), b.end(), m) != b.end();
+  });
+}
+
+}  // namespace
+
+void PolicyCompiler::emit_rules_for(const threat::Threat& threat,
+                                    const threat::ThreatModel& model,
+                                    PolicySet& out) const {
+  const int priority = options_.base_priority + band_weight(threat.dread.band());
+  for (const auto& entry_point : threat.entry_points) {
+    // The sentinel entry point "any" ("Any node" in the paper's Table I)
+    // compiles to the wildcard subject.
+    const std::string subject =
+        entry_point.value == "any" ? "*" : entry_point.value;
+    const std::string object = threat.asset.value;
+
+    // If a previously derived rule already constrains this pair in an
+    // overlapping mode, tighten it in place instead of adding a competitor:
+    // least privilege means every threat's constraint must hold at once.
+    bool merged = false;
+    // Collect then re-add, since PolicySet does not expose mutable rules.
+    PolicySet rebuilt(out.name(), out.version());
+    rebuilt.set_default_allow(out.default_allow());
+    for (const auto& rule : out.rules()) {
+      PolicyRule updated = rule;
+      if (!merged && rule.subject == subject && rule.object == object &&
+          modes_overlap(rule.modes, threat.modes)) {
+        updated.permission = intersect(rule.permission, threat.recommended_policy);
+        updated.priority = std::max(rule.priority, priority);
+        updated.rationale += "; " + threat.id.value;
+        // Widen the mode condition to the union so both threats stay covered.
+        for (const auto& m : threat.modes) {
+          if (std::find(updated.modes.begin(), updated.modes.end(), m) ==
+              updated.modes.end()) {
+            updated.modes.push_back(m);
+          }
+        }
+        if (rule.modes.empty() || threat.modes.empty()) updated.modes.clear();
+        merged = true;
+      }
+      rebuilt.add_rule(std::move(updated));
+    }
+    if (merged) {
+      out = std::move(rebuilt);
+      continue;
+    }
+
+    PolicyRule rule;
+    rule.id = threat.id.value + "/" + subject;
+    rule.subject = subject;
+    rule.object = object;
+    rule.permission = threat.recommended_policy;
+    rule.modes = threat.modes;
+    rule.priority = priority;
+    rule.rationale = threat.id.value;
+    const threat::Asset* asset = model.find_asset(threat.asset);
+    if (asset != nullptr) rule.rationale += " (" + asset->name + ")";
+    out.add_rule(std::move(rule));
+  }
+}
+
+PolicySet PolicyCompiler::compile(const threat::ThreatModel& model) const {
+  PolicySet out(options_.name, options_.version);
+  out.set_default_allow(options_.default_allow);
+  for (const auto& threat : model.threats()) {
+    emit_rules_for(threat, model, out);
+  }
+  return out;
+}
+
+PolicySet PolicyCompiler::compile_threat(const threat::ThreatModel& model,
+                                         const threat::ThreatId& id) const {
+  const threat::Threat* threat = model.find_threat(id);
+  if (threat == nullptr) {
+    throw std::invalid_argument("compile_threat: unknown threat '" + id.value + "'");
+  }
+  PolicySet out(options_.name + "/" + id.value, options_.version);
+  out.set_default_allow(options_.default_allow);
+  emit_rules_for(*threat, model, out);
+  return out;
+}
+
+}  // namespace psme::core

@@ -1,0 +1,124 @@
+#include "core/policy_diff.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace psme::core {
+
+std::string_view to_string(RuleChangeKind kind) noexcept {
+  switch (kind) {
+    case RuleChangeKind::kAdded: return "added";
+    case RuleChangeKind::kRemoved: return "removed";
+    case RuleChangeKind::kPermissionChanged: return "permission-changed";
+    case RuleChangeKind::kConditionChanged: return "condition-changed";
+  }
+  return "?";
+}
+
+namespace {
+
+const PolicyRule* find_rule(const PolicySet& set, const std::string& id) {
+  for (const auto& rule : set.rules()) {
+    if (rule.id == id) return &rule;
+  }
+  return nullptr;
+}
+
+/// True when permission `to` allows something `from` does not.
+bool widens(threat::Permission from, threat::Permission to) {
+  const auto f = static_cast<std::uint8_t>(from);
+  const auto t = static_cast<std::uint8_t>(to);
+  return (t & ~f) != 0;
+}
+
+}  // namespace
+
+bool PolicyDiff::widens_access() const noexcept {
+  if (default_changed && default_now_allow) return true;
+  return std::any_of(changes.begin(), changes.end(),
+                     [](const RuleChange& c) { return c.widening; });
+}
+
+std::string PolicyDiff::render() const {
+  std::ostringstream out;
+  if (default_changed) {
+    out << "! default flipped to " << (default_now_allow ? "ALLOW" : "deny")
+        << '\n';
+  }
+  for (const auto& change : changes) {
+    out << (change.widening ? "! " : "  ") << to_string(change.kind) << ' '
+        << change.rule_id;
+    if (!change.before.empty()) out << "\n    - " << change.before;
+    if (!change.after.empty()) out << "\n    + " << change.after;
+    out << '\n';
+  }
+  if (empty()) out << "(no changes)\n";
+  return out.str();
+}
+
+PolicyDiff diff_policies(const PolicySet& before, const PolicySet& after) {
+  PolicyDiff diff;
+  diff.default_changed = before.default_allow() != after.default_allow();
+  diff.default_now_allow = after.default_allow();
+
+  for (const auto& old_rule : before.rules()) {
+    const PolicyRule* new_rule = find_rule(after, old_rule.id);
+    if (new_rule == nullptr) {
+      RuleChange change;
+      change.kind = RuleChangeKind::kRemoved;
+      change.rule_id = old_rule.id;
+      change.before = old_rule.to_string();
+      // Removing a rule from a deny-by-default set only widens when the
+      // rule was a *restriction shadowing a grant*; conservatively, treat
+      // removal as widening unless the set is default-deny and the rule
+      // granted something (removing a pure grant narrows).
+      const bool was_pure_grant =
+          old_rule.permission != threat::Permission::kNone &&
+          !after.default_allow();
+      change.widening = !was_pure_grant;
+      diff.changes.push_back(std::move(change));
+      continue;
+    }
+    if (old_rule.permission != new_rule->permission) {
+      RuleChange change;
+      change.kind = RuleChangeKind::kPermissionChanged;
+      change.rule_id = old_rule.id;
+      change.before = old_rule.to_string();
+      change.after = new_rule->to_string();
+      change.widening = widens(old_rule.permission, new_rule->permission);
+      diff.changes.push_back(std::move(change));
+      continue;
+    }
+    if (old_rule.modes != new_rule->modes ||
+        old_rule.priority != new_rule->priority ||
+        old_rule.subject != new_rule->subject ||
+        old_rule.object != new_rule->object) {
+      RuleChange change;
+      change.kind = RuleChangeKind::kConditionChanged;
+      change.rule_id = old_rule.id;
+      change.before = old_rule.to_string();
+      change.after = new_rule->to_string();
+      // Broadened scope (fewer mode conditions, or wildcarded fields) can
+      // widen; detecting precisely requires semantics, so flag any scope
+      // change on a granting rule.
+      change.widening = new_rule->permission != threat::Permission::kNone &&
+                        (new_rule->modes.size() < old_rule.modes.size() ||
+                         (new_rule->subject == "*" && old_rule.subject != "*") ||
+                         (new_rule->object == "*" && old_rule.object != "*"));
+      diff.changes.push_back(std::move(change));
+    }
+  }
+
+  for (const auto& new_rule : after.rules()) {
+    if (find_rule(before, new_rule.id) != nullptr) continue;
+    RuleChange change;
+    change.kind = RuleChangeKind::kAdded;
+    change.rule_id = new_rule.id;
+    change.after = new_rule.to_string();
+    change.widening = new_rule.permission != threat::Permission::kNone;
+    diff.changes.push_back(std::move(change));
+  }
+  return diff;
+}
+
+}  // namespace psme::core

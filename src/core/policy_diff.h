@@ -1,0 +1,55 @@
+// psme::core — diffing policy sets.
+//
+// Before an OEM signs a policy update, the change must be reviewable:
+// which rules were added, removed, or altered — and above all, where the
+// update *widens* access relative to the fleet's current policy (the
+// dangerous direction; a forged or sloppy update is most harmful when it
+// grants). PolicyDiff computes exactly that, and `widens_access()` gives
+// the release gate a single boolean to alarm on.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/policy.h"
+
+namespace psme::core {
+
+enum class RuleChangeKind : std::uint8_t {
+  kAdded,
+  kRemoved,
+  kPermissionChanged,
+  kConditionChanged,  // modes or priority changed, permission identical
+};
+
+[[nodiscard]] std::string_view to_string(RuleChangeKind kind) noexcept;
+
+struct RuleChange {
+  RuleChangeKind kind = RuleChangeKind::kAdded;
+  std::string rule_id;
+  std::string before;  // rendered rule in the old set ("" when added)
+  std::string after;   // rendered rule in the new set ("" when removed)
+  /// True when the change can grant an access the old set denied: an added
+  /// grant, a removed explicit deny/restriction, or a permission widened.
+  bool widening = false;
+};
+
+struct PolicyDiff {
+  std::vector<RuleChange> changes;
+  bool default_changed = false;      // default allow/deny flipped
+  bool default_now_allow = false;
+
+  [[nodiscard]] bool empty() const noexcept {
+    return changes.empty() && !default_changed;
+  }
+  /// True when any change (or the default flip) can widen access.
+  [[nodiscard]] bool widens_access() const noexcept;
+  /// Multi-line human-readable summary.
+  [[nodiscard]] std::string render() const;
+};
+
+/// Structural diff from `before` to `after`.
+[[nodiscard]] PolicyDiff diff_policies(const PolicySet& before,
+                                       const PolicySet& after);
+
+}  // namespace psme::core

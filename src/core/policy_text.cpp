@@ -1,0 +1,174 @@
+#include "core/policy_text.h"
+
+#include <sstream>
+#include <vector>
+
+namespace psme::core {
+
+namespace {
+
+std::vector<std::string> tokenize(std::string_view line) {
+  std::vector<std::string> tokens;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    if (i >= line.size()) break;
+    std::size_t start = i;
+    while (i < line.size() && line[i] != ' ' && line[i] != '\t') ++i;
+    tokens.emplace_back(line.substr(start, i - start));
+  }
+  return tokens;
+}
+
+std::vector<std::string> split_commas(const std::string& text) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t comma = text.find(',', start);
+    if (comma == std::string::npos) {
+      parts.push_back(text.substr(start));
+      break;
+    }
+    parts.push_back(text.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return parts;
+}
+
+}  // namespace
+
+PolicySet parse_policy_text(std::string_view text) {
+  std::istringstream in{std::string(text)};
+  std::string line;
+  std::size_t line_no = 0;
+  bool have_header = false;
+  PolicySet set;
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    // Strip trailing comments that start a line; rationale comments inside
+    // rule lines use the "--" marker instead.
+    const auto first = line.find_first_not_of(" \t");
+    if (first == std::string::npos) continue;
+    if (line[first] == '#') continue;
+
+    // Split off the rationale before tokenising (it may contain spaces).
+    std::string rationale;
+    if (const auto dashes = line.find("--"); dashes != std::string::npos) {
+      const auto rat_start = line.find_first_not_of(" \t", dashes + 2);
+      if (rat_start != std::string::npos) rationale = line.substr(rat_start);
+      line = line.substr(0, dashes);
+    }
+
+    const auto tokens = tokenize(line);
+    if (tokens.empty()) continue;
+
+    if (tokens[0] == "policyset") {
+      if (have_header) throw PolicyParseError(line_no, "duplicate policyset header");
+      if (tokens.size() != 4) {
+        throw PolicyParseError(line_no,
+                               "expected: policyset <name> v<version> default=<allow|deny>");
+      }
+      if (tokens[2].size() < 2 || tokens[2][0] != 'v') {
+        throw PolicyParseError(line_no, "version must look like v<number>");
+      }
+      std::uint64_t version = 0;
+      try {
+        version = std::stoull(tokens[2].substr(1));
+      } catch (const std::exception&) {
+        throw PolicyParseError(line_no, "unparseable version '" + tokens[2] + "'");
+      }
+      set = PolicySet(tokens[1], version);
+      if (tokens[3] == "default=allow") {
+        set.set_default_allow(true);
+      } else if (tokens[3] == "default=deny") {
+        set.set_default_allow(false);
+      } else {
+        throw PolicyParseError(line_no, "expected default=allow or default=deny");
+      }
+      have_header = true;
+      continue;
+    }
+
+    if (tokens[0] == "rule") {
+      if (!have_header) {
+        throw PolicyParseError(line_no, "rule before policyset header");
+      }
+      if (tokens.size() < 5) {
+        throw PolicyParseError(
+            line_no, "expected: rule <id> <subject> <object> <perm> ...");
+      }
+      PolicyRule rule;
+      rule.id = tokens[1];
+      rule.subject = tokens[2];
+      rule.object = tokens[3];
+      try {
+        rule.permission = threat::parse_permission(tokens[4]);
+      } catch (const std::invalid_argument& e) {
+        throw PolicyParseError(line_no, e.what());
+      }
+      rule.rationale = rationale;
+
+      std::size_t i = 5;
+      while (i < tokens.size()) {
+        if (tokens[i] == "in") {
+          if (i + 1 >= tokens.size()) {
+            throw PolicyParseError(line_no, "'in' requires a mode list");
+          }
+          for (const auto& mode : split_commas(tokens[i + 1])) {
+            if (mode.empty()) {
+              throw PolicyParseError(line_no, "empty mode in mode list");
+            }
+            rule.modes.push_back(threat::ModeId{mode});
+          }
+          i += 2;
+        } else if (tokens[i] == "prio") {
+          if (i + 1 >= tokens.size()) {
+            throw PolicyParseError(line_no, "'prio' requires an integer");
+          }
+          try {
+            rule.priority = std::stoi(tokens[i + 1]);
+          } catch (const std::exception&) {
+            throw PolicyParseError(line_no,
+                                   "unparseable priority '" + tokens[i + 1] + "'");
+          }
+          i += 2;
+        } else {
+          throw PolicyParseError(line_no, "unexpected token '" + tokens[i] + "'");
+        }
+      }
+      set.add_rule(std::move(rule));
+      continue;
+    }
+
+    throw PolicyParseError(line_no, "unknown directive '" + tokens[0] + "'");
+  }
+
+  if (!have_header) {
+    throw PolicyParseError(line_no == 0 ? 1 : line_no, "missing policyset header");
+  }
+  return set;
+}
+
+std::string format_policy_text(const PolicySet& set) {
+  std::ostringstream out;
+  out << "policyset " << set.name() << " v" << set.version() << " default="
+      << (set.default_allow() ? "allow" : "deny") << '\n';
+  for (const auto& rule : set.rules()) {
+    out << "rule " << rule.id << ' ' << rule.subject << ' ' << rule.object
+        << ' ' << threat::to_string(rule.permission);
+    if (!rule.modes.empty()) {
+      out << " in ";
+      for (std::size_t i = 0; i < rule.modes.size(); ++i) {
+        if (i != 0) out << ',';
+        out << rule.modes[i].value;
+      }
+    }
+    if (rule.priority != 0) out << " prio " << rule.priority;
+    if (!rule.rationale.empty()) out << " -- " << rule.rationale;
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace psme::core

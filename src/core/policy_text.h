@@ -1,0 +1,46 @@
+// psme::core — textual policy format.
+//
+// Policy definition updates travel as text (the paper's "policy definition
+// update" artefact); this module defines the canonical grammar and a
+// strict parser. One declaration per line:
+//
+//   # comment (blank lines ignored)
+//   policyset <name> v<version> default=<allow|deny>
+//   rule <id> <subject> <object> <R|W|RW|-> [in <mode>[,<mode>...]]
+//        [prio <int>] [-- <rationale to end of line>]
+//
+// The header line must come first. Subjects/objects are tokens without
+// whitespace; "*" is the wildcard. parse_policy_text() round-trips with
+// format_policy_text(): parse(format(s)) reproduces s exactly (tested).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "core/policy.h"
+
+namespace psme::core {
+
+/// Thrown by parse_policy_text with a 1-based line number and message.
+class PolicyParseError : public std::runtime_error {
+ public:
+  PolicyParseError(std::size_t line, const std::string& message)
+      : std::runtime_error("line " + std::to_string(line) + ": " + message),
+        line_(line) {}
+
+  [[nodiscard]] std::size_t line() const noexcept { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+/// Parses the canonical text form. Throws PolicyParseError on any
+/// malformed line; duplicate rule ids surface as std::invalid_argument
+/// from PolicySet::add_rule.
+[[nodiscard]] PolicySet parse_policy_text(std::string_view text);
+
+/// Renders a policy set in the canonical text form.
+[[nodiscard]] std::string format_policy_text(const PolicySet& set);
+
+}  // namespace psme::core

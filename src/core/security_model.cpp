@@ -1,0 +1,95 @@
+#include "core/security_model.h"
+
+#include <sstream>
+
+#include "report/table.h"
+
+namespace psme::core {
+
+std::vector<threat::ThreatId> SecurityModel::uncovered_threats() const {
+  std::vector<threat::ThreatId> uncovered;
+  for (const auto& t : model_.threats()) {
+    if (t.recommended_policy == Permission::kNone) continue;
+    bool covered = false;
+    for (const auto& rule : policies_.rules()) {
+      if (rule.rationale.find(t.id.value) != std::string::npos) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) uncovered.push_back(t.id);
+  }
+  return uncovered;
+}
+
+std::string SecurityModel::render_threat_table() const {
+  report::TextTable table({"Critical Asset", "Modes", "Entry Points",
+                           "Potential Threat", "STRIDE", "DREAD (Avg.)",
+                           "Policy"});
+  for (const threat::Threat* t : model_.prioritised()) {
+    const threat::Asset* asset = model_.find_asset(t->asset);
+    std::string eps;
+    for (std::size_t i = 0; i < t->entry_points.size(); ++i) {
+      if (i != 0) eps += ", ";
+      const threat::EntryPoint* ep = model_.find_entry_point(t->entry_points[i]);
+      eps += (ep != nullptr) ? ep->name : t->entry_points[i].value;
+    }
+    std::string modes;
+    for (std::size_t i = 0; i < t->modes.size(); ++i) {
+      if (i != 0) modes += ", ";
+      modes += t->modes[i].value;
+    }
+    table.add(asset != nullptr ? asset->name : t->asset.value,
+              modes.empty() ? std::string("all") : modes, eps, t->title,
+              t->stride.letters(), t->dread.to_string(),
+              std::string(threat::to_string(t->recommended_policy)));
+  }
+  return table.render();
+}
+
+std::string SecurityModel::render() const {
+  std::ostringstream out;
+  out << "# Security Model: " << model_.use_case() << "\n\n";
+
+  out << "## Assets\n\n";
+  for (const auto& a : model_.assets()) {
+    out << "- **" << a.name << "** (`" << a.id.value << "`): " << a.description
+        << '\n';
+  }
+
+  out << "\n## Entry Points\n\n";
+  for (const auto& e : model_.entry_points()) {
+    out << "- **" << e.name << "** (`" << e.id.value << "`)"
+        << (e.remote ? " [remote]" : "") << ": " << e.description << '\n';
+  }
+
+  out << "\n## Operational Modes\n\n";
+  for (const auto& m : model_.modes()) {
+    out << "- **" << m.name << "** (`" << m.id.value << "`): " << m.description
+        << '\n';
+  }
+
+  out << "\n## Threats (prioritised by DREAD)\n\n";
+  out << render_threat_table();
+
+  out << "\n## Derived Policy Set (" << policies_.name() << " v"
+      << policies_.version() << ", "
+      << (policies_.default_allow() ? "default-allow" : "default-deny")
+      << ")\n\n";
+  for (const auto& rule : policies_.rules()) {
+    out << "- `" << rule.to_string() << "`  — rationale: " << rule.rationale
+        << '\n';
+  }
+
+  const auto uncovered = uncovered_threats();
+  out << "\n## Coverage\n\n";
+  if (uncovered.empty()) {
+    out << "All rated threats are countered by at least one policy rule.\n";
+  } else {
+    out << "UNCOVERED threats (policy required but no rule cites them):\n";
+    for (const auto& id : uncovered) out << "- " << id.value << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace psme::core

@@ -1,0 +1,43 @@
+// psme::core — security model document generation.
+//
+// The "device security model" of Fig. 1 is the artefact bridging threat
+// modelling and implementation/testing. In the paper's approach it contains
+// both human-readable analysis AND the machine-enforceable policy set.
+// SecurityModel binds the two and renders the technical document.
+#pragma once
+
+#include <string>
+
+#include "core/policy.h"
+#include "threat/threat_model.h"
+
+namespace psme::core {
+
+class SecurityModel {
+ public:
+  SecurityModel(threat::ThreatModel model, PolicySet policies)
+      : model_(std::move(model)), policies_(std::move(policies)) {}
+
+  [[nodiscard]] const threat::ThreatModel& threat_model() const noexcept {
+    return model_;
+  }
+  [[nodiscard]] const PolicySet& policies() const noexcept { return policies_; }
+
+  /// Cross-checks model and policies: every threat with a recommended
+  /// policy must be countered by at least one rule whose rationale cites
+  /// it. Returns the ids of uncovered threats (empty = fully covered).
+  [[nodiscard]] std::vector<threat::ThreatId> uncovered_threats() const;
+
+  /// Renders the full technical document (markdown): use case, assets,
+  /// entry points, modes, prioritised threats and the derived policy set.
+  [[nodiscard]] std::string render() const;
+
+  /// Renders the paper's Table I layout from this model.
+  [[nodiscard]] std::string render_threat_table() const;
+
+ private:
+  threat::ThreatModel model_;
+  PolicySet policies_;
+};
+
+}  // namespace psme::core

@@ -1,0 +1,89 @@
+#include "hpe/bridge.h"
+
+namespace psme::hpe {
+using can::Bus;
+using can::Controller;
+using can::Frame;
+using can::FrameSink;
+using can::Port;
+
+std::string_view to_string(BridgeDirection d) noexcept {
+  return d == BridgeDirection::kAToB ? "a->b" : "b->a";
+}
+
+Bridge::Bridge(sim::Scheduler& sched, Bus& bus_a, Bus& bus_b,
+               BridgeConfig config, std::string name, sim::Trace* trace)
+    : sched_(sched),
+      config_(std::move(config)),
+      name_(std::move(name)),
+      trace_(trace),
+      side_a_(*this, BridgeDirection::kAToB),
+      side_b_(*this, BridgeDirection::kBToA),
+      port_a_(bus_a.attach(name_ + ".a")),
+      port_b_(bus_b.attach(name_ + ".b")),
+      ctrl_a_(sched, port_a_, name_ + ".a", trace),
+      ctrl_b_(sched, port_b_, name_ + ".b", trace) {
+  // The controllers own the ports' sinks; route their RX paths into the
+  // forwarding logic. (Controller delivers accepted frames to its handler;
+  // default accept-all filters make the bridge transparent at this layer.)
+  ctrl_a_.set_rx_handler([this](const Frame& f, sim::SimTime at) {
+    side_a_.on_frame(f, at);
+  });
+  ctrl_b_.set_rx_handler([this](const Frame& f, sim::SimTime at) {
+    side_b_.on_frame(f, at);
+  });
+}
+
+const BridgeLists& Bridge::active_lists() const noexcept {
+  const auto it = config_.per_mode.find(mode_);
+  return it == config_.per_mode.end() ? config_.default_lists : it->second;
+}
+
+void Bridge::set_mode(std::uint8_t mode) noexcept {
+  if (mode_ != mode) {
+    mode_ = mode;
+    ++stats_.mode_switches;
+  }
+}
+
+void Bridge::forward(const Frame& frame, BridgeDirection direction,
+                     sim::SimTime at) {
+  // Mode snooping first: mode frames are structural and always forwarded.
+  const bool is_mode_frame = config_.mode_frame_id.has_value() &&
+                             !frame.id().is_extended() &&
+                             frame.id().raw() == *config_.mode_frame_id;
+  if (is_mode_frame && frame.dlc() >= 1) set_mode(frame.byte0());
+
+  bool allowed = is_mode_frame;
+  if (!allowed) {
+    const BridgeLists& lists = active_lists();
+    const hpe::ApprovedIdList& list = direction == BridgeDirection::kAToB
+                                          ? lists.a_to_b
+                                          : lists.b_to_a;
+    allowed = list.contains(frame.id());
+  }
+
+  Controller& out =
+      direction == BridgeDirection::kAToB ? ctrl_b_ : ctrl_a_;
+  if (allowed) {
+    out.transmit(frame);
+    if (direction == BridgeDirection::kAToB) {
+      ++stats_.forwarded_a_to_b;
+    } else {
+      ++stats_.forwarded_b_to_a;
+    }
+    return;
+  }
+  if (direction == BridgeDirection::kAToB) {
+    ++stats_.dropped_a_to_b;
+  } else {
+    ++stats_.dropped_b_to_a;
+  }
+  if (trace_ != nullptr) {
+    trace_->record(at, sim::TraceLevel::kSecurity, "bridge." + name_,
+                   std::string(to_string(direction)) + " dropped " +
+                       frame.id().to_string());
+  }
+}
+
+}  // namespace psme::hpe

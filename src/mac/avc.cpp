@@ -1,0 +1,66 @@
+#include "mac/avc.h"
+
+#include <stdexcept>
+
+namespace psme::mac {
+
+Avc::Avc(std::size_t capacity) : capacity_(capacity) {
+  if (capacity_ == 0) {
+    throw std::invalid_argument("Avc: capacity must be positive");
+  }
+}
+
+void Avc::touch(const CacheKey& key, Entry& entry) {
+  lru_.erase(entry.lru_pos);
+  lru_.push_front(key);
+  entry.lru_pos = lru_.begin();
+}
+
+AccessVector Avc::query(const PolicyDb& db, const std::string& source_type,
+                        const std::string& target_type,
+                        const std::string& object_class) {
+  if (db.seqno() != db_seqno_) {
+    // Policy reload invalidates cached vectors. The very first query merely
+    // synchronises the seqno — an empty cache has nothing to flush.
+    if (!entries_.empty()) flush();
+    db_seqno_ = db.seqno();
+  }
+
+  const CacheKey key{source_type, target_type, object_class};
+  const auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    ++stats_.hits;
+    touch(key, it->second);
+    return it->second.av;
+  }
+
+  ++stats_.misses;
+  const AccessVector av = db.lookup(source_type, target_type, object_class);
+  if (entries_.size() >= capacity_) {
+    const CacheKey& victim = lru_.back();
+    entries_.erase(victim);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  lru_.push_front(key);
+  entries_[key] = Entry{av, lru_.begin()};
+  return av;
+}
+
+bool Avc::allowed(const PolicyDb& db, const std::string& source_type,
+                  const std::string& target_type,
+                  const std::string& object_class, const std::string& perm) {
+  const ClassDef* cls = db.find_class(object_class);
+  if (cls == nullptr) return false;
+  const auto bit = cls->bit(perm);
+  if (!bit.has_value()) return false;
+  return (query(db, source_type, target_type, object_class) & *bit) != 0;
+}
+
+void Avc::flush() noexcept {
+  entries_.clear();
+  lru_.clear();
+  ++stats_.flushes;
+}
+
+}  // namespace psme::mac

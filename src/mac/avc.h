@@ -1,0 +1,78 @@
+// psme::mac — access vector cache.
+//
+// Real SELinux answers most permission checks from the AVC rather than the
+// policy database; the cache is what makes per-syscall MAC affordable. We
+// reproduce the structure (keyed by source/target/class, invalidated by
+// policy seqno) so the bench suite can measure hit-ratio-dependent cost,
+// the paper's software-enforcement overhead story.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <string>
+
+#include "mac/te_policy.h"
+
+namespace psme::mac {
+
+struct AvcStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t flushes = 0;
+
+  [[nodiscard]] double hit_ratio() const noexcept {
+    const auto total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+  }
+};
+
+/// Bounded LRU cache of (source, target, class) -> access vector.
+class Avc {
+ public:
+  explicit Avc(std::size_t capacity = 512);
+
+  /// Returns the access vector, consulting `db` on a miss and caching the
+  /// result. A db seqno change flushes the cache first (policy reload).
+  [[nodiscard]] AccessVector query(const PolicyDb& db,
+                                   const std::string& source_type,
+                                   const std::string& target_type,
+                                   const std::string& object_class);
+
+  /// Permission-level convenience mirroring PolicyDb::allowed.
+  [[nodiscard]] bool allowed(const PolicyDb& db, const std::string& source_type,
+                             const std::string& target_type,
+                             const std::string& object_class,
+                             const std::string& perm);
+
+  void flush() noexcept;
+
+  [[nodiscard]] const AvcStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  struct CacheKey {
+    std::string source, target, cls;
+    friend bool operator<(const CacheKey& a, const CacheKey& b) noexcept {
+      if (a.source != b.source) return a.source < b.source;
+      if (a.target != b.target) return a.target < b.target;
+      return a.cls < b.cls;
+    }
+  };
+  struct Entry {
+    AccessVector av;
+    std::list<CacheKey>::iterator lru_pos;
+  };
+
+  void touch(const CacheKey& key, Entry& entry);
+
+  std::size_t capacity_;
+  std::map<CacheKey, Entry> entries_;
+  std::list<CacheKey> lru_;  // front = most recently used
+  std::uint64_t db_seqno_ = 0;
+  AvcStats stats_;
+};
+
+}  // namespace psme::mac

@@ -1,0 +1,45 @@
+#include "mac/context.h"
+
+#include <stdexcept>
+#include <vector>
+
+namespace psme::mac {
+
+SecurityContext::SecurityContext(std::string user, std::string role,
+                                 std::string type, std::string level)
+    : user_(std::move(user)),
+      role_(std::move(role)),
+      type_(std::move(type)),
+      level_(std::move(level)) {
+  if (user_.empty() || role_.empty() || type_.empty() || level_.empty()) {
+    throw std::invalid_argument("SecurityContext: all fields must be non-empty");
+  }
+}
+
+SecurityContext SecurityContext::parse(std::string_view text) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t colon = text.find(':', start);
+    if (colon == std::string_view::npos) {
+      parts.emplace_back(text.substr(start));
+      break;
+    }
+    parts.emplace_back(text.substr(start, colon - start));
+    start = colon + 1;
+  }
+  if (parts.size() == 3) {
+    return SecurityContext(parts[0], parts[1], parts[2]);
+  }
+  if (parts.size() == 4) {
+    return SecurityContext(parts[0], parts[1], parts[2], parts[3]);
+  }
+  throw std::invalid_argument(
+      "SecurityContext::parse: expected user:role:type[:level]");
+}
+
+std::string SecurityContext::to_string() const {
+  return user_ + ":" + role_ + ":" + type_ + ":" + level_;
+}
+
+}  // namespace psme::mac

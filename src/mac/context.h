@@ -1,0 +1,40 @@
+// psme::mac — security contexts (labels).
+//
+// The software enforcement path of the paper (Sec. V-B.1) is SELinux-style
+// mandatory access control. Every subject and object carries a security
+// context `user:role:type[:level]`; type-enforcement rules then grant
+// permissions between *types*, never between individual entities.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace psme::mac {
+
+class SecurityContext {
+ public:
+  SecurityContext() = default;
+  SecurityContext(std::string user, std::string role, std::string type,
+                  std::string level = "s0");
+
+  /// Parses "user:role:type" or "user:role:type:level".
+  /// Throws std::invalid_argument on malformed input.
+  static SecurityContext parse(std::string_view text);
+
+  [[nodiscard]] const std::string& user() const noexcept { return user_; }
+  [[nodiscard]] const std::string& role() const noexcept { return role_; }
+  [[nodiscard]] const std::string& type() const noexcept { return type_; }
+  [[nodiscard]] const std::string& level() const noexcept { return level_; }
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const SecurityContext&, const SecurityContext&) = default;
+
+ private:
+  std::string user_;
+  std::string role_;
+  std::string type_;
+  std::string level_ = "s0";
+};
+
+}  // namespace psme::mac

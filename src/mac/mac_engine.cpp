@@ -1,0 +1,142 @@
+#include "mac/mac_engine.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace psme::mac {
+
+MacEngine::MacEngine(std::size_t avc_capacity) : avc_(avc_capacity) {
+  rebuild();  // empty database: everything denied (least privilege)
+}
+
+void MacEngine::label(const std::string& entity, SecurityContext context) {
+  if (entity.empty()) {
+    throw std::invalid_argument("MacEngine::label: empty entity id");
+  }
+  labels_[entity] = std::move(context);
+}
+
+const SecurityContext& MacEngine::context_of(const std::string& entity) const {
+  const auto it = labels_.find(entity);
+  return it == labels_.end() ? default_context_ : it->second;
+}
+
+void MacEngine::set_default_context(SecurityContext context) {
+  default_context_ = std::move(context);
+}
+
+void MacEngine::rebuild() {
+  PolicyDbBuilder builder;
+  builder.add_class(kAssetClass, {"read", "write"});
+  builder.add_type(default_context_.type());
+  for (const auto& mod : modules_) {
+    for (const auto& t : mod.types) builder.add_type(t);
+  }
+  for (const auto& mod : modules_) {
+    for (const auto& rule : mod.allows) builder.allow(rule);
+    for (const auto& cond : mod.conditional_allows) {
+      const auto it = booleans_.find(cond.boolean);
+      if (it == booleans_.end()) {
+        throw std::invalid_argument("conditional rule references undeclared "
+                                    "boolean '" + cond.boolean + "'");
+      }
+      if (it->second == cond.active_when) builder.allow(cond.rule);
+    }
+    for (const auto& rule : mod.neverallows) builder.neverallow(rule);
+  }
+  db_ = builder.build(next_seqno_++);
+  // The AVC notices the seqno change lazily on the next query.
+}
+
+void MacEngine::load_module(PolicyModule module) {
+  if (module.name.empty()) {
+    throw std::invalid_argument("load_module: module name required");
+  }
+  const bool duplicate = std::any_of(
+      modules_.begin(), modules_.end(),
+      [&](const PolicyModule& m) { return m.name == module.name; });
+  if (duplicate) {
+    throw std::invalid_argument("load_module: module '" + module.name +
+                                "' already loaded");
+  }
+  // Declare the module's booleans (defaults apply unless already set by an
+  // earlier module — redeclaration keeps the existing runtime value).
+  std::vector<std::string> fresh_booleans;
+  for (const auto& [name, default_value] : module.booleans) {
+    if (booleans_.emplace(name, default_value).second) {
+      fresh_booleans.push_back(name);
+    }
+  }
+  modules_.push_back(std::move(module));
+  try {
+    rebuild();
+  } catch (...) {
+    modules_.pop_back();
+    for (const auto& name : fresh_booleans) booleans_.erase(name);
+    rebuild();  // restore previous state
+    throw;
+  }
+}
+
+void MacEngine::set_boolean(const std::string& name, bool value) {
+  const auto it = booleans_.find(name);
+  if (it == booleans_.end()) {
+    throw std::invalid_argument("set_boolean: undeclared boolean '" + name + "'");
+  }
+  if (it->second == value) return;
+  it->second = value;
+  rebuild();
+}
+
+bool MacEngine::boolean(const std::string& name) const {
+  const auto it = booleans_.find(name);
+  if (it == booleans_.end()) {
+    throw std::invalid_argument("boolean: undeclared boolean '" + name + "'");
+  }
+  return it->second;
+}
+
+bool MacEngine::unload_module(const std::string& name) {
+  const auto it =
+      std::find_if(modules_.begin(), modules_.end(),
+                   [&](const PolicyModule& m) { return m.name == name; });
+  if (it == modules_.end()) return false;
+  modules_.erase(it);
+  rebuild();
+  return true;
+}
+
+std::vector<std::string> MacEngine::loaded_modules() const {
+  std::vector<std::string> names;
+  names.reserve(modules_.size());
+  for (const auto& m : modules_) names.push_back(m.name);
+  return names;
+}
+
+core::Decision MacEngine::evaluate(const core::AccessRequest& request) {
+  const std::string& source = context_of(request.subject).type();
+  const std::string& target = context_of(request.object).type();
+  const std::string perm =
+      request.access == core::AccessType::kRead ? "read" : "write";
+
+  const bool ok = avc_.allowed(db_, source, target, kAssetClass, perm);
+  if (ok) {
+    return core::Decision::allow(
+        "te", source + " -> " + target + " : asset { " + perm + " }");
+  }
+  if (permissive_) {
+    ++permissive_denials_;
+    return core::Decision::allow(
+        "te-permissive", "would deny " + source + " -> " + target + " " + perm);
+  }
+  return core::Decision::deny(
+      "te", "no allow rule " + source + " -> " + target + " : asset { " + perm + " }");
+}
+
+bool MacEngine::allowed(const std::string& source_type,
+                        const std::string& target_type,
+                        const std::string& perm) {
+  return avc_.allowed(db_, source_type, target_type, kAssetClass, perm);
+}
+
+}  // namespace psme::mac

@@ -1,0 +1,126 @@
+// psme::mac — the software policy-enforcement engine.
+//
+// MacEngine implements core::PolicyEngine by translating generic access
+// requests into type-enforcement queries:
+//   subject id --(label map)--> source type
+//   object  id --(label map)--> target type
+//   read/write --> permission of the "asset" object class
+//
+// Policies are organised into named, loadable modules ("Policies are
+// deployed using a modular approach", paper Sec. V-B.1): loading or
+// unloading a module rebuilds the policy database with a new sequence
+// number, which flushes the AVC — the same lifecycle as an SELinux policy
+// reload.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/policy.h"
+#include "mac/avc.h"
+#include "mac/context.h"
+#include "mac/te_policy.h"
+
+namespace psme::mac {
+
+/// A rule that is active only while a named policy boolean has the given
+/// value — SELinux's conditional policy ("booleans"). Toggling the boolean
+/// at runtime rebuilds the database and flushes the AVC, without touching
+/// the module source.
+struct ConditionalRule {
+  std::string boolean;
+  bool active_when = true;
+  TeRule rule;
+};
+
+/// Declarations and rules contributed by one policy module.
+struct PolicyModule {
+  std::string name;
+  std::vector<std::string> types;
+  std::vector<TeRule> allows;
+  std::vector<TeRule> neverallows;
+  /// Boolean declarations: name -> default value.
+  std::vector<std::pair<std::string, bool>> booleans;
+  std::vector<ConditionalRule> conditional_allows;
+};
+
+class MacEngine final : public core::PolicyEngine {
+ public:
+  /// The object class used for asset accesses and its permission names.
+  static constexpr const char* kAssetClass = "asset";
+
+  explicit MacEngine(std::size_t avc_capacity = 512);
+
+  // -- labelling -------------------------------------------------------
+
+  /// Associates an entity id (entry point, node, asset) with a context.
+  /// Unlabelled entities fall back to the configurable default context.
+  void label(const std::string& entity, SecurityContext context);
+  [[nodiscard]] const SecurityContext& context_of(const std::string& entity) const;
+  void set_default_context(SecurityContext context);
+
+  // -- module lifecycle --------------------------------------------------
+
+  /// Loads a module and rebuilds the policy database. Throws on validation
+  /// failure (unknown types, neverallow violations) without changing the
+  /// active database — failed updates must not leave the engine broken.
+  void load_module(PolicyModule module);
+
+  /// Unloads by name; returns false when not loaded. Rebuilds on success.
+  bool unload_module(const std::string& name);
+
+  /// Sets a policy boolean (must be declared by a loaded module). A value
+  /// change rebuilds the database — conditional rules toggle — and the AVC
+  /// revalidates on the next query. Throws std::invalid_argument for an
+  /// undeclared boolean.
+  void set_boolean(const std::string& name, bool value);
+  [[nodiscard]] bool boolean(const std::string& name) const;
+
+  [[nodiscard]] std::vector<std::string> loaded_modules() const;
+  [[nodiscard]] std::uint64_t policy_seqno() const noexcept {
+    return db_.seqno();
+  }
+
+  // -- enforcement -------------------------------------------------------
+
+  [[nodiscard]] core::Decision evaluate(const core::AccessRequest& request) override;
+  [[nodiscard]] std::string_view engine_name() const noexcept override {
+    return "mac";
+  }
+
+  /// Direct TE query (bypasses the request translation; used by tests).
+  [[nodiscard]] bool allowed(const std::string& source_type,
+                             const std::string& target_type,
+                             const std::string& perm);
+
+  [[nodiscard]] const AvcStats& avc_stats() const noexcept {
+    return avc_.stats();
+  }
+  [[nodiscard]] const PolicyDb& db() const noexcept { return db_; }
+
+  /// Permissive mode logs would-be denials but allows them (SELinux's
+  /// permissive mode; useful when introducing policies to a live fleet).
+  void set_permissive(bool permissive) noexcept { permissive_ = permissive; }
+  [[nodiscard]] bool permissive() const noexcept { return permissive_; }
+  [[nodiscard]] std::uint64_t permissive_denials() const noexcept {
+    return permissive_denials_;
+  }
+
+ private:
+  void rebuild();
+
+  std::map<std::string, SecurityContext> labels_;
+  SecurityContext default_context_{"system", "object", "unlabeled_t"};
+  std::vector<PolicyModule> modules_;
+  std::map<std::string, bool> booleans_;
+  PolicyDb db_;
+  Avc avc_;
+  std::uint64_t next_seqno_ = 1;
+  bool permissive_ = false;
+  std::uint64_t permissive_denials_ = 0;
+};
+
+}  // namespace psme::mac

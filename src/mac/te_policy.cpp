@@ -1,0 +1,182 @@
+#include "mac/te_policy.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace psme::mac {
+
+std::optional<AccessVector> ClassDef::bit(std::string_view perm) const noexcept {
+  for (std::size_t i = 0; i < permissions.size(); ++i) {
+    if (permissions[i] == perm) return AccessVector{1u} << i;
+  }
+  return std::nullopt;
+}
+
+AccessVector PolicyDb::lookup(std::string_view source_type,
+                              std::string_view target_type,
+                              std::string_view object_class) const noexcept {
+  const auto it = av_.find(Key{std::string(source_type),
+                               std::string(target_type),
+                               std::string(object_class)});
+  return it == av_.end() ? 0 : it->second;
+}
+
+bool PolicyDb::allowed(std::string_view source_type,
+                       std::string_view target_type,
+                       std::string_view object_class,
+                       std::string_view perm) const noexcept {
+  const ClassDef* cls = find_class(object_class);
+  if (cls == nullptr) return false;
+  const auto bit = cls->bit(perm);
+  if (!bit.has_value()) return false;
+  return (lookup(source_type, target_type, object_class) & *bit) != 0;
+}
+
+const ClassDef* PolicyDb::find_class(std::string_view name) const noexcept {
+  for (const auto& c : classes_) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+bool PolicyDb::knows_type(std::string_view name) const noexcept {
+  return types_.count(std::string(name)) != 0;
+}
+
+PolicyDbBuilder& PolicyDbBuilder::add_class(
+    std::string name, std::vector<std::string> permissions) {
+  if (name.empty()) throw std::invalid_argument("add_class: empty class name");
+  if (permissions.empty() || permissions.size() > 32) {
+    throw std::invalid_argument("add_class: 1..32 permissions required");
+  }
+  for (const auto& c : classes_) {
+    if (c.name == name) {
+      throw std::invalid_argument("add_class: duplicate class '" + name + "'");
+    }
+  }
+  classes_.push_back(ClassDef{std::move(name), std::move(permissions)});
+  return *this;
+}
+
+PolicyDbBuilder& PolicyDbBuilder::add_type(std::string name) {
+  if (name.empty()) throw std::invalid_argument("add_type: empty type name");
+  if (attributes_.count(name) != 0) {
+    throw std::invalid_argument("add_type: '" + name + "' is an attribute");
+  }
+  types_.insert(std::move(name));
+  return *this;
+}
+
+PolicyDbBuilder& PolicyDbBuilder::add_attribute(
+    std::string name, std::vector<std::string> member_types) {
+  if (name.empty()) {
+    throw std::invalid_argument("add_attribute: empty attribute name");
+  }
+  if (types_.count(name) != 0) {
+    throw std::invalid_argument("add_attribute: '" + name + "' is a type");
+  }
+  for (const auto& t : member_types) {
+    if (types_.count(t) == 0) {
+      throw std::invalid_argument("add_attribute '" + name +
+                                  "': unknown member type '" + t + "'");
+    }
+  }
+  attributes_[std::move(name)] = std::move(member_types);
+  return *this;
+}
+
+void PolicyDbBuilder::validate_rule(const TeRule& rule, const char* kind) const {
+  auto known = [this](const std::string& n) {
+    return types_.count(n) != 0 || attributes_.count(n) != 0;
+  };
+  if (!known(rule.source)) {
+    throw std::invalid_argument(std::string(kind) + ": unknown source '" +
+                                rule.source + "'");
+  }
+  if (!known(rule.target)) {
+    throw std::invalid_argument(std::string(kind) + ": unknown target '" +
+                                rule.target + "'");
+  }
+  const auto cls = std::find_if(classes_.begin(), classes_.end(),
+                                [&](const ClassDef& c) {
+                                  return c.name == rule.object_class;
+                                });
+  if (cls == classes_.end()) {
+    throw std::invalid_argument(std::string(kind) + ": unknown class '" +
+                                rule.object_class + "'");
+  }
+  if (rule.permissions.empty()) {
+    throw std::invalid_argument(std::string(kind) + ": empty permission set");
+  }
+  for (const auto& p : rule.permissions) {
+    if (!cls->bit(p).has_value()) {
+      throw std::invalid_argument(std::string(kind) + ": class '" +
+                                  rule.object_class + "' has no permission '" +
+                                  p + "'");
+    }
+  }
+}
+
+PolicyDbBuilder& PolicyDbBuilder::allow(TeRule rule) {
+  validate_rule(rule, "allow");
+  allows_.push_back(std::move(rule));
+  return *this;
+}
+
+PolicyDbBuilder& PolicyDbBuilder::neverallow(TeRule rule) {
+  validate_rule(rule, "neverallow");
+  neverallows_.push_back(std::move(rule));
+  return *this;
+}
+
+std::vector<std::string> PolicyDbBuilder::expand(const std::string& name) const {
+  const auto attr = attributes_.find(name);
+  if (attr != attributes_.end()) return attr->second;
+  return {name};
+}
+
+PolicyDb PolicyDbBuilder::build(std::uint64_t seqno) const {
+  PolicyDb db;
+  db.classes_ = classes_;
+  db.types_ = types_;
+  db.seqno_ = seqno;
+
+  auto vector_of = [this](const TeRule& rule) -> AccessVector {
+    const auto cls = std::find_if(classes_.begin(), classes_.end(),
+                                  [&](const ClassDef& c) {
+                                    return c.name == rule.object_class;
+                                  });
+    AccessVector av = 0;
+    for (const auto& p : rule.permissions) av |= *cls->bit(p);
+    return av;
+  };
+
+  for (const auto& rule : allows_) {
+    const AccessVector av = vector_of(rule);
+    for (const auto& src : expand(rule.source)) {
+      for (const auto& tgt : expand(rule.target)) {
+        db.av_[PolicyDb::Key{src, tgt, rule.object_class}] |= av;
+      }
+    }
+  }
+
+  // neverallow enforcement: any overlap between a compiled grant and a
+  // neverallow is a hard error — matching SELinux semantics where policy
+  // compilation fails.
+  for (const auto& never : neverallows_) {
+    const AccessVector banned = vector_of(never);
+    for (const auto& src : expand(never.source)) {
+      for (const auto& tgt : expand(never.target)) {
+        const auto it =
+            db.av_.find(PolicyDb::Key{src, tgt, never.object_class});
+        if (it != db.av_.end() && (it->second & banned) != 0) {
+          throw std::logic_error("neverallow violated: " + src + " -> " + tgt +
+                                 " : " + never.object_class);
+        }
+      }
+    }
+  }
+  return db;
+}
+
+}  // namespace psme::mac

@@ -1,0 +1,124 @@
+// psme::mac — type-enforcement policy database.
+//
+// Models the core of an SELinux-style policy:
+//   * object classes with named permissions ("can_asset" with {read, write}),
+//   * types and attributes (named groups of types),
+//   * allow rules  (allow <source> <target> : <class> { perms })
+//   * neverallow rules — compile-time assertions that no allow rule may
+//     violate; the paper's policy-update path relies on this to stop an
+//     ill-formed update from widening access.
+//
+// A PolicyDb is built from rules via PolicyDbBuilder, which validates
+// references and checks every allow against every neverallow. Lookups are
+// hash-table based and return a permission bitmask.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace psme::mac {
+
+/// Bitmask of permissions within one object class (bit i = i-th registered
+/// permission of that class).
+using AccessVector = std::uint32_t;
+
+struct ClassDef {
+  std::string name;
+  std::vector<std::string> permissions;  // at most 32
+
+  /// Bit for a permission name; nullopt if unknown.
+  [[nodiscard]] std::optional<AccessVector> bit(std::string_view perm) const noexcept;
+};
+
+/// One type-enforcement rule in source form. `source`/`target` may name a
+/// type or an attribute.
+struct TeRule {
+  std::string source;
+  std::string target;
+  std::string object_class;
+  std::vector<std::string> permissions;
+};
+
+/// Compiled, queryable policy.
+class PolicyDb {
+ public:
+  struct Key {
+    std::string source_type;
+    std::string target_type;
+    std::string object_class;
+    friend bool operator<(const Key& a, const Key& b) noexcept {
+      if (a.source_type != b.source_type) return a.source_type < b.source_type;
+      if (a.target_type != b.target_type) return a.target_type < b.target_type;
+      return a.object_class < b.object_class;
+    }
+  };
+
+  /// Granted access vector for (source type, target type, class); 0 when
+  /// nothing is allowed. Types must be concrete (attributes are expanded
+  /// at build time).
+  [[nodiscard]] AccessVector lookup(std::string_view source_type,
+                                    std::string_view target_type,
+                                    std::string_view object_class) const noexcept;
+
+  /// True when `perm` of `object_class` is granted.
+  [[nodiscard]] bool allowed(std::string_view source_type,
+                             std::string_view target_type,
+                             std::string_view object_class,
+                             std::string_view perm) const noexcept;
+
+  [[nodiscard]] const ClassDef* find_class(std::string_view name) const noexcept;
+  [[nodiscard]] bool knows_type(std::string_view name) const noexcept;
+  [[nodiscard]] std::size_t rule_count() const noexcept { return av_.size(); }
+
+  /// Monotonic sequence number; bumped on every rebuild so caches (the
+  /// AVC) know to revalidate.
+  [[nodiscard]] std::uint64_t seqno() const noexcept { return seqno_; }
+
+ private:
+  friend class PolicyDbBuilder;
+
+  std::vector<ClassDef> classes_;
+  std::set<std::string> types_;
+  std::map<Key, AccessVector> av_;
+  std::uint64_t seqno_ = 0;
+};
+
+/// Accumulates declarations and rules, validates, and compiles a PolicyDb.
+class PolicyDbBuilder {
+ public:
+  PolicyDbBuilder& add_class(std::string name,
+                             std::vector<std::string> permissions);
+  PolicyDbBuilder& add_type(std::string name);
+
+  /// Declares an attribute as a named group of existing types.
+  PolicyDbBuilder& add_attribute(std::string name,
+                                 std::vector<std::string> member_types);
+
+  PolicyDbBuilder& allow(TeRule rule);
+
+  /// Asserts that no allow rule may grant these permissions. Checked at
+  /// build(); violations throw std::logic_error naming the offender.
+  PolicyDbBuilder& neverallow(TeRule rule);
+
+  /// Validates everything and compiles. `seqno` tags the build.
+  [[nodiscard]] PolicyDb build(std::uint64_t seqno = 1) const;
+
+ private:
+  /// Expands a type-or-attribute name into concrete types.
+  [[nodiscard]] std::vector<std::string> expand(const std::string& name) const;
+
+  void validate_rule(const TeRule& rule, const char* kind) const;
+
+  std::vector<ClassDef> classes_;
+  std::set<std::string> types_;
+  std::map<std::string, std::vector<std::string>> attributes_;
+  std::vector<TeRule> allows_;
+  std::vector<TeRule> neverallows_;
+};
+
+}  // namespace psme::mac

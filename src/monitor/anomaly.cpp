@@ -1,0 +1,116 @@
+#include "monitor/anomaly.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace psme::monitor {
+
+std::string_view to_string(AlertKind kind) noexcept {
+  switch (kind) {
+    case AlertKind::kUnknownId: return "unknown-id";
+    case AlertKind::kRateExceeded: return "rate-exceeded";
+  }
+  return "?";
+}
+
+FrameRateMonitor::FrameRateMonitor(sim::Scheduler& sched,
+                                   RateMonitorOptions options,
+                                   sim::Trace* trace)
+    : sched_(sched), options_(options), trace_(trace) {
+  if (options_.window <= sim::SimDuration::zero()) {
+    throw std::invalid_argument("FrameRateMonitor: window must be positive");
+  }
+  if (options_.threshold_factor <= 1.0) {
+    throw std::invalid_argument(
+        "FrameRateMonitor: threshold factor must exceed 1");
+  }
+}
+
+void FrameRateMonitor::start_training() {
+  training_ = true;
+  detecting_ = false;
+  live_.clear();
+}
+
+void FrameRateMonitor::start_detection() {
+  if (!trained_ && !training_) {
+    throw std::logic_error("FrameRateMonitor: train before detecting");
+  }
+  // Freeze ceilings (include the still-open windows).
+  for (auto& [id, state] : live_) {
+    state.ceiling = std::max(state.ceiling, state.count_in_window);
+    baseline_[id] = state.ceiling;
+    state.current_window = -1;
+    state.count_in_window = 0;
+    state.alerted_this_window = false;
+  }
+  training_ = false;
+  trained_ = true;
+  detecting_ = true;
+}
+
+std::uint64_t FrameRateMonitor::ceiling(can::CanId id) const noexcept {
+  const auto it = baseline_.find(key(id));
+  return it == baseline_.end() ? 0 : it->second;
+}
+
+void FrameRateMonitor::on_frame(const can::Frame& frame, sim::SimTime at) {
+  ++observed_;
+  if (!training_ && !detecting_) return;
+
+  const std::uint64_t id_key = key(frame.id());
+  const std::int64_t window = window_index(at);
+
+  if (training_) {
+    IdState& state = live_[id_key];
+    if (state.current_window != window) {
+      state.ceiling = std::max(state.ceiling, state.count_in_window);
+      state.current_window = window;
+      state.count_in_window = 0;
+    }
+    ++state.count_in_window;
+    return;
+  }
+
+  // Detection.
+  const auto known = baseline_.find(id_key);
+  if (known == baseline_.end()) {
+    alerts_.push_back(Alert{at, AlertKind::kUnknownId, frame.id(), 1, 0});
+    if (trace_ != nullptr) {
+      trace_->record(at, sim::TraceLevel::kSecurity, "monitor.ids",
+                     "unknown id " + frame.id().to_string());
+    }
+    // Register so a flood of one unknown id produces one alert per window
+    // rather than one per frame.
+    baseline_[id_key] = 0;
+    IdState& state = live_[id_key];
+    state.current_window = window;
+    state.count_in_window = 1;
+    state.alerted_this_window = true;
+    return;
+  }
+
+  IdState& state = live_[id_key];
+  if (state.current_window != window) {
+    state.current_window = window;
+    state.count_in_window = 0;
+    state.alerted_this_window = false;
+  }
+  ++state.count_in_window;
+
+  const std::uint64_t effective_ceiling =
+      std::max(known->second, options_.min_ceiling);
+  const auto threshold = static_cast<std::uint64_t>(
+      static_cast<double>(effective_ceiling) * options_.threshold_factor);
+  if (!state.alerted_this_window && state.count_in_window > threshold) {
+    state.alerted_this_window = true;
+    alerts_.push_back(Alert{at, AlertKind::kRateExceeded, frame.id(),
+                            state.count_in_window, known->second});
+    if (trace_ != nullptr) {
+      trace_->record(at, sim::TraceLevel::kSecurity, "monitor.ids",
+                     "rate anomaly on " + frame.id().to_string());
+    }
+  }
+}
+
+}  // namespace psme::monitor

@@ -1,0 +1,121 @@
+// psme::monitor — bus-level anomaly detection.
+//
+// The paper's software policy engine "check[s] application permission
+// boundaries and identif[ies] anomalous behaviour" (Sec. IV). Permission
+// boundaries are psme::mac; this module supplies the anomaly half: a
+// passive bus tap that learns the vehicle's static CAN traffic matrix and
+// flags
+//   * unknown identifiers — ids never seen during training (a classic CAN
+//     IDS signal: the frame matrix of a vehicle is fixed at design time);
+//   * rate anomalies — a known id arriving far above its learned per-
+//     window ceiling (flooding, command-injection bursts).
+//
+// The monitor is deliberately *detection only*: it cannot block (it is a
+// tap, not a shim), which is exactly the division of labour the paper
+// draws between monitoring software and the enforcing HPE.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "can/channel.h"
+#include "sim/event_queue.h"
+#include "sim/trace.h"
+
+namespace psme::monitor {
+
+enum class AlertKind : std::uint8_t {
+  kUnknownId,     // id absent from the learned matrix
+  kRateExceeded,  // known id above threshold_factor x learned ceiling
+};
+
+[[nodiscard]] std::string_view to_string(AlertKind kind) noexcept;
+
+struct Alert {
+  sim::SimTime at{};
+  AlertKind kind = AlertKind::kUnknownId;
+  can::CanId id;
+  std::uint64_t observed = 0;  // frames in the offending window
+  std::uint64_t ceiling = 0;   // learned per-window ceiling (0 for unknown)
+};
+
+struct RateMonitorOptions {
+  /// Bucketing granularity for rate accounting.
+  sim::SimDuration window = std::chrono::milliseconds{100};
+  /// Alert when a window's count exceeds ceiling * factor.
+  double threshold_factor = 4.0;
+  /// Ids whose learned ceiling is below this floor use the floor instead
+  /// (protects rarely-seen ids from alerting on normal jitter).
+  std::uint64_t min_ceiling = 3;
+};
+
+/// Passive CAN tap. Attach it as the sink of a dedicated bus port:
+///
+///   can::Port& tap = bus.attach("ids");
+///   monitor::FrameRateMonitor ids(sched, options);
+///   tap.set_sink(&ids);
+///   ids.start_training();  ... run normal traffic ...
+///   ids.start_detection(); ... alerts() fills on anomalies ...
+class FrameRateMonitor final : public can::FrameSink {
+ public:
+  explicit FrameRateMonitor(sim::Scheduler& sched,
+                            RateMonitorOptions options = {},
+                            sim::Trace* trace = nullptr);
+
+  /// Begins (or restarts) learning the traffic matrix.
+  void start_training();
+
+  /// Freezes the learned baseline and begins alerting. Throws
+  /// std::logic_error if no training happened first.
+  void start_detection();
+
+  [[nodiscard]] bool detecting() const noexcept { return detecting_; }
+
+  // -- results -----------------------------------------------------------
+  [[nodiscard]] const std::vector<Alert>& alerts() const noexcept {
+    return alerts_;
+  }
+  [[nodiscard]] std::uint64_t frames_observed() const noexcept {
+    return observed_;
+  }
+  /// Number of distinct ids in the learned matrix.
+  [[nodiscard]] std::size_t known_ids() const noexcept {
+    return baseline_.size();
+  }
+  /// Learned per-window ceiling for an id (0 when unknown).
+  [[nodiscard]] std::uint64_t ceiling(can::CanId id) const noexcept;
+
+  // -- can::FrameSink ------------------------------------------------------
+  void on_frame(const can::Frame& frame, sim::SimTime at) override;
+
+ private:
+  [[nodiscard]] static std::uint64_t key(can::CanId id) noexcept {
+    return (static_cast<std::uint64_t>(id.is_extended()) << 32) | id.raw();
+  }
+  [[nodiscard]] std::int64_t window_index(sim::SimTime at) const noexcept {
+    return at.count() / options_.window.count();
+  }
+
+  sim::Scheduler& sched_;
+  RateMonitorOptions options_;
+  sim::Trace* trace_;
+
+  struct IdState {
+    std::int64_t current_window = -1;
+    std::uint64_t count_in_window = 0;
+    std::uint64_t ceiling = 0;       // trained maximum per window
+    bool alerted_this_window = false;
+  };
+  std::map<std::uint64_t, IdState> live_;
+  std::map<std::uint64_t, std::uint64_t> baseline_;  // frozen at detection
+
+  bool training_ = false;
+  bool trained_ = false;
+  bool detecting_ = false;
+  std::uint64_t observed_ = 0;
+  std::vector<Alert> alerts_;
+};
+
+}  // namespace psme::monitor

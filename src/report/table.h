@@ -1,0 +1,65 @@
+// psme::report — text table rendering for benches and documents.
+//
+// Benches regenerate the paper's tables; this renderer produces aligned
+// ASCII, GitHub markdown, and CSV from the same row data.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace psme::report {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+  TextTable(std::initializer_list<std::string> headers);
+
+  /// Appends a row; it may have fewer cells than there are headers (the
+  /// remainder render empty) but not more (throws std::length_error).
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats each argument with to_string-like semantics.
+  template <typename... Ts>
+  void add(const Ts&... cells) {
+    add_row(std::vector<std::string>{to_cell(cells)...});
+  }
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t columns() const noexcept { return headers_.size(); }
+
+  /// Aligned ASCII with a header separator line.
+  [[nodiscard]] std::string render() const;
+
+  /// GitHub-flavoured markdown.
+  [[nodiscard]] std::string render_markdown() const;
+
+  /// RFC-4180-ish CSV (cells containing commas/quotes are quoted).
+  [[nodiscard]] std::string render_csv() const;
+
+ private:
+  static std::string to_cell(const std::string& s) { return s; }
+  static std::string to_cell(const char* s) { return s; }
+  static std::string to_cell(char c) { return std::string(1, c); }
+  static std::string to_cell(bool b) { return b ? "yes" : "no"; }
+  template <typename T>
+  static std::string to_cell(const T& v) {
+    if constexpr (std::is_arithmetic_v<T>) {
+      if constexpr (std::is_floating_point_v<T>) {
+        return format_double(static_cast<double>(v));
+      } else {
+        return std::to_string(v);
+      }
+    } else {
+      return std::string(v);
+    }
+  }
+  static std::string format_double(double v);
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace psme::report

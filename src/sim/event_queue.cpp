@@ -1,0 +1,108 @@
+#include "sim/event_queue.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace psme::sim {
+
+EventId Scheduler::schedule_at(SimTime at, Action action, std::string label) {
+  if (at < now_) {
+    throw std::logic_error("Scheduler::schedule_at: time is in the past");
+  }
+  if (!action) {
+    throw std::invalid_argument("Scheduler::schedule_at: empty action");
+  }
+  const EventId id = next_id_++;
+  queue_.push(Event{at, next_seq_++, id, std::move(action), std::move(label)});
+  return id;
+}
+
+EventId Scheduler::schedule_in(SimDuration delay, Action action,
+                               std::string label) {
+  return schedule_at(now_ + delay, std::move(action), std::move(label));
+}
+
+bool Scheduler::cancel(EventId id) noexcept {
+  if (id == 0 || id >= next_id_) return false;
+  if (is_cancelled(id)) return false;
+  cancelled_.push_back(id);
+  return true;
+}
+
+bool Scheduler::is_cancelled(EventId id) const noexcept {
+  return std::find(cancelled_.begin(), cancelled_.end(), id) !=
+         cancelled_.end();
+}
+
+bool Scheduler::step() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    if (is_cancelled(ev.id)) {
+      cancelled_.erase(std::remove(cancelled_.begin(), cancelled_.end(), ev.id),
+                       cancelled_.end());
+      continue;
+    }
+    now_ = ev.at;
+    ++executed_;
+    ev.action();
+    return true;
+  }
+  return false;
+}
+
+std::size_t Scheduler::run() {
+  std::size_t n = 0;
+  while (step()) ++n;
+  return n;
+}
+
+std::size_t Scheduler::run_until(SimTime deadline) {
+  std::size_t n = 0;
+  while (!queue_.empty() && queue_.top().at <= deadline) {
+    if (step()) ++n;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return n;
+}
+
+std::size_t Scheduler::pending() const noexcept { return queue_.size(); }
+
+PeriodicTask::PeriodicTask(Scheduler& sched, SimTime first, SimDuration period,
+                           std::function<void()> body, std::string label)
+    : sched_(sched),
+      period_(period),
+      body_(std::move(body)),
+      label_(std::move(label)) {
+  if (period_ <= SimDuration::zero()) {
+    throw std::invalid_argument("PeriodicTask: period must be positive");
+  }
+  arm(first);
+}
+
+PeriodicTask::~PeriodicTask() { stop(); }
+
+void PeriodicTask::arm(SimTime at) {
+  pending_ = sched_.schedule_at(
+      at,
+      [this] {
+        if (stopped_) return;
+        ++fired_;
+        const SimTime next = sched_.now() + period_;
+        body_();
+        // body_() may have called stop(); only re-arm if still live.
+        if (!stopped_) arm(next);
+      },
+      label_);
+}
+
+void PeriodicTask::stop() noexcept {
+  stopped_ = true;
+  if (pending_ != 0) {
+    sched_.cancel(pending_);
+    pending_ = 0;
+  }
+}
+
+}  // namespace psme::sim

@@ -1,0 +1,97 @@
+#include "sim/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace psme::sim {
+
+void Histogram::add(double sample) {
+  samples_.push_back(sample);
+  sum_ += sample;
+  sum_sq_ += sample * sample;
+  sorted_valid_ = false;
+}
+
+void Histogram::ensure_sorted() const {
+  if (sorted_valid_) return;
+  sorted_ = samples_;
+  std::sort(sorted_.begin(), sorted_.end());
+  sorted_valid_ = true;
+}
+
+double Histogram::min() const {
+  if (empty()) throw std::logic_error("Histogram::min on empty histogram");
+  ensure_sorted();
+  return sorted_.front();
+}
+
+double Histogram::max() const {
+  if (empty()) throw std::logic_error("Histogram::max on empty histogram");
+  ensure_sorted();
+  return sorted_.back();
+}
+
+double Histogram::mean() const {
+  if (empty()) throw std::logic_error("Histogram::mean on empty histogram");
+  return sum_ / static_cast<double>(samples_.size());
+}
+
+double Histogram::stddev() const {
+  if (empty()) throw std::logic_error("Histogram::stddev on empty histogram");
+  const double n = static_cast<double>(samples_.size());
+  const double m = sum_ / n;
+  const double var = std::max(0.0, sum_sq_ / n - m * m);
+  return std::sqrt(var);
+}
+
+double Histogram::quantile(double q) const {
+  if (empty()) throw std::logic_error("Histogram::quantile on empty histogram");
+  if (q < 0.0 || q > 1.0) {
+    throw std::invalid_argument("Histogram::quantile: q outside [0, 1]");
+  }
+  ensure_sorted();
+  // Nearest-rank with linear interpolation between adjacent order statistics.
+  const double pos = q * static_cast<double>(sorted_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+}
+
+std::string Histogram::summary() const {
+  std::ostringstream out;
+  if (empty()) {
+    out << "n=0";
+    return out.str();
+  }
+  out << "n=" << count() << " mean=" << mean() << " p50=" << quantile(0.5)
+      << " p95=" << quantile(0.95) << " p99=" << quantile(0.99)
+      << " max=" << max();
+  return out.str();
+}
+
+void Histogram::reset() noexcept {
+  samples_.clear();
+  sorted_.clear();
+  sorted_valid_ = false;
+  sum_ = 0.0;
+  sum_sq_ = 0.0;
+}
+
+std::string MetricRegistry::render() const {
+  std::ostringstream out;
+  for (const auto& [name, c] : counters_) {
+    out << name << " = " << c.value() << '\n';
+  }
+  for (const auto& [name, g] : gauges_) {
+    out << name << " = " << g.value() << '\n';
+  }
+  for (const auto& [name, h] : histograms_) {
+    out << name << ": " << h.summary() << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace psme::sim

@@ -1,0 +1,91 @@
+// psme::sim — measurement primitives for benches and experiments.
+//
+// Counter   — monotonically increasing event count.
+// Gauge     — last-written value.
+// Histogram — streaming distribution with exact quantiles (stores samples;
+//             simulation workloads here are small enough that exactness
+//             beats the complexity of sketches).
+// Registry  — name -> metric map a component tree can share.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace psme::sim {
+
+class Counter {
+ public:
+  void increment(std::uint64_t by = 1) noexcept { value_ += by; }
+  [[nodiscard]] std::uint64_t value() const noexcept { return value_; }
+  void reset() noexcept { value_ = 0; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void set(double v) noexcept { value_ = v; }
+  [[nodiscard]] double value() const noexcept { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Exact-quantile histogram. add() is O(1) amortised; quantile queries sort
+/// lazily and are O(n log n) the first time after a modification.
+class Histogram {
+ public:
+  void add(double sample);
+
+  [[nodiscard]] std::size_t count() const noexcept { return samples_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double stddev() const;
+
+  /// q in [0, 1]; q=0.5 is the median. Throws std::logic_error when empty.
+  [[nodiscard]] double quantile(double q) const;
+
+  /// "n=100 mean=1.20 p50=1.10 p99=3.40 max=4.00" (units are caller's).
+  [[nodiscard]] std::string summary() const;
+
+  void reset() noexcept;
+
+ private:
+  void ensure_sorted() const;
+
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+};
+
+/// Hierarchically named metrics, e.g. registry.counter("hpe.ecu.blocked").
+class MetricRegistry {
+ public:
+  Counter& counter(const std::string& name) { return counters_[name]; }
+  Gauge& gauge(const std::string& name) { return gauges_[name]; }
+  Histogram& histogram(const std::string& name) { return histograms_[name]; }
+
+  [[nodiscard]] const std::map<std::string, Counter>& counters() const noexcept {
+    return counters_;
+  }
+  [[nodiscard]] const std::map<std::string, Histogram>& histograms() const noexcept {
+    return histograms_;
+  }
+
+  /// Renders all metrics as one line per metric, sorted by name.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace psme::sim

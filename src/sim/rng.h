@@ -1,0 +1,62 @@
+// psme::sim — deterministic random number generation.
+//
+// Simulations must be reproducible: every run with the same seed must
+// produce bit-identical event orderings. We therefore avoid
+// std::default_random_engine (implementation-defined) and implement
+// xoshiro256** 1.0 (Blackman & Vigna, public domain algorithm), a fast,
+// well-tested generator suitable for simulation workloads (not for
+// cryptography — the update-integrity code in psme::core uses a separate
+// keyed construction).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace psme::sim {
+
+/// Deterministic pseudo-random number generator (xoshiro256**).
+///
+/// Satisfies the C++ UniformRandomBitGenerator requirements, so it can be
+/// used with <random> distributions, but the convenience members below are
+/// preferred because they are portable across standard libraries.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the generator. Two generators with equal seeds produce equal
+  /// streams. The seed is expanded with splitmix64 so that small seeds
+  /// (0, 1, 2, ...) still yield well-mixed states.
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  /// Next raw 64-bit value.
+  result_type operator()() noexcept;
+
+  /// Uniform integer in [lo, hi] (inclusive). Precondition: lo <= hi.
+  [[nodiscard]] std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi) noexcept;
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform01() noexcept;
+
+  /// Bernoulli trial with success probability p (clamped to [0, 1]).
+  [[nodiscard]] bool chance(double p) noexcept;
+
+  /// Exponentially distributed value with the given mean (> 0). Used for
+  /// Poisson-process inter-arrival times in traffic generators.
+  [[nodiscard]] double exponential(double mean) noexcept;
+
+  /// Creates an independent child generator. Streams of parent and child
+  /// are decorrelated; useful to give each simulated node its own RNG while
+  /// preserving whole-simulation determinism.
+  [[nodiscard]] Rng split() noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> state_;
+};
+
+}  // namespace psme::sim

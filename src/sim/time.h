@@ -1,0 +1,40 @@
+// psme::sim — simulation time.
+//
+// All simulation components share a single notion of time: a signed
+// nanosecond count since simulation start. std::chrono types are used
+// throughout so that call sites must state units explicitly
+// (e.g. `sched.schedule_in(5ms, ...)`) and unit mix-ups are caught by the
+// type system.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace psme::sim {
+
+/// Simulation time point, measured from simulation start (t = 0).
+using SimTime = std::chrono::nanoseconds;
+
+/// Duration between simulation time points.
+using SimDuration = std::chrono::nanoseconds;
+
+/// The origin of simulation time.
+inline constexpr SimTime kSimStart{0};
+
+/// Converts a simulation time to fractional seconds (for reporting only;
+/// never use floating point for scheduling decisions).
+[[nodiscard]] constexpr double to_seconds(SimTime t) noexcept {
+  return std::chrono::duration<double>(t).count();
+}
+
+/// Converts a simulation time to fractional milliseconds (reporting only).
+[[nodiscard]] constexpr double to_millis(SimTime t) noexcept {
+  return std::chrono::duration<double, std::milli>(t).count();
+}
+
+/// Converts a simulation time to fractional microseconds (reporting only).
+[[nodiscard]] constexpr double to_micros(SimTime t) noexcept {
+  return std::chrono::duration<double, std::micro>(t).count();
+}
+
+}  // namespace psme::sim

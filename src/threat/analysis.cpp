@@ -1,0 +1,99 @@
+#include "threat/analysis.h"
+
+#include <algorithm>
+
+namespace psme::threat {
+
+std::vector<AssetRisk> asset_risk_profile(const ThreatModel& model) {
+  std::vector<AssetRisk> profile;
+  for (const Asset& asset : model.assets()) {
+    AssetRisk risk;
+    risk.asset = asset.id;
+    risk.name = asset.name;
+    for (const Threat* t : model.threats_for_asset(asset.id)) {
+      ++risk.threat_count;
+      risk.max_average = std::max(risk.max_average, t->dread.average());
+      risk.sum_average += t->dread.average();
+    }
+    if (risk.threat_count > 0) profile.push_back(std::move(risk));
+  }
+  std::stable_sort(profile.begin(), profile.end(),
+                   [](const AssetRisk& a, const AssetRisk& b) {
+                     if (a.max_average != b.max_average) {
+                       return a.max_average > b.max_average;
+                     }
+                     return a.sum_average > b.sum_average;
+                   });
+  return profile;
+}
+
+std::vector<EntryPointExposure> entry_point_exposure(const ThreatModel& model) {
+  std::vector<EntryPointExposure> exposure;
+  for (const EntryPoint& ep : model.entry_points()) {
+    EntryPointExposure e;
+    e.entry_point = ep.id;
+    e.name = ep.name;
+    e.remote = ep.remote;
+    for (const Threat* t : model.threats_via_entry_point(ep.id)) {
+      ++e.threat_count;
+      e.sum_average += t->dread.average();
+    }
+    if (e.threat_count > 0) exposure.push_back(std::move(e));
+  }
+  std::stable_sort(exposure.begin(), exposure.end(),
+                   [](const EntryPointExposure& a, const EntryPointExposure& b) {
+                     return a.sum_average > b.sum_average;
+                   });
+  return exposure;
+}
+
+std::vector<std::pair<Stride, std::size_t>> stride_distribution(
+    const ThreatModel& model) {
+  constexpr Stride kAll[] = {
+      Stride::kSpoofing,           Stride::kTampering,
+      Stride::kRepudiation,        Stride::kInformationDisclosure,
+      Stride::kDenialOfService,    Stride::kElevationOfPrivilege,
+  };
+  std::vector<std::pair<Stride, std::size_t>> distribution;
+  for (const Stride category : kAll) {
+    std::size_t count = 0;
+    for (const Threat& t : model.threats()) {
+      if (t.stride.contains(category)) ++count;
+    }
+    distribution.emplace_back(category, count);
+  }
+  return distribution;
+}
+
+std::vector<RiskCell> risk_matrix(const ThreatModel& model) {
+  std::vector<RiskCell> cells;
+  cells.reserve(model.threats().size());
+  for (const Threat& t : model.threats()) {
+    RiskCell cell;
+    cell.threat = t.id;
+    cell.likelihood = (t.dread.reproducibility() + t.dread.exploitability() +
+                       t.dread.discoverability()) /
+                      3.0;
+    cell.impact = (t.dread.damage() + t.dread.affected_users()) / 2.0;
+    cells.push_back(cell);
+  }
+  return cells;
+}
+
+double remote_reachable_fraction(const ThreatModel& model) {
+  if (model.threats().empty()) return 0.0;
+  std::size_t remote = 0;
+  for (const Threat& t : model.threats()) {
+    for (const EntryPointId& ep_id : t.entry_points) {
+      const EntryPoint* ep = model.find_entry_point(ep_id);
+      if (ep != nullptr && ep->remote) {
+        ++remote;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(remote) /
+         static_cast<double>(model.threats().size());
+}
+
+}  // namespace psme::threat

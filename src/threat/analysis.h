@@ -1,0 +1,65 @@
+// psme::threat — aggregate analysis over a threat model.
+//
+// The "Threat Rating" step exists to "prioritise design effort" (paper
+// Sec. II); these helpers compute the aggregates a security team actually
+// prioritises with: per-asset risk totals, entry-point exposure (how much
+// risk flows through each interface — where monitoring/enforcement buys
+// the most), STRIDE category distribution, and a likelihood x impact risk
+// matrix derived from the DREAD axes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "threat/threat_model.h"
+
+namespace psme::threat {
+
+struct AssetRisk {
+  AssetId asset;
+  std::string name;
+  std::size_t threat_count = 0;
+  double max_average = 0.0;   // worst threat against the asset
+  double sum_average = 0.0;   // total risk mass on the asset
+};
+
+struct EntryPointExposure {
+  EntryPointId entry_point;
+  std::string name;
+  bool remote = false;
+  std::size_t threat_count = 0;
+  double sum_average = 0.0;
+};
+
+/// DREAD maps onto a classic likelihood/impact matrix:
+///   likelihood ~ mean(reproducibility, exploitability, discoverability)
+///   impact     ~ mean(damage, affected users)
+struct RiskCell {
+  ThreatId threat;
+  double likelihood = 0.0;  // 0..10
+  double impact = 0.0;      // 0..10
+};
+
+/// Per-asset risk aggregates, sorted by descending max_average (worst
+/// first), ties by sum.
+[[nodiscard]] std::vector<AssetRisk> asset_risk_profile(const ThreatModel& model);
+
+/// Per-entry-point exposure, sorted by descending sum_average. The top
+/// entries are where an enforcement point pays off most — in the paper's
+/// case study this surfaces the sensors and the cellular interface.
+[[nodiscard]] std::vector<EntryPointExposure> entry_point_exposure(
+    const ThreatModel& model);
+
+/// Count of threats carrying each STRIDE category.
+[[nodiscard]] std::vector<std::pair<Stride, std::size_t>> stride_distribution(
+    const ThreatModel& model);
+
+/// Likelihood/impact coordinates for every threat.
+[[nodiscard]] std::vector<RiskCell> risk_matrix(const ThreatModel& model);
+
+/// Fraction of threats reachable through at least one remote entry point —
+/// the "inter-connectivity exposes them to a myriad of security risks"
+/// statistic from the paper's introduction.
+[[nodiscard]] double remote_reachable_fraction(const ThreatModel& model);
+
+}  // namespace psme::threat

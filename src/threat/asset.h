@@ -1,0 +1,67 @@
+// psme::threat — assets, entry points and operational modes.
+//
+// "Identify Assets" and "Entry Points" are the second and third steps of
+// the application threat modelling process (paper Fig. 1 / Sec. II). An
+// asset is an item of value to protect; an entry point is an interface
+// through which an adversary can reach it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace psme::threat {
+
+/// Identifier types are distinct structs rather than raw strings so that an
+/// asset id can never be passed where an entry-point id is expected.
+struct AssetId {
+  std::string value;
+  friend bool operator==(const AssetId&, const AssetId&) = default;
+  friend auto operator<=>(const AssetId&, const AssetId&) = default;
+};
+
+struct EntryPointId {
+  std::string value;
+  friend bool operator==(const EntryPointId&, const EntryPointId&) = default;
+  friend auto operator<=>(const EntryPointId&, const EntryPointId&) = default;
+};
+
+/// Operational mode of the device (the paper's car modes: normal,
+/// remote-diagnostic, fail-safe). Kept generic: any use case defines its
+/// own mode identifiers.
+struct ModeId {
+  std::string value;
+  friend bool operator==(const ModeId&, const ModeId&) = default;
+  friend auto operator<=>(const ModeId&, const ModeId&) = default;
+};
+
+/// How much harm losing the asset causes; drives countermeasure priority.
+enum class Criticality : std::uint8_t {
+  kConvenience,   // infotainment-grade
+  kOperational,   // degraded service
+  kSafety,        // risk to occupants or environment
+};
+
+struct Asset {
+  AssetId id;
+  std::string name;         // e.g. "EV-ECU (accel, brake, transmission)"
+  std::string description;
+  Criticality criticality = Criticality::kOperational;
+};
+
+struct EntryPoint {
+  EntryPointId id;
+  std::string name;         // e.g. "3G/4G/WiFi"
+  std::string description;
+  /// True for interfaces reachable without physical access (cellular,
+  /// WiFi); remote entry points raise effective exploitability.
+  bool remote = false;
+};
+
+struct Mode {
+  ModeId id;
+  std::string name;
+  std::string description;
+};
+
+}  // namespace psme::threat

@@ -1,0 +1,86 @@
+#include "threat/dread.h"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace psme::threat {
+
+std::string_view to_string(RiskBand band) noexcept {
+  switch (band) {
+    case RiskBand::kLow: return "low";
+    case RiskBand::kMedium: return "medium";
+    case RiskBand::kHigh: return "high";
+    case RiskBand::kCritical: return "critical";
+  }
+  return "?";
+}
+
+namespace {
+
+int checked_axis(int v, const char* name) {
+  if (v < 0 || v > DreadScore::kMaxAxis) {
+    throw std::out_of_range(std::string("DreadScore: axis '") + name +
+                            "' outside 0..10");
+  }
+  return v;
+}
+
+}  // namespace
+
+DreadScore::DreadScore(int damage, int reproducibility, int exploitability,
+                       int affected_users, int discoverability)
+    : damage_(checked_axis(damage, "damage")),
+      reproducibility_(checked_axis(reproducibility, "reproducibility")),
+      exploitability_(checked_axis(exploitability, "exploitability")),
+      affected_users_(checked_axis(affected_users, "affected_users")),
+      discoverability_(checked_axis(discoverability, "discoverability")) {}
+
+double DreadScore::average() const noexcept {
+  return (damage_ + reproducibility_ + exploitability_ + affected_users_ +
+          discoverability_) /
+         5.0;
+}
+
+RiskBand DreadScore::band() const noexcept {
+  const double avg = average();
+  if (avg >= 8.0) return RiskBand::kCritical;
+  if (avg >= 6.0) return RiskBand::kHigh;
+  if (avg >= 4.0) return RiskBand::kMedium;
+  return RiskBand::kLow;
+}
+
+std::string DreadScore::to_string() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%d,%d,%d,%d,%d (%.1f)", damage_,
+                reproducibility_, exploitability_, affected_users_,
+                discoverability_, average());
+  return buf;
+}
+
+DreadScore DreadScore::parse(std::string_view text) {
+  int axes[5] = {0, 0, 0, 0, 0};
+  double avg = -1.0;
+  const std::string owned(text);
+  const int matched =
+      std::sscanf(owned.c_str(), "%d,%d,%d,%d,%d (%lf)", &axes[0], &axes[1],
+                  &axes[2], &axes[3], &axes[4], &avg);
+  if (matched < 5) {
+    throw std::invalid_argument("DreadScore::parse: expected 'd,r,e,a,d (avg)'");
+  }
+  DreadScore score(axes[0], axes[1], axes[2], axes[3], axes[4]);
+  if (matched == 6 && std::fabs(score.average() - avg) > 0.05) {
+    throw std::invalid_argument(
+        "DreadScore::parse: stated average disagrees with recomputed mean");
+  }
+  return score;
+}
+
+std::partial_ordering DreadScore::compare(const DreadScore& other) const noexcept {
+  if (const auto c = average() <=> other.average(); c != 0) return c;
+  if (const auto c = damage_ <=> other.damage_; c != 0) return c;
+  if (const auto c = exploitability_ <=> other.exploitability_; c != 0) return c;
+  return std::partial_ordering::equivalent;
+}
+
+}  // namespace psme::threat

@@ -1,0 +1,69 @@
+// psme::threat — DREAD risk rating.
+//
+// DREAD quantifies a threat along five axes, each scored 0..10:
+//   Damage potential, Reproducibility, Exploitability, Affected users,
+//   Discoverability.
+// The paper reports each threat as the 5-tuple plus its arithmetic mean
+// (e.g. "8,5,4,6,4 (5.4)"); DreadScore reproduces that formatting exactly
+// so Table I can be diffed against the paper.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace psme::threat {
+
+enum class RiskBand : std::uint8_t {
+  kLow,       // average < 4.0
+  kMedium,    // 4.0 <= average < 6.0
+  kHigh,      // 6.0 <= average < 8.0
+  kCritical,  // average >= 8.0
+};
+
+[[nodiscard]] std::string_view to_string(RiskBand band) noexcept;
+
+class DreadScore {
+ public:
+  static constexpr int kMaxAxis = 10;
+
+  constexpr DreadScore() noexcept = default;
+
+  /// Throws std::out_of_range if any axis is outside 0..10.
+  DreadScore(int damage, int reproducibility, int exploitability,
+             int affected_users, int discoverability);
+
+  [[nodiscard]] int damage() const noexcept { return damage_; }
+  [[nodiscard]] int reproducibility() const noexcept { return reproducibility_; }
+  [[nodiscard]] int exploitability() const noexcept { return exploitability_; }
+  [[nodiscard]] int affected_users() const noexcept { return affected_users_; }
+  [[nodiscard]] int discoverability() const noexcept { return discoverability_; }
+
+  /// Arithmetic mean of the five axes, the paper's "(Avg.)" column.
+  [[nodiscard]] double average() const noexcept;
+
+  [[nodiscard]] RiskBand band() const noexcept;
+
+  /// Paper notation: "8,5,4,6,4 (5.4)".
+  [[nodiscard]] std::string to_string() const;
+
+  /// Parses the paper notation (the parenthesised average, if present, is
+  /// validated against the recomputed mean; mismatch throws).
+  static DreadScore parse(std::string_view text);
+
+  /// Orders by average risk; equal averages compare by damage then
+  /// exploitability (tie-breaking for stable prioritised lists).
+  [[nodiscard]] std::partial_ordering compare(const DreadScore& other) const noexcept;
+
+  friend bool operator==(const DreadScore&, const DreadScore&) noexcept = default;
+
+ private:
+  int damage_ = 0;
+  int reproducibility_ = 0;
+  int exploitability_ = 0;
+  int affected_users_ = 0;
+  int discoverability_ = 0;
+};
+
+}  // namespace psme::threat

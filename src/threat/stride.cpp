@@ -1,0 +1,79 @@
+#include "threat/stride.h"
+
+#include <array>
+#include <bit>
+#include <stdexcept>
+
+namespace psme::threat {
+namespace {
+
+constexpr std::array<Stride, 6> kCanonicalOrder = {
+    Stride::kSpoofing,           Stride::kTampering,
+    Stride::kRepudiation,        Stride::kInformationDisclosure,
+    Stride::kDenialOfService,    Stride::kElevationOfPrivilege,
+};
+
+}  // namespace
+
+std::string_view to_string(Stride category) noexcept {
+  switch (category) {
+    case Stride::kSpoofing: return "Spoofing";
+    case Stride::kTampering: return "Tampering";
+    case Stride::kRepudiation: return "Repudiation";
+    case Stride::kInformationDisclosure: return "InformationDisclosure";
+    case Stride::kDenialOfService: return "DenialOfService";
+    case Stride::kElevationOfPrivilege: return "ElevationOfPrivilege";
+  }
+  return "?";
+}
+
+char to_letter(Stride category) noexcept {
+  switch (category) {
+    case Stride::kSpoofing: return 'S';
+    case Stride::kTampering: return 'T';
+    case Stride::kRepudiation: return 'R';
+    case Stride::kInformationDisclosure: return 'I';
+    case Stride::kDenialOfService: return 'D';
+    case Stride::kElevationOfPrivilege: return 'E';
+  }
+  return '?';
+}
+
+StrideSet StrideSet::parse(std::string_view letters) {
+  StrideSet set;
+  for (char ch : letters) {
+    switch (ch) {
+      case 'S': set.insert(Stride::kSpoofing); break;
+      case 'T': set.insert(Stride::kTampering); break;
+      case 'R': set.insert(Stride::kRepudiation); break;
+      case 'I': set.insert(Stride::kInformationDisclosure); break;
+      case 'D': set.insert(Stride::kDenialOfService); break;
+      case 'E': set.insert(Stride::kElevationOfPrivilege); break;
+      default:
+        throw std::invalid_argument(std::string("StrideSet::parse: unknown letter '") + ch + "'");
+    }
+  }
+  return set;
+}
+
+int StrideSet::size() const noexcept { return std::popcount(bits_); }
+
+std::string StrideSet::letters() const {
+  std::string out;
+  for (Stride c : kCanonicalOrder) {
+    if (contains(c)) out += to_letter(c);
+  }
+  return out;
+}
+
+std::string StrideSet::to_string() const {
+  std::string out;
+  for (Stride c : kCanonicalOrder) {
+    if (!contains(c)) continue;
+    if (!out.empty()) out += '|';
+    out += psme::threat::to_string(c);
+  }
+  return out;
+}
+
+}  // namespace psme::threat

@@ -1,0 +1,86 @@
+// psme::threat — STRIDE threat categorisation.
+//
+// STRIDE classifies a threat by the security property it violates:
+//   Spoofing               -> authentication
+//   Tampering              -> integrity
+//   Repudiation            -> non-repudiation
+//   Information disclosure -> confidentiality
+//   Denial of service      -> availability
+//   Elevation of privilege -> authorisation
+//
+// The paper's Table I encodes category sets as letter strings ("STD",
+// "TIE", "STIDE", ...); StrideSet parses and prints that notation.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+
+namespace psme::threat {
+
+enum class Stride : std::uint8_t {
+  kSpoofing = 1u << 0,
+  kTampering = 1u << 1,
+  kRepudiation = 1u << 2,
+  kInformationDisclosure = 1u << 3,
+  kDenialOfService = 1u << 4,
+  kElevationOfPrivilege = 1u << 5,
+};
+
+[[nodiscard]] std::string_view to_string(Stride category) noexcept;
+
+/// The letter used in the paper's compact notation (S, T, R, I, D, E).
+[[nodiscard]] char to_letter(Stride category) noexcept;
+
+/// A set of STRIDE categories (a threat usually violates several).
+class StrideSet {
+ public:
+  constexpr StrideSet() noexcept = default;
+  constexpr StrideSet(std::initializer_list<Stride> categories) noexcept {
+    for (Stride c : categories) bits_ |= static_cast<std::uint8_t>(c);
+  }
+
+  /// Parses the paper's compact letter notation, e.g. "STD" or "TIE".
+  /// Throws std::invalid_argument on an unknown letter.
+  static StrideSet parse(std::string_view letters);
+
+  [[nodiscard]] constexpr bool contains(Stride c) const noexcept {
+    return (bits_ & static_cast<std::uint8_t>(c)) != 0;
+  }
+  [[nodiscard]] constexpr bool empty() const noexcept { return bits_ == 0; }
+  [[nodiscard]] int size() const noexcept;
+
+  constexpr void insert(Stride c) noexcept {
+    bits_ |= static_cast<std::uint8_t>(c);
+  }
+  constexpr void erase(Stride c) noexcept {
+    bits_ &= static_cast<std::uint8_t>(~static_cast<std::uint8_t>(c));
+  }
+
+  /// Compact letter form in canonical S,T,R,I,D,E order ("STD").
+  [[nodiscard]] std::string letters() const;
+
+  /// Long form ("Spoofing|Tampering|DenialOfService").
+  [[nodiscard]] std::string to_string() const;
+
+  /// True when the set implies the threat violates integrity (tampering)
+  /// or authenticity (spoofing) — used by the policy compiler to decide
+  /// between read- and write-side enforcement.
+  [[nodiscard]] constexpr bool violates_integrity() const noexcept {
+    return contains(Stride::kTampering) || contains(Stride::kSpoofing);
+  }
+  [[nodiscard]] constexpr bool violates_availability() const noexcept {
+    return contains(Stride::kDenialOfService);
+  }
+  [[nodiscard]] constexpr bool violates_confidentiality() const noexcept {
+    return contains(Stride::kInformationDisclosure);
+  }
+
+  friend constexpr bool operator==(StrideSet a, StrideSet b) noexcept = default;
+
+ private:
+  std::uint8_t bits_ = 0;
+};
+
+}  // namespace psme::threat

@@ -1,0 +1,73 @@
+// psme::threat — threat records and countermeasures.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "threat/asset.h"
+#include "threat/dread.h"
+#include "threat/stride.h"
+
+namespace psme::threat {
+
+struct ThreatId {
+  std::string value;
+  friend bool operator==(const ThreatId&, const ThreatId&) = default;
+  friend auto operator<=>(const ThreatId&, const ThreatId&) = default;
+};
+
+/// Access permitted to an asset at an entry point — the paper's "Policy"
+/// column. kRead means the entry point may only read from the asset; kWrite
+/// may only write; kReadWrite both; kNone neither.
+enum class Permission : std::uint8_t {
+  kNone = 0,
+  kRead = 1,
+  kWrite = 2,
+  kReadWrite = 3,
+};
+
+[[nodiscard]] constexpr bool allows_read(Permission p) noexcept {
+  return p == Permission::kRead || p == Permission::kReadWrite;
+}
+[[nodiscard]] constexpr bool allows_write(Permission p) noexcept {
+  return p == Permission::kWrite || p == Permission::kReadWrite;
+}
+
+/// Paper notation: R, W, RW, or "-" for none.
+[[nodiscard]] std::string_view to_string(Permission p) noexcept;
+
+/// Parses "R" / "W" / "RW" / "-"; throws std::invalid_argument otherwise.
+[[nodiscard]] Permission parse_permission(std::string_view text);
+
+/// A countermeasure is either a design-time guideline (the traditional
+/// output of threat modelling) or an enforceable policy (the paper's
+/// contribution). Keeping both lets benches contrast the two approaches.
+enum class CountermeasureKind : std::uint8_t {
+  kGuideline,  // prose for developers; requires redesign to change
+  kPolicy,     // machine-enforceable; deployable as an update
+};
+
+struct Countermeasure {
+  CountermeasureKind kind = CountermeasureKind::kGuideline;
+  std::string text;
+  /// For kPolicy: the permission the affected entry points should be
+  /// restricted to at the asset.
+  Permission permission = Permission::kNone;
+};
+
+/// One identified threat (a row of the paper's Table I).
+struct Threat {
+  ThreatId id;
+  std::string title;            // e.g. "Spoofed data over CAN bus ..."
+  std::string description;
+  AssetId asset;                // the critical asset under threat
+  std::vector<EntryPointId> entry_points;
+  std::vector<ModeId> modes;    // car modes in which the threat applies
+  StrideSet stride;
+  DreadScore dread;
+  Permission recommended_policy = Permission::kNone;
+  std::vector<Countermeasure> countermeasures;
+};
+
+}  // namespace psme::threat

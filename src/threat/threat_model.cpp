@@ -1,0 +1,195 @@
+#include "threat/threat_model.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace psme::threat {
+
+std::string_view to_string(Permission p) noexcept {
+  switch (p) {
+    case Permission::kNone: return "-";
+    case Permission::kRead: return "R";
+    case Permission::kWrite: return "W";
+    case Permission::kReadWrite: return "RW";
+  }
+  return "?";
+}
+
+Permission parse_permission(std::string_view text) {
+  if (text == "R") return Permission::kRead;
+  if (text == "W") return Permission::kWrite;
+  if (text == "RW") return Permission::kReadWrite;
+  if (text == "-" || text.empty()) return Permission::kNone;
+  throw std::invalid_argument("parse_permission: expected R, W, RW or -");
+}
+
+const Asset* ThreatModel::find_asset(const AssetId& id) const noexcept {
+  for (const auto& a : assets_) {
+    if (a.id == id) return &a;
+  }
+  return nullptr;
+}
+
+const EntryPoint* ThreatModel::find_entry_point(
+    const EntryPointId& id) const noexcept {
+  for (const auto& e : entry_points_) {
+    if (e.id == id) return &e;
+  }
+  return nullptr;
+}
+
+const Mode* ThreatModel::find_mode(const ModeId& id) const noexcept {
+  for (const auto& m : modes_) {
+    if (m.id == id) return &m;
+  }
+  return nullptr;
+}
+
+const Threat* ThreatModel::find_threat(const ThreatId& id) const noexcept {
+  for (const auto& t : threats_) {
+    if (t.id == id) return &t;
+  }
+  return nullptr;
+}
+
+std::vector<const Threat*> ThreatModel::threats_for_asset(
+    const AssetId& id) const {
+  std::vector<const Threat*> out;
+  for (const auto& t : threats_) {
+    if (t.asset == id) out.push_back(&t);
+  }
+  return out;
+}
+
+std::vector<const Threat*> ThreatModel::threats_via_entry_point(
+    const EntryPointId& id) const {
+  std::vector<const Threat*> out;
+  for (const auto& t : threats_) {
+    if (std::find(t.entry_points.begin(), t.entry_points.end(), id) !=
+        t.entry_points.end()) {
+      out.push_back(&t);
+    }
+  }
+  return out;
+}
+
+std::vector<const Threat*> ThreatModel::prioritised() const {
+  std::vector<const Threat*> out;
+  out.reserve(threats_.size());
+  for (const auto& t : threats_) out.push_back(&t);
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Threat* a, const Threat* b) {
+                     return a->dread.compare(b->dread) ==
+                            std::partial_ordering::greater;
+                   });
+  return out;
+}
+
+double ThreatModel::mean_risk() const {
+  if (threats_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& t : threats_) sum += t.dread.average();
+  return sum / static_cast<double>(threats_.size());
+}
+
+const Threat* ThreatModel::highest_risk() const {
+  const auto ordered = prioritised();
+  return ordered.empty() ? nullptr : ordered.front();
+}
+
+ThreatModelBuilder::ThreatModelBuilder(std::string use_case) {
+  if (use_case.empty()) {
+    throw std::invalid_argument("ThreatModelBuilder: use case name required");
+  }
+  model_.use_case_ = std::move(use_case);
+}
+
+ThreatModelBuilder& ThreatModelBuilder::add_asset(Asset asset) {
+  if (asset.id.value.empty()) {
+    throw std::invalid_argument("add_asset: empty asset id");
+  }
+  if (known_asset(asset.id)) {
+    throw std::invalid_argument("add_asset: duplicate asset id '" +
+                                asset.id.value + "'");
+  }
+  model_.assets_.push_back(std::move(asset));
+  return *this;
+}
+
+ThreatModelBuilder& ThreatModelBuilder::add_entry_point(EntryPoint entry_point) {
+  if (entry_point.id.value.empty()) {
+    throw std::invalid_argument("add_entry_point: empty entry point id");
+  }
+  if (known_entry_point(entry_point.id)) {
+    throw std::invalid_argument("add_entry_point: duplicate id '" +
+                                entry_point.id.value + "'");
+  }
+  model_.entry_points_.push_back(std::move(entry_point));
+  return *this;
+}
+
+ThreatModelBuilder& ThreatModelBuilder::add_mode(Mode mode) {
+  if (mode.id.value.empty()) {
+    throw std::invalid_argument("add_mode: empty mode id");
+  }
+  if (known_mode(mode.id)) {
+    throw std::invalid_argument("add_mode: duplicate mode id '" +
+                                mode.id.value + "'");
+  }
+  model_.modes_.push_back(std::move(mode));
+  return *this;
+}
+
+ThreatModelBuilder& ThreatModelBuilder::add_threat(Threat threat) {
+  if (threat.id.value.empty()) {
+    throw std::invalid_argument("add_threat: empty threat id");
+  }
+  if (model_.find_threat(threat.id) != nullptr) {
+    throw std::invalid_argument("add_threat: duplicate threat id '" +
+                                threat.id.value + "'");
+  }
+  if (!known_asset(threat.asset)) {
+    throw std::invalid_argument("add_threat: unknown asset '" +
+                                threat.asset.value + "'");
+  }
+  if (threat.entry_points.empty()) {
+    throw std::invalid_argument("add_threat '" + threat.id.value +
+                                "': at least one entry point required");
+  }
+  for (const auto& ep : threat.entry_points) {
+    if (!known_entry_point(ep)) {
+      throw std::invalid_argument("add_threat '" + threat.id.value +
+                                  "': unknown entry point '" + ep.value + "'");
+    }
+  }
+  for (const auto& m : threat.modes) {
+    if (!known_mode(m)) {
+      throw std::invalid_argument("add_threat '" + threat.id.value +
+                                  "': unknown mode '" + m.value + "'");
+    }
+  }
+  if (threat.stride.empty()) {
+    throw std::invalid_argument("add_threat '" + threat.id.value +
+                                "': STRIDE classification required");
+  }
+  model_.threats_.push_back(std::move(threat));
+  return *this;
+}
+
+bool ThreatModelBuilder::known_asset(const AssetId& id) const noexcept {
+  return model_.find_asset(id) != nullptr;
+}
+bool ThreatModelBuilder::known_entry_point(const EntryPointId& id) const noexcept {
+  return model_.find_entry_point(id) != nullptr;
+}
+bool ThreatModelBuilder::known_mode(const ModeId& id) const noexcept {
+  return model_.find_mode(id) != nullptr;
+}
+
+ThreatModel ThreatModelBuilder::build() {
+  ThreatModel out = std::move(model_);
+  model_ = ThreatModel{};
+  return out;
+}
+
+}  // namespace psme::threat

@@ -1,0 +1,101 @@
+// psme::threat — the threat model document and its builder.
+//
+// A ThreatModel is the technical artefact produced by the application
+// threat modelling process (paper Sec. II): the system's assets, entry
+// points, operational modes, and the identified threats with their STRIDE
+// classification, DREAD rating and countermeasures. It is the input to
+// psme::core::PolicyCompiler, which turns it into an enforceable policy
+// set — the step that distinguishes the paper's approach from guideline
+// documents.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "threat/asset.h"
+#include "threat/threat.h"
+
+namespace psme::threat {
+
+class ThreatModelBuilder;
+
+class ThreatModel {
+ public:
+  [[nodiscard]] const std::string& use_case() const noexcept { return use_case_; }
+
+  [[nodiscard]] const std::vector<Asset>& assets() const noexcept { return assets_; }
+  [[nodiscard]] const std::vector<EntryPoint>& entry_points() const noexcept {
+    return entry_points_;
+  }
+  [[nodiscard]] const std::vector<Mode>& modes() const noexcept { return modes_; }
+  [[nodiscard]] const std::vector<Threat>& threats() const noexcept {
+    return threats_;
+  }
+
+  [[nodiscard]] const Asset* find_asset(const AssetId& id) const noexcept;
+  [[nodiscard]] const EntryPoint* find_entry_point(const EntryPointId& id) const noexcept;
+  [[nodiscard]] const Mode* find_mode(const ModeId& id) const noexcept;
+  [[nodiscard]] const Threat* find_threat(const ThreatId& id) const noexcept;
+
+  /// Threats targeting one asset, unsorted.
+  [[nodiscard]] std::vector<const Threat*> threats_for_asset(const AssetId& id) const;
+
+  /// Threats reachable through one entry point.
+  [[nodiscard]] std::vector<const Threat*> threats_via_entry_point(
+      const EntryPointId& id) const;
+
+  /// All threats ordered by descending DREAD average ("Threat Rating" step:
+  /// prioritise design effort toward the riskiest threats).
+  [[nodiscard]] std::vector<const Threat*> prioritised() const;
+
+  /// Mean DREAD average across all threats (summary statistic for reports).
+  [[nodiscard]] double mean_risk() const;
+
+  /// Highest-risk threat, or nullptr when the model is empty.
+  [[nodiscard]] const Threat* highest_risk() const;
+
+ private:
+  friend class ThreatModelBuilder;
+
+  std::string use_case_;
+  std::vector<Asset> assets_;
+  std::vector<EntryPoint> entry_points_;
+  std::vector<Mode> modes_;
+  std::vector<Threat> threats_;
+};
+
+/// Fluent builder enforcing referential integrity: a threat may only cite
+/// assets, entry points and modes that were registered first. build()
+/// performs final validation and yields an immutable ThreatModel.
+class ThreatModelBuilder {
+ public:
+  explicit ThreatModelBuilder(std::string use_case);
+
+  ThreatModelBuilder& add_asset(Asset asset);
+  ThreatModelBuilder& add_entry_point(EntryPoint entry_point);
+  ThreatModelBuilder& add_mode(Mode mode);
+
+  /// Validates all references; throws std::invalid_argument on an unknown
+  /// asset/entry-point/mode id or duplicate threat id.
+  ThreatModelBuilder& add_threat(Threat threat);
+
+  /// Number of threats added so far.
+  [[nodiscard]] std::size_t threat_count() const noexcept {
+    return model_.threats_.size();
+  }
+
+  /// Finalises the model. The builder is left empty (moved-from).
+  [[nodiscard]] ThreatModel build();
+
+ private:
+  [[nodiscard]] bool known_asset(const AssetId& id) const noexcept;
+  [[nodiscard]] bool known_entry_point(const EntryPointId& id) const noexcept;
+  [[nodiscard]] bool known_mode(const ModeId& id) const noexcept;
+
+  ThreatModel model_;
+};
+
+}  // namespace psme::threat

@@ -1,0 +1,120 @@
+// Unit tests for the staged fleet rollout model (psme::core::fleet).
+#include <gtest/gtest.h>
+
+#include "core/fleet.h"
+
+namespace psme::core {
+namespace {
+
+PolicyBundle make_bundle(std::uint64_t key, std::uint64_t version = 2) {
+  PolicySet set("fleet", version);
+  PolicyRule rule;
+  rule.id = "fix";
+  rule.subject = "*";
+  rule.object = "asset";
+  rule.permission = threat::Permission::kRead;
+  set.add_rule(rule);
+  return PolicyBundle{set, PolicySigner(key).sign(set), "oem"};
+}
+
+TEST(Fleet, LosslessRolloutUpdatesEveryone) {
+  FleetOptions options;
+  options.fleet_size = 200;
+  options.delivery_loss = 0.0;
+  FleetRollout rollout(options);
+  const RolloutReport report = rollout.run(make_bundle(42), 42);
+  EXPECT_EQ(report.fleet_size, 200u);
+  EXPECT_EQ(report.updated, 200u);
+  EXPECT_EQ(report.stragglers, 0u);
+  EXPECT_GT(report.exposure_device_hours, 0.0);
+}
+
+TEST(Fleet, WavesAreStagedAndMonotone) {
+  FleetOptions options;
+  options.fleet_size = 400;
+  options.delivery_loss = 0.0;
+  options.waves = {0.05, 0.25, 1.0};
+  FleetRollout rollout(options);
+  const RolloutReport report = rollout.run(make_bundle(42), 42);
+  ASSERT_EQ(report.waves.size(), 3u);
+  // Each wave record snapshots updated count at its start: wave w sees at
+  // most the previous wave's targets updated.
+  EXPECT_EQ(report.waves[0].updated, 0u);
+  EXPECT_LE(report.waves[1].updated, report.waves[0].targeted);
+  EXPECT_LE(report.waves[2].updated, report.waves[1].targeted);
+  EXPECT_EQ(report.waves[2].targeted, 400u);
+}
+
+TEST(Fleet, LossyChannelLeavesStragglersBounded) {
+  FleetOptions options;
+  options.fleet_size = 500;
+  options.delivery_loss = 0.5;
+  options.max_attempts = 2;  // deliberately tight: p(fail) = 0.25
+  FleetRollout rollout(options);
+  const RolloutReport report = rollout.run(make_bundle(42), 42);
+  EXPECT_EQ(report.updated + report.stragglers, 500u);
+  EXPECT_GT(report.stragglers, 50u);   // ~125 expected
+  EXPECT_LT(report.stragglers, 250u);
+}
+
+TEST(Fleet, RetriesRecoverFromModerateLoss) {
+  FleetOptions options;
+  options.fleet_size = 300;
+  options.delivery_loss = 0.3;
+  options.max_attempts = 10;  // p(fail) ~ 6e-6
+  FleetRollout rollout(options);
+  const RolloutReport report = rollout.run(make_bundle(42), 42);
+  EXPECT_EQ(report.updated, 300u);
+}
+
+TEST(Fleet, WrongKeyUpdatesNobody) {
+  FleetOptions options;
+  options.fleet_size = 50;
+  options.delivery_loss = 0.0;
+  FleetRollout rollout(options);
+  // Bundle signed with key 1, devices provisioned with key 2.
+  const RolloutReport report = rollout.run(make_bundle(1), 2);
+  EXPECT_EQ(report.updated, 0u);
+}
+
+TEST(Fleet, FasterWavesReduceExposure) {
+  FleetOptions slow;
+  slow.fleet_size = 300;
+  slow.delivery_loss = 0.0;
+  slow.wave_interval = std::chrono::hours{24};
+  FleetOptions fast = slow;
+  fast.wave_interval = std::chrono::hours{1};
+  const auto slow_report = FleetRollout(slow).run(make_bundle(42), 42);
+  const auto fast_report = FleetRollout(fast).run(make_bundle(42), 42);
+  EXPECT_GT(slow_report.exposure_device_hours,
+            fast_report.exposure_device_hours * 2);
+}
+
+TEST(Fleet, DeterministicGivenSeed) {
+  FleetOptions options;
+  options.fleet_size = 100;
+  options.delivery_loss = 0.2;
+  const auto a = FleetRollout(options).run(make_bundle(42), 42);
+  const auto b = FleetRollout(options).run(make_bundle(42), 42);
+  EXPECT_EQ(a.updated, b.updated);
+  EXPECT_EQ(a.stragglers, b.stragglers);
+  EXPECT_DOUBLE_EQ(a.exposure_device_hours, b.exposure_device_hours);
+}
+
+TEST(Fleet, OptionValidation) {
+  FleetOptions bad;
+  bad.fleet_size = 0;
+  EXPECT_THROW(FleetRollout{bad}, std::invalid_argument);
+  bad = FleetOptions{};
+  bad.waves = {};
+  EXPECT_THROW(FleetRollout{bad}, std::invalid_argument);
+  bad = FleetOptions{};
+  bad.waves = {0.5, 0.5};
+  EXPECT_THROW(FleetRollout{bad}, std::invalid_argument);
+  bad = FleetOptions{};
+  bad.waves = {0.5, 1.5};
+  EXPECT_THROW(FleetRollout{bad}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace psme::core

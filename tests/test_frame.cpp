@@ -1,0 +1,169 @@
+// Unit tests for CAN frames, identifiers, CRC-15 and wire-length
+// computation (psme::can).
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "can/frame.h"
+
+namespace psme::can {
+namespace {
+
+TEST(CanId, StandardBounds) {
+  EXPECT_NO_THROW(CanId::standard(0));
+  EXPECT_NO_THROW(CanId::standard(0x7FF));
+  EXPECT_THROW(CanId::standard(0x800), std::out_of_range);
+}
+
+TEST(CanId, ExtendedBounds) {
+  EXPECT_NO_THROW(CanId::extended(0));
+  EXPECT_NO_THROW(CanId::extended(0x1FFFFFFF));
+  EXPECT_THROW(CanId::extended(0x20000000), std::out_of_range);
+}
+
+TEST(CanId, LowerIdWinsArbitration) {
+  EXPECT_LT(CanId::standard(0x100).arbitration_key(),
+            CanId::standard(0x200).arbitration_key());
+  EXPECT_LT(CanId::extended(0x100).arbitration_key(),
+            CanId::extended(0x200).arbitration_key());
+}
+
+TEST(CanId, StandardBeatsExtendedWithSameBaseId) {
+  // IDE bit is dominant (0) for standard frames, so a standard frame wins
+  // against an extended frame sharing the 11 base bits.
+  const CanId std_id = CanId::standard(0x123);
+  const CanId ext_id = CanId::extended((0x123u << 18) | 0x5);
+  EXPECT_LT(std_id.arbitration_key(), ext_id.arbitration_key());
+}
+
+TEST(CanId, ExtendedWithLowerBaseBeatsStandardWithHigherBase) {
+  const CanId ext_id = CanId::extended(0x100u << 18);
+  const CanId std_id = CanId::standard(0x101);
+  EXPECT_LT(ext_id.arbitration_key(), std_id.arbitration_key());
+}
+
+TEST(CanId, ToStringMarksExtended) {
+  EXPECT_EQ(CanId::standard(0x123).to_string(), "0x123");
+  EXPECT_EQ(CanId::extended(0x123).to_string(), "0x123x");
+}
+
+TEST(Frame, DataFrameBasics) {
+  const std::array<std::uint8_t, 3> data{0xDE, 0xAD, 0xBE};
+  const Frame f(CanId::standard(0x42), data);
+  EXPECT_EQ(f.dlc(), 3);
+  EXPECT_FALSE(f.is_remote());
+  EXPECT_EQ(f.data().size(), 3u);
+  EXPECT_EQ(f.byte0(), 0xDE);
+}
+
+TEST(Frame, RejectsOversizedPayload) {
+  const std::array<std::uint8_t, 9> data{};
+  EXPECT_THROW(Frame(CanId::standard(1), data), std::length_error);
+}
+
+TEST(Frame, RemoteFrameHasNoData) {
+  const Frame f = Frame::remote(CanId::standard(0x42), 4);
+  EXPECT_TRUE(f.is_remote());
+  EXPECT_EQ(f.dlc(), 4);
+  EXPECT_TRUE(f.data().empty());
+  EXPECT_EQ(f.byte0(), 0);
+  EXPECT_THROW(Frame::remote(CanId::standard(1), 9), std::length_error);
+}
+
+TEST(Frame, EqualityIsValueBased) {
+  const Frame a = make_frame(0x100, {1, 2});
+  const Frame b = make_frame(0x100, {1, 2});
+  const Frame c = make_frame(0x100, {1, 3});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(Frame, CrcChangesWithAnyBit) {
+  const Frame base = make_frame(0x100, {0x00});
+  const Frame diff_data = make_frame(0x100, {0x01});
+  const Frame diff_id = make_frame(0x101, {0x00});
+  EXPECT_NE(base.crc15(), diff_data.crc15());
+  EXPECT_NE(base.crc15(), diff_id.crc15());
+}
+
+TEST(Frame, CrcIs15Bits) {
+  for (std::uint32_t id = 0; id < 64; ++id) {
+    const Frame f = make_frame(id, {static_cast<std::uint8_t>(id)});
+    EXPECT_LT(f.crc15(), 0x8000);
+  }
+}
+
+TEST(Frame, CrcDeterministic) {
+  const Frame a = make_frame(0x2A7, {9, 8, 7, 6});
+  const Frame b = make_frame(0x2A7, {9, 8, 7, 6});
+  EXPECT_EQ(a.crc15(), b.crc15());
+}
+
+TEST(Frame, WireBitsWithinProtocolBounds) {
+  // Standard data frame, n data bytes: minimum unstuffed length is
+  // 1+11+1+1+1+4+8n+15 (+delims/ack/eof/ifs = 13); stuffing adds at most
+  // ~20% of the stuffable region.
+  for (std::uint8_t n = 0; n <= 8; ++n) {
+    std::vector<std::uint8_t> data(n, 0x55);  // alternating bits: no stuffing
+    const Frame f(CanId::standard(0x555), data);
+    const std::size_t unstuffed = 34 + 8u * n + 13;
+    EXPECT_GE(f.wire_bits(), unstuffed);
+    EXPECT_LE(f.wire_bits(), unstuffed + (34 + 8u * n) / 4 + 1);
+  }
+}
+
+TEST(Frame, AllZeroPayloadTriggersStuffing) {
+  const std::vector<std::uint8_t> zeros(8, 0x00);
+  const std::vector<std::uint8_t> alt(8, 0x55);
+  const Frame stuffy(CanId::standard(0x000), zeros);
+  const Frame smooth(CanId::standard(0x555), alt);
+  EXPECT_GT(stuffy.wire_bits(), smooth.wire_bits());
+}
+
+TEST(Frame, ExtendedFrameLongerThanStandard) {
+  const std::array<std::uint8_t, 4> data{1, 2, 3, 4};
+  const Frame std_f(CanId::standard(0x123), data);
+  const Frame ext_f(CanId::extended(0x123), data);
+  EXPECT_GT(ext_f.wire_bits(), std_f.wire_bits());
+}
+
+TEST(Frame, ToStringShowsIdAndPayload) {
+  const Frame f = make_frame(0x1A0, {0xDE, 0xAD});
+  const std::string s = f.to_string();
+  EXPECT_NE(s.find("0x1A0"), std::string::npos);
+  EXPECT_NE(s.find("de ad"), std::string::npos);
+  const Frame r = Frame::remote(CanId::standard(0x1A0), 2);
+  EXPECT_NE(r.to_string().find("RTR"), std::string::npos);
+}
+
+TEST(MakeFrame, BuildsStandardFrame) {
+  const Frame f = make_frame(0x123, {1, 2, 3});
+  EXPECT_EQ(f.id().raw(), 0x123u);
+  EXPECT_FALSE(f.id().is_extended());
+  EXPECT_EQ(f.dlc(), 3);
+}
+
+// Property sweep: arbitration key ordering must agree with raw-id ordering
+// within a single format.
+class ArbitrationOrderProperty
+    : public ::testing::TestWithParam<std::pair<std::uint32_t, std::uint32_t>> {};
+
+TEST_P(ArbitrationOrderProperty, KeyOrderMatchesIdOrder) {
+  const auto [lo, hi] = GetParam();
+  ASSERT_LT(lo, hi);
+  EXPECT_LT(CanId::standard(lo).arbitration_key(),
+            CanId::standard(hi).arbitration_key());
+  EXPECT_LT(CanId::extended(lo).arbitration_key(),
+            CanId::extended(hi).arbitration_key());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pairs, ArbitrationOrderProperty,
+    ::testing::Values(std::make_pair(0u, 1u), std::make_pair(1u, 2u),
+                      std::make_pair(0x0FFu, 0x100u),
+                      std::make_pair(0x3FFu, 0x400u),
+                      std::make_pair(0x7FEu, 0x7FFu),
+                      std::make_pair(0x123u, 0x124u)));
+
+}  // namespace
+}  // namespace psme::can

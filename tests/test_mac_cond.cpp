@@ -1,0 +1,119 @@
+// Tests for conditional policy (booleans) in the MAC engine — SELinux's
+// runtime-tunable rules, used e.g. to open a diagnostics gate on the
+// infotainment unit while the vehicle is in the workshop.
+#include <gtest/gtest.h>
+
+#include "mac/mac_engine.h"
+
+namespace psme::mac {
+namespace {
+
+PolicyModule workshop_module() {
+  PolicyModule m;
+  m.name = "workshop";
+  m.types = {"tech_tool_t", "system_ctl_t", "browser_t"};
+  m.allows.push_back({"tech_tool_t", "system_ctl_t", "asset", {"read"}});
+  m.booleans.emplace_back("workshop_mode", false);
+  m.conditional_allows.push_back(
+      {"workshop_mode", true,
+       TeRule{"tech_tool_t", "system_ctl_t", "asset", {"write"}}});
+  // Inverted conditional: the browser may read system state only while
+  // NOT in workshop mode (tools get exclusive access during service).
+  m.conditional_allows.push_back(
+      {"workshop_mode", false,
+       TeRule{"browser_t", "system_ctl_t", "asset", {"read"}}});
+  return m;
+}
+
+TEST(MacBooleans, DefaultsApplyOnLoad) {
+  MacEngine engine;
+  engine.load_module(workshop_module());
+  EXPECT_FALSE(engine.boolean("workshop_mode"));
+  EXPECT_FALSE(engine.allowed("tech_tool_t", "system_ctl_t", "write"));
+  EXPECT_TRUE(engine.allowed("browser_t", "system_ctl_t", "read"));
+  // Unconditional rule unaffected.
+  EXPECT_TRUE(engine.allowed("tech_tool_t", "system_ctl_t", "read"));
+}
+
+TEST(MacBooleans, ToggleFlipsConditionalRules) {
+  MacEngine engine;
+  engine.load_module(workshop_module());
+  const auto seq_before = engine.policy_seqno();
+
+  engine.set_boolean("workshop_mode", true);
+  EXPECT_TRUE(engine.boolean("workshop_mode"));
+  EXPECT_GT(engine.policy_seqno(), seq_before);  // rebuilt -> AVC revalidates
+  EXPECT_TRUE(engine.allowed("tech_tool_t", "system_ctl_t", "write"));
+  EXPECT_FALSE(engine.allowed("browser_t", "system_ctl_t", "read"));
+
+  engine.set_boolean("workshop_mode", false);
+  EXPECT_FALSE(engine.allowed("tech_tool_t", "system_ctl_t", "write"));
+  EXPECT_TRUE(engine.allowed("browser_t", "system_ctl_t", "read"));
+}
+
+TEST(MacBooleans, SettingSameValueDoesNotRebuild) {
+  MacEngine engine;
+  engine.load_module(workshop_module());
+  const auto seq = engine.policy_seqno();
+  engine.set_boolean("workshop_mode", false);  // already false
+  EXPECT_EQ(engine.policy_seqno(), seq);
+}
+
+TEST(MacBooleans, UndeclaredBooleanRejected) {
+  MacEngine engine;
+  engine.load_module(workshop_module());
+  EXPECT_THROW(engine.set_boolean("ghost", true), std::invalid_argument);
+  EXPECT_THROW((void)engine.boolean("ghost"), std::invalid_argument);
+}
+
+TEST(MacBooleans, ConditionalRuleNeedsDeclaredBoolean) {
+  MacEngine engine;
+  PolicyModule bad;
+  bad.name = "bad";
+  bad.types = {"a_t", "b_t"};
+  bad.conditional_allows.push_back(
+      {"undeclared", true, TeRule{"a_t", "b_t", "asset", {"read"}}});
+  EXPECT_THROW(engine.load_module(bad), std::invalid_argument);
+  // The failed load rolled back cleanly.
+  EXPECT_TRUE(engine.loaded_modules().empty());
+}
+
+TEST(MacBooleans, NeverallowChecksActiveConditionals) {
+  MacEngine engine;
+  PolicyModule m;
+  m.name = "cond-never";
+  m.types = {"a_t", "b_t"};
+  m.booleans.emplace_back("open_gate", true);  // default true -> rule active
+  m.conditional_allows.push_back(
+      {"open_gate", true, TeRule{"a_t", "b_t", "asset", {"write"}}});
+  m.neverallows.push_back({"a_t", "b_t", "asset", {"write"}});
+  // Active conditional violates the neverallow at load time.
+  EXPECT_THROW(engine.load_module(m), std::logic_error);
+}
+
+TEST(MacBooleans, UnloadDropsModuleRules) {
+  MacEngine engine;
+  engine.load_module(workshop_module());
+  engine.set_boolean("workshop_mode", true);
+  ASSERT_TRUE(engine.allowed("tech_tool_t", "system_ctl_t", "write"));
+  EXPECT_TRUE(engine.unload_module("workshop"));
+  EXPECT_FALSE(engine.allowed("tech_tool_t", "system_ctl_t", "write"));
+}
+
+TEST(MacBooleans, AvcConsistentAcrossToggles) {
+  MacEngine engine;
+  engine.load_module(workshop_module());
+  engine.label("tool", SecurityContext("u", "r", "tech_tool_t"));
+  engine.label("ctl", SecurityContext("u", "obj", "system_ctl_t"));
+  core::AccessRequest req{"tool", "ctl", core::AccessType::kWrite, {}};
+  for (int round = 0; round < 6; ++round) {
+    const bool open = (round % 2) == 1;
+    engine.set_boolean("workshop_mode", open);
+    for (int i = 0; i < 10; ++i) {
+      EXPECT_EQ(engine.evaluate(req).allowed, open) << "round " << round;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace psme::mac

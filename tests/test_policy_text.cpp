@@ -1,0 +1,131 @@
+// Unit tests for the textual policy format (psme::core::policy_text).
+#include <gtest/gtest.h>
+
+#include "car/base_policy.h"
+#include "car/table1.h"
+#include "core/policy_text.h"
+
+namespace psme::core {
+namespace {
+
+constexpr const char* kSample = R"(# fleet policy
+policyset car v3 default=deny
+rule B01 * sensors R -- everyone reads sensors
+rule T01/doors ep.door-locks ev-ecu R in normal prio 20 -- counters T01
+rule X ep.a ep.b RW in normal,fail-safe prio -5
+rule D ep.c ep.d -
+)";
+
+TEST(PolicyText, ParsesHeaderAndRules) {
+  const PolicySet set = parse_policy_text(kSample);
+  EXPECT_EQ(set.name(), "car");
+  EXPECT_EQ(set.version(), 3u);
+  EXPECT_FALSE(set.default_allow());
+  ASSERT_EQ(set.size(), 4u);
+
+  const PolicyRule& b01 = set.rules()[0];
+  EXPECT_EQ(b01.id, "B01");
+  EXPECT_EQ(b01.subject, "*");
+  EXPECT_EQ(b01.permission, threat::Permission::kRead);
+  EXPECT_EQ(b01.rationale, "everyone reads sensors");
+  EXPECT_TRUE(b01.modes.empty());
+  EXPECT_EQ(b01.priority, 0);
+
+  const PolicyRule& t01 = set.rules()[1];
+  EXPECT_EQ(t01.priority, 20);
+  ASSERT_EQ(t01.modes.size(), 1u);
+  EXPECT_EQ(t01.modes[0].value, "normal");
+
+  const PolicyRule& x = set.rules()[2];
+  EXPECT_EQ(x.permission, threat::Permission::kReadWrite);
+  EXPECT_EQ(x.modes.size(), 2u);
+  EXPECT_EQ(x.priority, -5);
+
+  EXPECT_EQ(set.rules()[3].permission, threat::Permission::kNone);
+}
+
+TEST(PolicyText, FormatParseRoundTrip) {
+  const PolicySet original = parse_policy_text(kSample);
+  const std::string text = format_policy_text(original);
+  const PolicySet reparsed = parse_policy_text(text);
+  EXPECT_EQ(original.fingerprint(), reparsed.fingerprint());
+  // And formatting is a fixed point.
+  EXPECT_EQ(text, format_policy_text(reparsed));
+}
+
+TEST(PolicyText, RoundTripsTheFullCarPolicy) {
+  const PolicySet car = car::full_policy(car::connected_car_threat_model());
+  const PolicySet reparsed = parse_policy_text(format_policy_text(car));
+  EXPECT_EQ(car.fingerprint(), reparsed.fingerprint());
+  EXPECT_EQ(car.size(), reparsed.size());
+}
+
+TEST(PolicyText, ParsedSetEvaluatesIdentically) {
+  const PolicySet car = car::full_policy(car::connected_car_threat_model());
+  const PolicySet reparsed = parse_policy_text(format_policy_text(car));
+  // Spot-check several decisions across modes and subjects.
+  const char* subjects[] = {"ep.door-locks", "ep.connectivity", "ep.sensors", "x"};
+  const char* objects[] = {"ev-ecu", "eps", "door-locks", "sensors"};
+  const char* modes[] = {"normal", "remote-diagnostic", "fail-safe"};
+  for (const char* s : subjects) {
+    for (const char* o : objects) {
+      for (const char* m : modes) {
+        for (const auto access : {AccessType::kRead, AccessType::kWrite}) {
+          AccessRequest req{s, o, access, threat::ModeId{m}};
+          EXPECT_EQ(car.evaluate(req).allowed, reparsed.evaluate(req).allowed)
+              << req.to_string();
+        }
+      }
+    }
+  }
+}
+
+TEST(PolicyText, ErrorsCarryLineNumbers) {
+  try {
+    (void)parse_policy_text("policyset a v1 default=deny\nrule broken\n");
+    FAIL() << "expected PolicyParseError";
+  } catch (const PolicyParseError& e) {
+    EXPECT_EQ(e.line(), 2u);
+  }
+}
+
+TEST(PolicyText, RejectsMalformedInput) {
+  EXPECT_THROW((void)parse_policy_text(""), PolicyParseError);
+  EXPECT_THROW((void)parse_policy_text("rule r a b R\n"), PolicyParseError);
+  EXPECT_THROW((void)parse_policy_text("policyset a vX default=deny\n"),
+               PolicyParseError);
+  EXPECT_THROW((void)parse_policy_text("policyset a v1 default=maybe\n"),
+               PolicyParseError);
+  EXPECT_THROW((void)parse_policy_text("policyset a v1 default=deny\n"
+                                       "policyset b v2 default=deny\n"),
+               PolicyParseError);
+  EXPECT_THROW((void)parse_policy_text("policyset a v1 default=deny\n"
+                                       "rule r a b Q\n"),
+               PolicyParseError);
+  EXPECT_THROW((void)parse_policy_text("policyset a v1 default=deny\n"
+                                       "rule r a b R in\n"),
+               PolicyParseError);
+  EXPECT_THROW((void)parse_policy_text("policyset a v1 default=deny\n"
+                                       "rule r a b R prio abc\n"),
+               PolicyParseError);
+  EXPECT_THROW((void)parse_policy_text("policyset a v1 default=deny\n"
+                                       "bogus line here\n"),
+               PolicyParseError);
+}
+
+TEST(PolicyText, DuplicateRuleIdRejected) {
+  EXPECT_THROW((void)parse_policy_text("policyset a v1 default=deny\n"
+                                       "rule r a b R\nrule r c d W\n"),
+               std::invalid_argument);
+}
+
+TEST(PolicyText, CommentsAndBlankLinesIgnored) {
+  const PolicySet set = parse_policy_text(
+      "\n   \n# leading comment\npolicyset a v1 default=allow\n\n"
+      "# another\nrule r a b R\n\n");
+  EXPECT_TRUE(set.default_allow());
+  EXPECT_EQ(set.size(), 1u);
+}
+
+}  // namespace
+}  // namespace psme::core

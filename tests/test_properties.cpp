@@ -1,0 +1,201 @@
+// Cross-cutting property tests: invariants that must hold for every node,
+// mode and random workload — the safety net under the binding and
+// enforcement machinery.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "car/policy_binding.h"
+#include "car/segmented.h"
+#include "car/table1.h"
+#include "core/policy_text.h"
+#include "sim/rng.h"
+
+namespace psme {
+namespace {
+
+const core::PolicySet& car_policy() {
+  static const core::PolicySet policy =
+      car::full_policy(car::connected_car_threat_model());
+  return policy;
+}
+
+struct NodeMode {
+  std::string node;
+  car::CarMode mode;
+};
+
+class BindingInvariants : public ::testing::TestWithParam<NodeMode> {};
+
+TEST_P(BindingInvariants, WriteListHoldsOnlyOwnStatusOrGrantedCommands) {
+  const auto [node, mode] = GetParam();
+  const auto lists = car::build_lists(node, mode, car_policy());
+  for (const car::AssetBinding& asset : car::asset_bindings()) {
+    const bool owns = asset.owner_node == node;
+    for (const auto id : asset.status_ids) {
+      EXPECT_EQ(lists.write.contains(can::CanId::standard(id)), owns)
+          << node << " status 0x" << std::hex << id;
+    }
+    for (const auto id : asset.command_ids) {
+      const bool granted = car::node_may(node, asset.asset_id,
+                                         core::AccessType::kWrite, mode,
+                                         car_policy());
+      EXPECT_EQ(lists.write.contains(can::CanId::standard(id)),
+                !owns && granted)
+          << node << " command 0x" << std::hex << id;
+    }
+  }
+}
+
+TEST_P(BindingInvariants, ReadListNeverExceedsPolicyGrants) {
+  const auto [node, mode] = GetParam();
+  const auto lists = car::build_lists(node, mode, car_policy());
+  // Structural ids every node receives regardless of policy.
+  const auto structural = [](std::uint32_t id) {
+    return id == car::msg::kModeChange || id == car::msg::kFailSafeTrigger ||
+           id == car::msg::kDiagRequest || id == car::msg::kDiagResponse;
+  };
+  for (const car::AssetBinding& asset : car::asset_bindings()) {
+    const bool owns = asset.owner_node == node;
+    if (owns) continue;
+    for (const auto id : asset.status_ids) {
+      if (structural(id)) continue;
+      if (lists.read.contains(can::CanId::standard(id))) {
+        EXPECT_TRUE(car::node_may(node, asset.asset_id,
+                                  core::AccessType::kRead, mode, car_policy()))
+            << node << " reads 0x" << std::hex << id << " without a grant";
+      }
+    }
+  }
+}
+
+TEST_P(BindingInvariants, SoftwareFiltersEquivalentToHpeReadList) {
+  const auto [node, mode] = GetParam();
+  const auto lists = car::build_lists(node, mode, car_policy());
+  const auto filters = car::build_rx_filters(node, mode, car_policy());
+  // Every filter's id is on the read list and vice versa (for the car's
+  // known id universe, which build_rx_filters enumerates).
+  for (const auto& filter : filters) {
+    EXPECT_TRUE(lists.read.contains(can::CanId::standard(filter.value)));
+  }
+  // Count equivalence: the filter set is exactly the accepted known ids.
+  std::size_t accepted = 0;
+  for (const car::AssetBinding& asset : car::asset_bindings()) {
+    for (const auto id : asset.status_ids) {
+      if (lists.read.contains(can::CanId::standard(id))) ++accepted;
+    }
+    for (const auto id : asset.command_ids) {
+      if (lists.read.contains(can::CanId::standard(id))) ++accepted;
+    }
+  }
+  // Plus structural ids (mode change, fail-safe trigger, diag, emergency).
+  EXPECT_GE(filters.size(), accepted);
+}
+
+std::vector<NodeMode> all_node_modes() {
+  std::vector<NodeMode> cases;
+  for (const auto& binding : car::node_bindings()) {
+    for (car::CarMode mode : car::kAllModes) {
+      cases.push_back(NodeMode{binding.node, mode});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllNodesAllModes, BindingInvariants, ::testing::ValuesIn(all_node_modes()),
+    [](const ::testing::TestParamInfo<NodeMode>& info) {
+      std::string name = info.param.node + "_" +
+                         std::string(car::to_string(info.param.mode));
+      std::replace(name.begin(), name.end(), '-', '_');
+      return name;
+    });
+
+// Policy round-trip property under random rule sets: text round trip
+// preserves every decision.
+class PolicyTextFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PolicyTextFuzz, RoundTripPreservesDecisions) {
+  sim::Rng rng(GetParam());
+  const std::vector<std::string> subjects = {"*", "a", "b", "c"};
+  const std::vector<std::string> objects = {"*", "x", "y"};
+  const std::vector<std::string> modes = {"m1", "m2", "m3"};
+
+  core::PolicySet set("fuzz", rng.uniform(1, 100));
+  set.set_default_allow(rng.chance(0.5));
+  const int rule_count = static_cast<int>(rng.uniform(1, 25));
+  for (int i = 0; i < rule_count; ++i) {
+    core::PolicyRule rule;
+    rule.id = "r" + std::to_string(i);
+    rule.subject = subjects[rng.uniform(0, subjects.size() - 1)];
+    rule.object = objects[rng.uniform(0, objects.size() - 1)];
+    rule.permission = static_cast<threat::Permission>(rng.uniform(0, 3));
+    rule.priority = static_cast<int>(rng.uniform(0, 40)) - 20;
+    const auto mode_count = rng.uniform(0, 2);
+    for (std::uint64_t m = 0; m < mode_count; ++m) {
+      const auto& mode = modes[rng.uniform(0, modes.size() - 1)];
+      if (std::find_if(rule.modes.begin(), rule.modes.end(),
+                       [&](const threat::ModeId& existing) {
+                         return existing.value == mode;
+                       }) == rule.modes.end()) {
+        rule.modes.push_back(threat::ModeId{mode});
+      }
+    }
+    set.add_rule(std::move(rule));
+  }
+
+  const core::PolicySet reparsed =
+      core::parse_policy_text(core::format_policy_text(set));
+  EXPECT_EQ(set.fingerprint(), reparsed.fingerprint());
+
+  for (int probe = 0; probe < 200; ++probe) {
+    core::AccessRequest req;
+    req.subject = subjects[rng.uniform(1, subjects.size() - 1)];
+    req.object = objects[rng.uniform(1, objects.size() - 1)];
+    req.access = rng.chance(0.5) ? core::AccessType::kRead
+                                 : core::AccessType::kWrite;
+    if (rng.chance(0.7)) {
+      req.mode = threat::ModeId{modes[rng.uniform(0, modes.size() - 1)]};
+    }
+    const auto a = set.evaluate(req);
+    const auto b = reparsed.evaluate(req);
+    EXPECT_EQ(a.allowed, b.allowed) << req.to_string();
+    EXPECT_EQ(a.rule_id, b.rule_id) << req.to_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PolicyTextFuzz,
+                         ::testing::Values(1, 2, 3, 17, 99, 1234, 55555));
+
+// Gateway-list property: the telematics->control forwarding set never
+// contains a command id the policy denies to every telematics entry point.
+class GatewayProperty : public ::testing::TestWithParam<car::CarMode> {};
+
+TEST_P(GatewayProperty, ForwardingNeverExceedsPolicy) {
+  const car::CarMode mode = GetParam();
+  const auto lists = car::build_gateway_lists(
+      car::SegmentedVehicle::telematics_nodes(), mode, car_policy());
+  for (const car::AssetBinding& asset : car::asset_bindings()) {
+    const bool telematics_asset =
+        asset.owner_node == "connectivity" || asset.owner_node == "infotainment";
+    if (telematics_asset) continue;
+    bool granted = false;
+    for (const auto& node : car::SegmentedVehicle::telematics_nodes()) {
+      granted = granted || car::node_may(node, asset.asset_id,
+                                         core::AccessType::kWrite, mode,
+                                         car_policy());
+    }
+    for (const auto id : asset.command_ids) {
+      EXPECT_EQ(lists.a_to_b.contains(can::CanId::standard(id)), granted)
+          << asset.asset_id << " in " << car::to_string(mode);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, GatewayProperty,
+                         ::testing::ValuesIn(std::vector<car::CarMode>(
+                             std::begin(car::kAllModes),
+                             std::end(car::kAllModes))));
+
+}  // namespace
+}  // namespace psme

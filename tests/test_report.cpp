@@ -1,0 +1,83 @@
+// Unit tests for the table renderer (psme::report).
+#include <gtest/gtest.h>
+
+#include "report/table.h"
+
+namespace psme::report {
+namespace {
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"Name", "Value"});
+  t.add("short", 1);
+  t.add("a-much-longer-name", 12345);
+  const std::string out = t.render();
+  // Both data lines have equal length (aligned columns).
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (true) {
+    const auto nl = out.find('\n', start);
+    if (nl == std::string::npos) break;
+    lines.push_back(out.substr(start, nl - start));
+    start = nl + 1;
+  }
+  ASSERT_GE(lines.size(), 4u);
+  EXPECT_EQ(lines[2].size(), lines[3].size());
+  EXPECT_NE(out.find("a-much-longer-name"), std::string::npos);
+}
+
+TEST(TextTable, RowShorterThanHeaderIsPadded) {
+  TextTable t({"A", "B", "C"});
+  t.add_row({"x"});
+  EXPECT_EQ(t.rows(), 1u);
+  EXPECT_NO_THROW((void)t.render());
+}
+
+TEST(TextTable, RowLongerThanHeaderThrows) {
+  TextTable t({"A"});
+  EXPECT_THROW(t.add_row({"x", "y"}), std::length_error);
+}
+
+TEST(TextTable, EmptyHeaderRejected) {
+  EXPECT_THROW(TextTable(std::vector<std::string>{}), std::invalid_argument);
+}
+
+TEST(TextTable, MixedTypeAdd) {
+  TextTable t({"s", "i", "d", "b", "c"});
+  t.add("str", 42, 3.14159, true, 'x');
+  const std::string out = t.render();
+  EXPECT_NE(out.find("str"), std::string::npos);
+  EXPECT_NE(out.find("42"), std::string::npos);
+  EXPECT_NE(out.find("3.14"), std::string::npos);
+  EXPECT_NE(out.find("yes"), std::string::npos);
+  EXPECT_NE(out.find("x"), std::string::npos);
+}
+
+TEST(TextTable, MarkdownFormat) {
+  TextTable t({"H1", "H2"});
+  t.add("a", "b");
+  const std::string md = t.render_markdown();
+  EXPECT_NE(md.find("| H1 | H2 |"), std::string::npos);
+  EXPECT_NE(md.find("|---|---|"), std::string::npos);
+  EXPECT_NE(md.find("| a | b |"), std::string::npos);
+}
+
+TEST(TextTable, CsvQuotesSpecialCells) {
+  TextTable t({"a", "b"});
+  t.add_row({"plain", "has,comma"});
+  t.add_row({"quote\"inside", "multi\nline"});
+  const std::string csv = t.render_csv();
+  EXPECT_NE(csv.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"quote\"\"inside\""), std::string::npos);
+  EXPECT_NE(csv.find("plain"), std::string::npos);
+}
+
+TEST(TextTable, CountsRowsAndColumns) {
+  TextTable t({"a", "b", "c"});
+  EXPECT_EQ(t.columns(), 3u);
+  EXPECT_EQ(t.rows(), 0u);
+  t.add(1, 2, 3);
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+}  // namespace
+}  // namespace psme::report

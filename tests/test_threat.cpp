@@ -1,0 +1,250 @@
+// Unit tests for the threat-modelling substrate (psme::threat).
+#include <gtest/gtest.h>
+
+#include "threat/dread.h"
+#include "threat/stride.h"
+#include "threat/threat_model.h"
+
+namespace psme::threat {
+namespace {
+
+TEST(Stride, ParseCompactNotation) {
+  const StrideSet set = StrideSet::parse("STD");
+  EXPECT_TRUE(set.contains(Stride::kSpoofing));
+  EXPECT_TRUE(set.contains(Stride::kTampering));
+  EXPECT_TRUE(set.contains(Stride::kDenialOfService));
+  EXPECT_FALSE(set.contains(Stride::kRepudiation));
+  EXPECT_EQ(set.size(), 3);
+}
+
+TEST(Stride, ParseRejectsUnknownLetters) {
+  EXPECT_THROW(StrideSet::parse("SX"), std::invalid_argument);
+}
+
+TEST(Stride, LettersRoundTripInCanonicalOrder) {
+  // Input out of order; letters() canonicalises to S,T,R,I,D,E order.
+  EXPECT_EQ(StrideSet::parse("DTS").letters(), "STD");
+  EXPECT_EQ(StrideSet::parse("EIT").letters(), "TIE");
+  EXPECT_EQ(StrideSet::parse("STRIDE").letters(), "STRIDE");
+}
+
+TEST(Stride, LongFormNames) {
+  const StrideSet set{Stride::kSpoofing, Stride::kElevationOfPrivilege};
+  EXPECT_EQ(set.to_string(), "Spoofing|ElevationOfPrivilege");
+}
+
+TEST(Stride, InsertEraseAndEmpty) {
+  StrideSet set;
+  EXPECT_TRUE(set.empty());
+  set.insert(Stride::kTampering);
+  EXPECT_FALSE(set.empty());
+  set.erase(Stride::kTampering);
+  EXPECT_TRUE(set.empty());
+}
+
+TEST(Stride, PropertyViolationHelpers) {
+  EXPECT_TRUE(StrideSet::parse("T").violates_integrity());
+  EXPECT_TRUE(StrideSet::parse("S").violates_integrity());
+  EXPECT_FALSE(StrideSet::parse("D").violates_integrity());
+  EXPECT_TRUE(StrideSet::parse("D").violates_availability());
+  EXPECT_TRUE(StrideSet::parse("I").violates_confidentiality());
+}
+
+TEST(Dread, AverageMatchesPaperRows) {
+  EXPECT_DOUBLE_EQ(DreadScore(8, 5, 4, 6, 4).average(), 5.4);
+  EXPECT_DOUBLE_EQ(DreadScore(6, 3, 3, 6, 4).average(), 4.4);
+  EXPECT_DOUBLE_EQ(DreadScore(8, 6, 7, 8, 5).average(), 6.8);
+  EXPECT_DOUBLE_EQ(DreadScore(9, 4, 5, 9, 4).average(), 6.2);
+}
+
+TEST(Dread, AxisRangeValidation) {
+  EXPECT_THROW(DreadScore(11, 0, 0, 0, 0), std::out_of_range);
+  EXPECT_THROW(DreadScore(0, -1, 0, 0, 0), std::out_of_range);
+  EXPECT_NO_THROW(DreadScore(10, 10, 10, 10, 10));
+  EXPECT_NO_THROW(DreadScore(0, 0, 0, 0, 0));
+}
+
+TEST(Dread, RiskBands) {
+  EXPECT_EQ(DreadScore(1, 1, 1, 1, 1).band(), RiskBand::kLow);
+  EXPECT_EQ(DreadScore(4, 4, 4, 4, 4).band(), RiskBand::kMedium);
+  EXPECT_EQ(DreadScore(6, 6, 6, 6, 6).band(), RiskBand::kHigh);
+  EXPECT_EQ(DreadScore(9, 9, 9, 9, 9).band(), RiskBand::kCritical);
+}
+
+TEST(Dread, ToStringUsesPaperNotation) {
+  EXPECT_EQ(DreadScore(8, 5, 4, 6, 4).to_string(), "8,5,4,6,4 (5.4)");
+}
+
+TEST(Dread, ParseRoundTrip) {
+  const DreadScore s = DreadScore::parse("7,5,5,9,4 (6.0)");
+  EXPECT_EQ(s.damage(), 7);
+  EXPECT_EQ(s.discoverability(), 4);
+  EXPECT_DOUBLE_EQ(s.average(), 6.0);
+  EXPECT_EQ(DreadScore::parse(s.to_string()), s);
+}
+
+TEST(Dread, ParseWithoutAverage) {
+  EXPECT_EQ(DreadScore::parse("1,2,3,4,5"), DreadScore(1, 2, 3, 4, 5));
+}
+
+TEST(Dread, ParseRejectsInconsistentAverage) {
+  EXPECT_THROW(DreadScore::parse("8,5,4,6,4 (9.9)"), std::invalid_argument);
+}
+
+TEST(Dread, ParseRejectsGarbage) {
+  EXPECT_THROW(DreadScore::parse("not a score"), std::invalid_argument);
+}
+
+TEST(Dread, CompareOrdersByAverageThenDamage) {
+  const DreadScore low(1, 1, 1, 1, 1);
+  const DreadScore high(9, 9, 9, 9, 9);
+  EXPECT_EQ(low.compare(high), std::partial_ordering::less);
+  EXPECT_EQ(high.compare(low), std::partial_ordering::greater);
+  // Same average, different damage: higher damage ranks higher.
+  const DreadScore a(6, 4, 5, 5, 5);
+  const DreadScore b(5, 5, 5, 5, 5);
+  EXPECT_EQ(a.compare(b), std::partial_ordering::greater);
+  EXPECT_EQ(a.compare(a), std::partial_ordering::equivalent);
+}
+
+TEST(Permission, StringConversions) {
+  EXPECT_EQ(to_string(Permission::kRead), "R");
+  EXPECT_EQ(to_string(Permission::kWrite), "W");
+  EXPECT_EQ(to_string(Permission::kReadWrite), "RW");
+  EXPECT_EQ(parse_permission("R"), Permission::kRead);
+  EXPECT_EQ(parse_permission("RW"), Permission::kReadWrite);
+  EXPECT_EQ(parse_permission("-"), Permission::kNone);
+  EXPECT_THROW((void)parse_permission("X"), std::invalid_argument);
+}
+
+TEST(Permission, AccessPredicates) {
+  EXPECT_TRUE(allows_read(Permission::kRead));
+  EXPECT_TRUE(allows_read(Permission::kReadWrite));
+  EXPECT_FALSE(allows_read(Permission::kWrite));
+  EXPECT_TRUE(allows_write(Permission::kWrite));
+  EXPECT_FALSE(allows_write(Permission::kRead));
+  EXPECT_FALSE(allows_write(Permission::kNone));
+}
+
+class BuilderFixture : public ::testing::Test {
+ protected:
+  ThreatModelBuilder builder_{"test-use-case"};
+
+  void SetUp() override {
+    builder_.add_asset(Asset{AssetId{"a1"}, "Asset One", "", Criticality::kSafety});
+    builder_.add_entry_point(EntryPoint{EntryPointId{"e1"}, "Entry One", "", true});
+    builder_.add_mode(Mode{ModeId{"m1"}, "Mode One", ""});
+  }
+
+  Threat valid_threat(std::string id = "t1") {
+    Threat t;
+    t.id = ThreatId{std::move(id)};
+    t.title = "something bad";
+    t.asset = AssetId{"a1"};
+    t.entry_points = {EntryPointId{"e1"}};
+    t.modes = {ModeId{"m1"}};
+    t.stride = StrideSet::parse("ST");
+    t.dread = DreadScore(5, 5, 5, 5, 5);
+    t.recommended_policy = Permission::kRead;
+    return t;
+  }
+};
+
+TEST_F(BuilderFixture, BuildsValidModel) {
+  builder_.add_threat(valid_threat());
+  const ThreatModel model = builder_.build();
+  EXPECT_EQ(model.use_case(), "test-use-case");
+  EXPECT_EQ(model.threats().size(), 1u);
+  EXPECT_NE(model.find_threat(ThreatId{"t1"}), nullptr);
+  EXPECT_NE(model.find_asset(AssetId{"a1"}), nullptr);
+  EXPECT_EQ(model.find_asset(AssetId{"nope"}), nullptr);
+}
+
+TEST_F(BuilderFixture, RejectsUnknownAsset) {
+  Threat t = valid_threat();
+  t.asset = AssetId{"ghost"};
+  EXPECT_THROW(builder_.add_threat(t), std::invalid_argument);
+}
+
+TEST_F(BuilderFixture, RejectsUnknownEntryPoint) {
+  Threat t = valid_threat();
+  t.entry_points = {EntryPointId{"ghost"}};
+  EXPECT_THROW(builder_.add_threat(t), std::invalid_argument);
+}
+
+TEST_F(BuilderFixture, RejectsUnknownMode) {
+  Threat t = valid_threat();
+  t.modes = {ModeId{"ghost"}};
+  EXPECT_THROW(builder_.add_threat(t), std::invalid_argument);
+}
+
+TEST_F(BuilderFixture, RejectsEmptyStride) {
+  Threat t = valid_threat();
+  t.stride = StrideSet{};
+  EXPECT_THROW(builder_.add_threat(t), std::invalid_argument);
+}
+
+TEST_F(BuilderFixture, RejectsMissingEntryPoints) {
+  Threat t = valid_threat();
+  t.entry_points.clear();
+  EXPECT_THROW(builder_.add_threat(t), std::invalid_argument);
+}
+
+TEST_F(BuilderFixture, RejectsDuplicateIds) {
+  builder_.add_threat(valid_threat());
+  EXPECT_THROW(builder_.add_threat(valid_threat()), std::invalid_argument);
+  EXPECT_THROW(builder_.add_asset(
+                   Asset{AssetId{"a1"}, "dup", "", Criticality::kSafety}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      builder_.add_entry_point(EntryPoint{EntryPointId{"e1"}, "dup", "", false}),
+      std::invalid_argument);
+  EXPECT_THROW(builder_.add_mode(Mode{ModeId{"m1"}, "dup", ""}),
+               std::invalid_argument);
+}
+
+TEST_F(BuilderFixture, QueriesByAssetAndEntryPoint) {
+  builder_.add_asset(Asset{AssetId{"a2"}, "Asset Two", "", Criticality::kConvenience});
+  Threat t1 = valid_threat("t1");
+  Threat t2 = valid_threat("t2");
+  t2.asset = AssetId{"a2"};
+  builder_.add_threat(t1).add_threat(t2);
+  const ThreatModel model = builder_.build();
+  EXPECT_EQ(model.threats_for_asset(AssetId{"a1"}).size(), 1u);
+  EXPECT_EQ(model.threats_for_asset(AssetId{"a2"}).size(), 1u);
+  EXPECT_EQ(model.threats_via_entry_point(EntryPointId{"e1"}).size(), 2u);
+  EXPECT_EQ(model.threats_via_entry_point(EntryPointId{"ghost"}).size(), 0u);
+}
+
+TEST_F(BuilderFixture, PrioritisedSortsByDreadDescending) {
+  Threat low = valid_threat("low");
+  low.dread = DreadScore(1, 1, 1, 1, 1);
+  Threat high = valid_threat("high");
+  high.dread = DreadScore(9, 9, 9, 9, 9);
+  Threat mid = valid_threat("mid");
+  mid.dread = DreadScore(5, 5, 5, 5, 5);
+  builder_.add_threat(low).add_threat(high).add_threat(mid);
+  const ThreatModel model = builder_.build();
+  const auto ordered = model.prioritised();
+  ASSERT_EQ(ordered.size(), 3u);
+  EXPECT_EQ(ordered[0]->id.value, "high");
+  EXPECT_EQ(ordered[1]->id.value, "mid");
+  EXPECT_EQ(ordered[2]->id.value, "low");
+  EXPECT_EQ(model.highest_risk()->id.value, "high");
+  EXPECT_DOUBLE_EQ(model.mean_risk(), 5.0);
+}
+
+TEST(ThreatModel, EmptyModelEdgeCases) {
+  ThreatModelBuilder builder("empty");
+  const ThreatModel model = builder.build();
+  EXPECT_EQ(model.highest_risk(), nullptr);
+  EXPECT_DOUBLE_EQ(model.mean_risk(), 0.0);
+  EXPECT_TRUE(model.prioritised().empty());
+}
+
+TEST(ThreatModel, EmptyUseCaseRejected) {
+  EXPECT_THROW(ThreatModelBuilder(""), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace psme::threat
