@@ -4,19 +4,86 @@
 // the hot path. google-benchmark measurements:
 //   * uncached policy-database lookups vs ruleset size;
 //   * AVC-mediated lookups (hot cache) vs ruleset size — should be flat;
+//   * the same hot path against the pre-refactor string-keyed baseline
+//     (StringKeyedAvc below reproduces the seed's std::map/std::list
+//     design verbatim) — this is the before/after pair for the SID
+//     refactor's speedup claim;
 //   * cold-cache behaviour (flush per iteration);
 //   * full MacEngine::evaluate including labelling translation;
 //   * policy module load (rebuild + neverallow validation) cost.
 #include <benchmark/benchmark.h>
 
+#include <list>
+#include <map>
+#include <string>
+
 #include "mac/avc.h"
 #include "mac/mac_engine.h"
+#include "mac/sid_table.h"
 #include "mac/te_policy.h"
 #include "sim/rng.h"
 
 using namespace psme;
 
 namespace {
+
+/// The seed's string-keyed AVC, preserved as the measurement baseline:
+/// ordered std::map over a (string, string, string) key plus a std::list
+/// LRU — one node allocation and three string compares per touch.
+class StringKeyedAvc {
+ public:
+  explicit StringKeyedAvc(std::size_t capacity) : capacity_(capacity) {}
+
+  [[nodiscard]] mac::AccessVector query(const mac::PolicyDb& db,
+                                        const std::string& source,
+                                        const std::string& target,
+                                        const std::string& cls) {
+    const CacheKey key{source, target, cls};
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      lru_.erase(it->second.lru_pos);
+      lru_.push_front(key);
+      it->second.lru_pos = lru_.begin();
+      return it->second.av;
+    }
+    const mac::AccessVector av = db.lookup(source, target, cls);
+    if (entries_.size() >= capacity_) {
+      entries_.erase(lru_.back());
+      lru_.pop_back();
+    }
+    lru_.push_front(key);
+    entries_[key] = Entry{av, lru_.begin()};
+    return av;
+  }
+
+  [[nodiscard]] bool allowed(const mac::PolicyDb& db, const std::string& source,
+                             const std::string& target, const std::string& cls,
+                             const std::string& perm) {
+    const mac::ClassDef* class_def = db.find_class(cls);
+    if (class_def == nullptr) return false;
+    const auto bit = class_def->bit(perm);
+    if (!bit.has_value()) return false;
+    return (query(db, source, target, cls) & *bit) != 0;
+  }
+
+ private:
+  struct CacheKey {
+    std::string source, target, cls;
+    friend bool operator<(const CacheKey& a, const CacheKey& b) noexcept {
+      if (a.source != b.source) return a.source < b.source;
+      if (a.target != b.target) return a.target < b.target;
+      return a.cls < b.cls;
+    }
+  };
+  struct Entry {
+    mac::AccessVector av;
+    std::list<CacheKey>::iterator lru_pos;
+  };
+
+  std::size_t capacity_;
+  std::map<CacheKey, Entry> entries_;
+  std::list<CacheKey> lru_;
+};
 
 std::vector<std::string> make_types(int n) {
   std::vector<std::string> types;
@@ -69,8 +136,57 @@ void BM_AvcHotLookup(benchmark::State& state) {
     const auto& tgt = types[rng2.uniform(0, types.size() - 1)];
     benchmark::DoNotOptimize(avc.allowed(db, src, tgt, "asset", "read"));
   }
+  state.counters["hit_ratio"] = avc.stats().hit_ratio();
 }
 BENCHMARK(BM_AvcHotLookup)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+// The before/after pair for the SID refactor: identical workload, seed's
+// string-keyed cache vs the SID cache addressed in pure SID space (the
+// MacEngine hot path, where entity labels are pre-resolved).
+void BM_AvcHotLookupStringBaseline(benchmark::State& state) {
+  const auto db = make_db(32, static_cast<int>(state.range(0)));
+  StringKeyedAvc avc(4096);
+  const auto types = make_types(32);
+  sim::Rng rng(7);
+  for (int i = 0; i < 4096; ++i) {
+    const auto& src = types[rng.uniform(0, types.size() - 1)];
+    const auto& tgt = types[rng.uniform(0, types.size() - 1)];
+    (void)avc.allowed(db, src, tgt, "asset", "read");
+  }
+  sim::Rng rng2(9);
+  for (auto _ : state) {
+    const auto& src = types[rng2.uniform(0, types.size() - 1)];
+    const auto& tgt = types[rng2.uniform(0, types.size() - 1)];
+    benchmark::DoNotOptimize(avc.allowed(db, src, tgt, "asset", "read"));
+  }
+}
+BENCHMARK(BM_AvcHotLookupStringBaseline)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_AvcHotLookupSid(benchmark::State& state) {
+  const auto db = make_db(32, static_cast<int>(state.range(0)));
+  mac::Avc avc(4096);
+  const auto types = make_types(32);
+  const mac::Sid cls = db.find_class(std::string_view("asset"))->sid;
+  const mac::AccessVector read_bit =
+      *db.find_class(std::string_view("asset"))->bit("read");
+  std::vector<mac::Sid> sids;
+  for (const auto& t : types) sids.push_back(db.sids().find(t));
+  sim::Rng rng(7);
+  for (int i = 0; i < 4096; ++i) {
+    (void)avc.query(db, sids[rng.uniform(0, sids.size() - 1)],
+                    sids[rng.uniform(0, sids.size() - 1)], cls);
+  }
+  sim::Rng rng2(9);
+  for (auto _ : state) {
+    const mac::Sid src = sids[rng2.uniform(0, sids.size() - 1)];
+    const mac::Sid tgt = sids[rng2.uniform(0, sids.size() - 1)];
+    benchmark::DoNotOptimize(avc.allowed(db, src, tgt, cls, read_bit));
+  }
+  state.counters["hit_ratio"] = avc.stats().hit_ratio();
+  state.counters["evictions"] =
+      static_cast<double>(avc.stats().evictions);
+}
+BENCHMARK(BM_AvcHotLookupSid)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
 
 void BM_AvcColdLookup(benchmark::State& state) {
   const auto db = make_db(32, 256);
@@ -111,6 +227,7 @@ void BM_MacEngineEvaluate(benchmark::State& state) {
                                  : core::AccessType::kWrite;
     benchmark::DoNotOptimize(engine.evaluate(req));
   }
+  state.counters["avc_hit_ratio"] = engine.avc_stats().hit_ratio();
 }
 BENCHMARK(BM_MacEngineEvaluate);
 

@@ -6,48 +6,9 @@ namespace psme::car {
 
 namespace {
 
-bool entry_point_may(const std::string& entry_point,
-                     const std::string& asset_id, core::AccessType access,
-                     CarMode mode, const core::PolicySet& policy) {
-  core::AccessRequest request;
-  request.subject = entry_point;
-  request.object = asset_id;
-  request.access = access;
-  request.mode = mode_id(mode);
-  return policy.evaluate(request).allowed;
-}
-
 void add_all(hpe::ApprovedIdList& list, const std::vector<std::uint32_t>& ids) {
   for (const auto id : ids) list.add(can::CanId::standard(id));
 }
-
-}  // namespace
-
-bool node_may(const std::string& node, const std::string& asset_id,
-              core::AccessType access, CarMode mode,
-              const core::PolicySet& policy) {
-  const auto entry_points = entry_points_of(node);
-  return std::any_of(entry_points.begin(), entry_points.end(),
-                     [&](const std::string& ep) {
-                       return entry_point_may(ep, asset_id, access, mode,
-                                              policy);
-                     });
-}
-
-bool anyone_may_write(const std::string& asset_id, CarMode mode,
-                      const core::PolicySet& policy) {
-  for (const auto& binding : node_bindings()) {
-    for (const auto& ep : binding.entry_points) {
-      if (entry_point_may(ep, asset_id, core::AccessType::kWrite, mode,
-                          policy)) {
-        return true;
-      }
-    }
-  }
-  return false;
-}
-
-namespace {
 
 void add_content_rules(const std::string& node, CarMode mode,
                        hpe::ListPair& lists) {
@@ -82,11 +43,68 @@ void add_content_rules(const std::string& node, CarMode mode,
   }
 }
 
+/// Packs (entry point SID, asset SID, access, mode) into one memo key.
+/// Entity-name SIDs are dense and tiny (dozens for the case study); 24
+/// bits each leaves 16 for the enum pair.
+[[nodiscard]] std::uint64_t memo_key(mac::Sid entry_point, mac::Sid asset,
+                                     core::AccessType access,
+                                     CarMode mode) noexcept {
+  return (static_cast<std::uint64_t>(entry_point) << 40) |
+         (static_cast<std::uint64_t>(asset) << 16) |
+         (static_cast<std::uint64_t>(mode) << 1) |
+         static_cast<std::uint64_t>(access == core::AccessType::kWrite);
+}
+
 }  // namespace
 
-hpe::ListPair build_lists(const std::string& node, CarMode mode,
-                          const core::PolicySet& policy,
-                          const BindingOptions& options) {
+BindingCompiler::BindingCompiler(const core::PolicySet& policy,
+                                 BindingOptions options)
+    : policy_(policy), options_(options) {}
+
+bool BindingCompiler::entry_point_may(const std::string& entry_point,
+                                      const std::string& asset_id,
+                                      core::AccessType access, CarMode mode) {
+  ++stats_.queries;
+  const std::uint64_t key = memo_key(sids_.intern(entry_point),
+                                     sids_.intern(asset_id), access, mode);
+  const auto it = memo_.find(key);
+  if (it != memo_.end()) return it->second;
+
+  ++stats_.policy_evaluations;
+  core::AccessRequest request;
+  request.subject = entry_point;
+  request.object = asset_id;
+  request.access = access;
+  request.mode = mode_id(mode);
+  const bool verdict = policy_.evaluate(request).allowed;
+  memo_.emplace(key, verdict);
+  return verdict;
+}
+
+bool BindingCompiler::node_may(const std::string& node,
+                               const std::string& asset_id,
+                               core::AccessType access, CarMode mode) {
+  const auto entry_points = entry_points_of(node);
+  return std::any_of(entry_points.begin(), entry_points.end(),
+                     [&](const std::string& ep) {
+                       return entry_point_may(ep, asset_id, access, mode);
+                     });
+}
+
+bool BindingCompiler::anyone_may_write(const std::string& asset_id,
+                                       CarMode mode) {
+  for (const auto& binding : node_bindings()) {
+    for (const auto& ep : binding.entry_points) {
+      if (entry_point_may(ep, asset_id, core::AccessType::kWrite, mode)) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+hpe::ListPair BindingCompiler::build_lists(const std::string& node,
+                                           CarMode mode) {
   hpe::ListPair lists;
 
   // Structural: everyone hears mode changes and the fail-safe trigger.
@@ -110,54 +128,52 @@ hpe::ListPair build_lists(const std::string& node, CarMode mode,
       add_all(lists.write, asset.status_ids);
       // ...but accept commands only in modes where a legitimate commander
       // exists; otherwise the frames are spoofed by construction.
-      if (!options.writer_existence_gate ||
-          anyone_may_write(asset.asset_id, mode, policy)) {
+      if (!options_.writer_existence_gate ||
+          anyone_may_write(asset.asset_id, mode)) {
         add_all(lists.read, asset.command_ids);
       }
       continue;
     }
-    if (node_may(node, asset.asset_id, core::AccessType::kRead, mode, policy)) {
+    if (node_may(node, asset.asset_id, core::AccessType::kRead, mode)) {
       add_all(lists.read, asset.status_ids);
     }
-    if (node_may(node, asset.asset_id, core::AccessType::kWrite, mode, policy)) {
+    if (node_may(node, asset.asset_id, core::AccessType::kWrite, mode)) {
       add_all(lists.write, asset.command_ids);
     }
   }
 
   // The safety node owns the fail-safe trigger (listed among its status
   // ids) — already covered by the owner branch above.
-  if (options.content_rules) add_content_rules(node, mode, lists);
+  if (options_.content_rules) add_content_rules(node, mode, lists);
   return lists;
 }
 
-hpe::HpeConfig build_hpe_config(const std::string& node,
-                                const core::PolicySet& policy,
-                                const BindingOptions& options) {
+hpe::HpeConfig BindingCompiler::build_hpe_config(const std::string& node) {
   hpe::HpeConfig config;
   config.mode_frame_id = msg::kModeChange;
-  if (options.mode_conditional) {
+  if (options_.mode_conditional) {
     for (CarMode mode : kAllModes) {
       config.per_mode[static_cast<std::uint8_t>(mode)] =
-          build_lists(node, mode, policy, options);
+          build_lists(node, mode);
     }
   }
   // Default lists (unknown mode byte, or mode-conditionality ablated):
   // normal-mode lists.
-  config.default_lists = build_lists(node, CarMode::kNormal, policy, options);
+  config.default_lists = build_lists(node, CarMode::kNormal);
   return config;
 }
 
-std::vector<can::AcceptanceFilter> build_rx_filters(
-    const std::string& node, CarMode mode, const core::PolicySet& policy) {
+std::vector<can::AcceptanceFilter> BindingCompiler::build_rx_filters(
+    const std::string& node, CarMode mode) {
   // Reconstruct the read list and express it as exact-match filters. The
   // approved lists built above only use exact standard ids, so this is a
   // faithful software equivalent.
   std::vector<can::AcceptanceFilter> filters;
-  const hpe::ListPair lists = build_lists(node, mode, policy);
+  const hpe::ListPair lists = build_lists(node, mode);
 
   // Enumerate all known standard ids and keep those the list accepts;
   // exact ids in the car's map are the only ones ever used.
-  std::vector<std::uint32_t> known = {
+  static const std::uint32_t known[] = {
       msg::kModeChange,   msg::kFailSafeTrigger, msg::kEmergencyCall,
       msg::kEcuCommand,   msg::kEcuStatus,       msg::kEpsCommand,
       msg::kEpsStatus,    msg::kEngineCommand,   msg::kEngineStatus,
@@ -174,6 +190,41 @@ std::vector<can::AcceptanceFilter> build_rx_filters(
     }
   }
   return filters;
+}
+
+// -- free-function shims --------------------------------------------------
+
+bool node_may(const std::string& node, const std::string& asset_id,
+              core::AccessType access, CarMode mode,
+              const core::PolicySet& policy) {
+  BindingCompiler compiler(policy);
+  return compiler.node_may(node, asset_id, access, mode);
+}
+
+bool anyone_may_write(const std::string& asset_id, CarMode mode,
+                      const core::PolicySet& policy) {
+  BindingCompiler compiler(policy);
+  return compiler.anyone_may_write(asset_id, mode);
+}
+
+hpe::ListPair build_lists(const std::string& node, CarMode mode,
+                          const core::PolicySet& policy,
+                          const BindingOptions& options) {
+  BindingCompiler compiler(policy, options);
+  return compiler.build_lists(node, mode);
+}
+
+hpe::HpeConfig build_hpe_config(const std::string& node,
+                                const core::PolicySet& policy,
+                                const BindingOptions& options) {
+  BindingCompiler compiler(policy, options);
+  return compiler.build_hpe_config(node);
+}
+
+std::vector<can::AcceptanceFilter> build_rx_filters(
+    const std::string& node, CarMode mode, const core::PolicySet& policy) {
+  BindingCompiler compiler(policy);
+  return compiler.build_rx_filters(node, mode);
 }
 
 }  // namespace psme::car

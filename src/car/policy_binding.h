@@ -18,9 +18,18 @@
 //  Structural ids — every node reads the mode-change broadcast and the
 //  fail-safe trigger; the gateway alone emits mode changes; diagnostic
 //  request/response ids are enabled only in remote-diagnostic mode.
+//
+// Compiling a full vehicle asks the policy the same (entry point, asset,
+// access, mode) question many times over — every node consults
+// anyone_may_write for every asset in every mode. BindingCompiler below
+// interns entity names into SIDs (mac::SidTable) and memoises each
+// verdict under a packed 64-bit key, so each unique question reaches
+// PolicySet::evaluate exactly once per compilation.
 #pragma once
 
+#include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "can/controller.h"
@@ -28,18 +37,9 @@
 #include "car/modes.h"
 #include "core/policy.h"
 #include "hpe/hpe.h"
+#include "mac/sid_table.h"
 
 namespace psme::car {
-
-/// True when `node` may access `asset_id` in the given way under `policy`
-/// while the car is in `mode` (the OR over the node's entry points).
-[[nodiscard]] bool node_may(const std::string& node, const std::string& asset_id,
-                            core::AccessType access, CarMode mode,
-                            const core::PolicySet& policy);
-
-/// True when any entry point in the system may write `asset_id` in `mode`.
-[[nodiscard]] bool anyone_may_write(const std::string& asset_id, CarMode mode,
-                                    const core::PolicySet& policy);
 
 /// Feature switches for the binding — each is one of the design choices
 /// DESIGN.md calls out; the ablation bench toggles them independently.
@@ -56,6 +56,72 @@ struct BindingOptions {
   /// freezes every HPE on its normal-mode lists.
   bool mode_conditional = true;
 };
+
+/// SID-interned, memoising compiler from one PolicySet to approved-id
+/// lists. Holds a reference to the policy — keep the set alive and
+/// unmodified for the compiler's lifetime (rebuild the compiler after a
+/// policy update; a stale memo would happily answer from the old rules).
+class BindingCompiler {
+ public:
+  explicit BindingCompiler(const core::PolicySet& policy,
+                           BindingOptions options = {});
+
+  /// True when `entry_point` may access `asset_id` in `mode` — one
+  /// memoised PolicySet::evaluate.
+  [[nodiscard]] bool entry_point_may(const std::string& entry_point,
+                                     const std::string& asset_id,
+                                     core::AccessType access, CarMode mode);
+
+  /// OR over the node's entry points.
+  [[nodiscard]] bool node_may(const std::string& node,
+                              const std::string& asset_id,
+                              core::AccessType access, CarMode mode);
+
+  /// True when any entry point in the system may write `asset_id` in `mode`.
+  [[nodiscard]] bool anyone_may_write(const std::string& asset_id,
+                                      CarMode mode);
+
+  /// Approved read/write lists for one node in one mode.
+  [[nodiscard]] hpe::ListPair build_lists(const std::string& node,
+                                          CarMode mode);
+
+  /// Full HPE configuration: per-mode lists plus autonomous mode snooping.
+  [[nodiscard]] hpe::HpeConfig build_hpe_config(const std::string& node);
+
+  /// Software acceptance filters equivalent to the mode-`mode` read list.
+  [[nodiscard]] std::vector<can::AcceptanceFilter> build_rx_filters(
+      const std::string& node, CarMode mode);
+
+  struct Stats {
+    std::uint64_t queries = 0;             // entry_point_may calls
+    std::uint64_t policy_evaluations = 0;  // of which reached the PolicySet
+    [[nodiscard]] std::uint64_t memo_hits() const noexcept {
+      return queries - policy_evaluations;
+    }
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const core::PolicySet& policy() const noexcept { return policy_; }
+  [[nodiscard]] const BindingOptions& options() const noexcept { return options_; }
+
+ private:
+  const core::PolicySet& policy_;
+  BindingOptions options_;
+  mac::SidTable sids_;                       // entry-point and asset names
+  std::unordered_map<std::uint64_t, bool> memo_;
+  Stats stats_;
+};
+
+// -- string-level conveniences (each compiles a fresh BindingCompiler) ----
+
+/// True when `node` may access `asset_id` in the given way under `policy`
+/// while the car is in `mode` (the OR over the node's entry points).
+[[nodiscard]] bool node_may(const std::string& node, const std::string& asset_id,
+                            core::AccessType access, CarMode mode,
+                            const core::PolicySet& policy);
+
+/// True when any entry point in the system may write `asset_id` in `mode`.
+[[nodiscard]] bool anyone_may_write(const std::string& asset_id, CarMode mode,
+                                    const core::PolicySet& policy);
 
 /// Approved read/write lists for one node in one mode.
 [[nodiscard]] hpe::ListPair build_lists(const std::string& node, CarMode mode,

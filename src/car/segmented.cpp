@@ -5,8 +5,8 @@
 namespace psme::car {
 
 hpe::BridgeLists build_gateway_lists(
-    const std::vector<std::string>& telematics_nodes, CarMode mode,
-    const core::PolicySet& policy) {
+    BindingCompiler& compiler,
+    const std::vector<std::string>& telematics_nodes, CarMode mode) {
   hpe::BridgeLists lists;
 
   // Structural frames cross in both directions so the segments share the
@@ -26,10 +26,10 @@ hpe::BridgeLists build_gateway_lists(
     for (const auto& node : telematics_nodes) {
       telematics_may_write =
           telematics_may_write ||
-          node_may(node, asset.asset_id, core::AccessType::kWrite, mode, policy);
+          compiler.node_may(node, asset.asset_id, core::AccessType::kWrite, mode);
       telematics_may_read =
           telematics_may_read ||
-          node_may(node, asset.asset_id, core::AccessType::kRead, mode, policy);
+          compiler.node_may(node, asset.asset_id, core::AccessType::kRead, mode);
     }
 
     if (asset_on_telematics) {
@@ -41,14 +41,14 @@ hpe::BridgeLists build_gateway_lists(
             std::find(telematics_nodes.begin(), telematics_nodes.end(),
                       binding.node) != telematics_nodes.end();
         if (on_telematics) continue;
-        if (node_may(binding.node, asset.asset_id, core::AccessType::kWrite,
-                     mode, policy)) {
+        if (compiler.node_may(binding.node, asset.asset_id,
+                              core::AccessType::kWrite, mode)) {
           for (const auto id : asset.command_ids) {
             lists.b_to_a.add(can::CanId::standard(id));
           }
         }
-        if (node_may(binding.node, asset.asset_id, core::AccessType::kRead,
-                     mode, policy)) {
+        if (compiler.node_may(binding.node, asset.asset_id,
+                              core::AccessType::kRead, mode)) {
           for (const auto id : asset.status_ids) {
             lists.a_to_b.add(can::CanId::standard(id));
           }
@@ -74,17 +74,25 @@ hpe::BridgeLists build_gateway_lists(
   return lists;
 }
 
+hpe::BridgeLists build_gateway_lists(
+    const std::vector<std::string>& telematics_nodes, CarMode mode,
+    const core::PolicySet& policy) {
+  BindingCompiler compiler(policy);
+  return build_gateway_lists(compiler, telematics_nodes, mode);
+}
+
 hpe::BridgeConfig build_gateway_config(
     const std::vector<std::string>& telematics_nodes,
     const core::PolicySet& policy) {
+  BindingCompiler compiler(policy);
   hpe::BridgeConfig config;
   config.mode_frame_id = msg::kModeChange;
   for (CarMode mode : kAllModes) {
     config.per_mode[static_cast<std::uint8_t>(mode)] =
-        build_gateway_lists(telematics_nodes, mode, policy);
+        build_gateway_lists(compiler, telematics_nodes, mode);
   }
   config.default_lists =
-      build_gateway_lists(telematics_nodes, CarMode::kNormal, policy);
+      build_gateway_lists(compiler, telematics_nodes, CarMode::kNormal);
   return config;
 }
 

@@ -31,13 +31,20 @@
 
 namespace psme::car {
 
-/// Forwarding lists for the gateway in one mode, derived from `policy`.
+/// Forwarding lists for the gateway in one mode, compiled through
+/// `compiler` (shared memoisation with any other lists built from it).
 /// `telematics_nodes` are the vehicle nodes on the telematics segment.
+[[nodiscard]] hpe::BridgeLists build_gateway_lists(
+    BindingCompiler& compiler,
+    const std::vector<std::string>& telematics_nodes, CarMode mode);
+
+/// Convenience overload compiling against `policy` directly.
 [[nodiscard]] hpe::BridgeLists build_gateway_lists(
     const std::vector<std::string>& telematics_nodes, CarMode mode,
     const core::PolicySet& policy);
 
-/// Full gateway configuration across all modes.
+/// Full gateway configuration across all modes (one shared compiler, so
+/// the per-mode list builds reuse each other's policy verdicts).
 [[nodiscard]] hpe::BridgeConfig build_gateway_config(
     const std::vector<std::string>& telematics_nodes,
     const core::PolicySet& policy);

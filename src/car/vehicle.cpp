@@ -19,6 +19,7 @@ Vehicle::Vehicle(sim::Scheduler& sched, VehicleConfig config,
       bus_(sched, can::kBitRate500k, trace, config.seed),
       policy_(full_policy(connected_car_threat_model(), config.policy_version)) {
   bus_.set_error_rate(config_.bus_error_rate);
+  reset_binding_compiler();
 
   // The gateway is part of the trusted computing base (it owns the mode);
   // it attaches directly, without a policy shim.
@@ -77,13 +78,19 @@ BindingOptions Vehicle::binding_options() const noexcept {
   return options;
 }
 
+void Vehicle::reset_binding_compiler() {
+  binding_ = std::make_unique<BindingCompiler>(
+      policy_, config_.enforcement == Enforcement::kSoftwareFilter
+                   ? BindingOptions{}
+                   : binding_options());
+}
+
 can::Channel& Vehicle::make_channel(const std::string& name) {
   Station& station = stations_[name];
   station.port = &bus_.attach(name);
   if (config_.enforcement == Enforcement::kHpe) {
     station.engine = std::make_unique<hpe::HardwarePolicyEngine>(
-        *station.port, build_hpe_config(name, policy_, binding_options()),
-        name, trace_);
+        *station.port, binding_->build_hpe_config(name), name, trace_);
     // The engine powers up in the configured initial mode.
     station.engine->set_mode(static_cast<std::uint8_t>(config_.initial_mode));
     return *station.engine;
@@ -95,7 +102,7 @@ void Vehicle::install_software_filters(CarMode mode) {
   for (const auto& name : node_names()) {
     CarNode* n = node(name);
     if (n != nullptr) {
-      n->controller().set_filters(build_rx_filters(name, mode, policy_));
+      n->controller().set_filters(binding_->build_rx_filters(name, mode));
     }
   }
   gateway_->controller().set_filters({
@@ -136,15 +143,20 @@ bool Vehicle::apply_policy_update(const core::PolicyBundle& bundle,
                                   const core::PolicySigner& verifier) {
   switch (config_.enforcement) {
     case Enforcement::kHpe: {
+      // One compiler for the whole fleet of per-node configs; its memo
+      // carries every shared policy verdict across the eight nodes.
+      BindingCompiler update_binding(bundle.set, binding_options());
       bool all_ok = true;
       for (auto& [name, station] : stations_) {
         if (!station.engine) continue;
         const bool ok = station.engine->apply_update(
-            bundle, verifier,
-            build_hpe_config(name, bundle.set, binding_options()));
+            bundle, verifier, update_binding.build_hpe_config(name));
         all_ok = all_ok && ok;
       }
-      if (all_ok) policy_ = bundle.set;
+      if (all_ok) {
+        policy_ = bundle.set;
+        reset_binding_compiler();
+      }
       return all_ok;
     }
     case Enforcement::kSoftwareFilter: {
@@ -153,6 +165,7 @@ bool Vehicle::apply_policy_update(const core::PolicyBundle& bundle,
         return false;
       }
       policy_ = bundle.set;
+      reset_binding_compiler();
       install_software_filters(mode());
       return true;
     }
@@ -162,6 +175,7 @@ bool Vehicle::apply_policy_update(const core::PolicyBundle& bundle,
         return false;
       }
       policy_ = bundle.set;  // recorded, but nothing enforces it
+      reset_binding_compiler();
       return true;
     }
   }

@@ -116,6 +116,11 @@ class Vehicle {
 
   [[nodiscard]] BindingOptions binding_options() const noexcept;
 
+  /// Rebuilds binding_ against the current policy_ (after construction or
+  /// a policy update). Software filters are bound with default options —
+  /// the ablation switches only shape HPE configurations.
+  void reset_binding_compiler();
+
   void install_software_filters(CarMode mode);
 
   sim::Scheduler& sched_;
@@ -123,6 +128,9 @@ class Vehicle {
   sim::Trace* trace_;
   can::Bus bus_;
   core::PolicySet policy_;
+  /// Shared memoising compiler from policy_ to approved lists/filters;
+  /// one instance serves every node (and every mode) of this vehicle.
+  std::unique_ptr<BindingCompiler> binding_;
   std::map<std::string, Station> stations_;
 
   std::unique_ptr<GatewayNode> gateway_;

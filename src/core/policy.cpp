@@ -71,6 +71,12 @@ void PolicySet::add_rule(PolicyRule rule) {
                                 rule.id + "'");
   }
   rules_.push_back(std::move(rule));
+  if (index_valid_) {
+    // Appending keeps existing indices stable; extend the bucket in place.
+    const PolicyRule& added = rules_.back();
+    index_[pair_key(name_hash(added.subject), name_hash(added.object))]
+        .push_back(static_cast<std::uint32_t>(rules_.size() - 1));
+  }
 }
 
 bool PolicySet::remove_rule(std::string_view rule_id) {
@@ -78,21 +84,68 @@ bool PolicySet::remove_rule(std::string_view rule_id) {
                                [&](const PolicyRule& r) { return r.id == rule_id; });
   if (it == rules_.end()) return false;
   rules_.erase(it);
+  index_valid_ = false;  // indices after the erased rule shifted
   return true;
 }
 
+std::uint64_t PolicySet::name_hash(std::string_view name) noexcept {
+  // FNV-1a 64-bit.
+  std::uint64_t hash = 0xCBF29CE484222325ULL;
+  for (const unsigned char ch : name) {
+    hash ^= ch;
+    hash *= 0x100000001B3ULL;
+  }
+  return hash;
+}
+
+std::uint64_t PolicySet::pair_key(std::uint64_t subject_hash,
+                                  std::uint64_t object_hash) noexcept {
+  // Asymmetric mix so (a, b) and (b, a) land in different buckets.
+  return subject_hash ^ (object_hash * 0x9E3779B97F4A7C15ULL + 0x7F4A7C15ULL);
+}
+
+void PolicySet::rebuild_index() const {
+  index_.clear();
+  for (std::uint32_t i = 0; i < rules_.size(); ++i) {
+    index_[pair_key(name_hash(rules_[i].subject), name_hash(rules_[i].object))]
+        .push_back(i);
+  }
+  index_valid_ = true;
+}
+
 Decision PolicySet::evaluate(const AccessRequest& request) const {
+  if (!index_valid_) rebuild_index();
+
+  // A rule is bucketed under its literal (subject, object) pair, so the
+  // candidates for a request are exactly the four wildcard combinations.
+  const std::uint64_t subject_hash = name_hash(request.subject);
+  const std::uint64_t object_hash = name_hash(request.object);
+  static const std::uint64_t wildcard_hash = name_hash("*");
+  const std::uint64_t probes[4] = {
+      pair_key(subject_hash, object_hash),
+      pair_key(subject_hash, wildcard_hash),
+      pair_key(wildcard_hash, object_hash),
+      pair_key(wildcard_hash, wildcard_hash),
+  };
+
   const PolicyRule* best = nullptr;
-  for (const auto& rule : rules_) {
-    if (!rule.matches(request)) continue;
-    if (best == nullptr) {
-      best = &rule;
-      continue;
-    }
-    if (rule.priority > best->priority ||
-        (rule.priority == best->priority &&
-         rule.specificity() > best->specificity())) {
-      best = &rule;
+  std::uint32_t best_index = 0;
+  for (const std::uint64_t key : probes) {
+    const auto bucket = index_.find(key);
+    if (bucket == index_.end()) continue;
+    for (const std::uint32_t i : bucket->second) {
+      const PolicyRule& rule = rules_[i];
+      if (!rule.matches(request)) continue;
+      // Priority wins; ties break on specificity, then insertion order
+      // (lowest index = first added) — identical to the former full scan.
+      if (best == nullptr || rule.priority > best->priority ||
+          (rule.priority == best->priority &&
+           rule.specificity() > best->specificity()) ||
+          (rule.priority == best->priority &&
+           rule.specificity() == best->specificity() && i < best_index)) {
+        best = &rule;
+        best_index = i;
+      }
     }
   }
   if (best == nullptr) {
@@ -123,13 +176,7 @@ std::string PolicySet::serialize() const {
 
 std::uint64_t PolicySet::fingerprint() const noexcept {
   // FNV-1a 64-bit over the canonical serialisation.
-  const std::string text = serialize();
-  std::uint64_t hash = 0xCBF29CE484222325ULL;
-  for (const unsigned char ch : text) {
-    hash ^= ch;
-    hash *= 0x100000001B3ULL;
-  }
-  return hash;
+  return name_hash(serialize());
 }
 
 Decision SimplePolicyEngine::evaluate(const AccessRequest& request) {

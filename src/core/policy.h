@@ -13,6 +13,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "threat/asset.h"
@@ -104,7 +105,11 @@ class PolicySet {
   void set_default_allow(bool allow) noexcept { default_allow_ = allow; }
   [[nodiscard]] bool default_allow() const noexcept { return default_allow_; }
 
-  /// Adjudicates a request against the rules.
+  /// Adjudicates a request against the rules. Candidate rules come from a
+  /// pre-built (subject, object) hash index — four bucket probes covering
+  /// the wildcard combinations — rather than a scan of every rule; the
+  /// index is (re)built lazily after a mutation. Not thread-safe: the lazy
+  /// rebuild writes through a mutable member.
   [[nodiscard]] Decision evaluate(const AccessRequest& request) const;
 
   /// Merges another set's rules into this one (policy *module* loading, as
@@ -119,10 +124,19 @@ class PolicySet {
   [[nodiscard]] std::string serialize() const;
 
  private:
+  [[nodiscard]] static std::uint64_t name_hash(std::string_view name) noexcept;
+  [[nodiscard]] static std::uint64_t pair_key(std::uint64_t subject_hash,
+                                              std::uint64_t object_hash) noexcept;
+  void rebuild_index() const;
+
   std::string name_;
   std::uint64_t version_ = 0;
   bool default_allow_ = false;
   std::vector<PolicyRule> rules_;
+  /// (subject hash, object hash) -> indices into rules_, ascending. Hash
+  /// collisions are harmless: candidates are re-checked with matches().
+  mutable std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> index_;
+  mutable bool index_valid_ = false;
 };
 
 /// Abstract policy decision point. Implemented by the software MAC engine

@@ -23,6 +23,7 @@ Bridge::Bridge(sim::Scheduler& sched, Bus& bus_a, Bus& bus_b,
       port_b_(bus_b.attach(name_ + ".b")),
       ctrl_a_(sched, port_a_, name_ + ".a", trace),
       ctrl_b_(sched, port_b_, name_ + ".b", trace) {
+  refresh_active_lists();
   // The controllers own the ports' sinks; route their RX paths into the
   // forwarding logic. (Controller delivers accepted frames to its handler;
   // default accept-all filters make the bridge transparent at this layer.)
@@ -34,15 +35,16 @@ Bridge::Bridge(sim::Scheduler& sched, Bus& bus_a, Bus& bus_b,
   });
 }
 
-const BridgeLists& Bridge::active_lists() const noexcept {
+void Bridge::refresh_active_lists() noexcept {
   const auto it = config_.per_mode.find(mode_);
-  return it == config_.per_mode.end() ? config_.default_lists : it->second;
+  active_ = it == config_.per_mode.end() ? &config_.default_lists : &it->second;
 }
 
 void Bridge::set_mode(std::uint8_t mode) noexcept {
   if (mode_ != mode) {
     mode_ = mode;
     ++stats_.mode_switches;
+    refresh_active_lists();
   }
 }
 

@@ -71,7 +71,10 @@ class Bridge {
   [[nodiscard]] std::uint8_t current_mode() const noexcept { return mode_; }
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
 
-  void set_config(BridgeConfig config) { config_ = std::move(config); }
+  void set_config(BridgeConfig config) {
+    config_ = std::move(config);
+    refresh_active_lists();
+  }
   void set_mode(std::uint8_t mode) noexcept;
 
  private:
@@ -88,11 +91,17 @@ class Bridge {
     BridgeDirection outbound_;
   };
 
-  [[nodiscard]] const BridgeLists& active_lists() const noexcept;
+  [[nodiscard]] const BridgeLists& active_lists() const noexcept {
+    return *active_;
+  }
+  /// Re-resolves active_ after a mode or configuration change, keeping the
+  /// per-frame forwarding path free of map lookups.
+  void refresh_active_lists() noexcept;
   void forward(const Frame& frame, BridgeDirection direction, sim::SimTime at);
 
   sim::Scheduler& sched_;
   BridgeConfig config_;
+  const BridgeLists* active_ = nullptr;  // into config_; never null post-ctor
   std::string name_;
   sim::Trace* trace_;
   std::uint8_t mode_ = 0;

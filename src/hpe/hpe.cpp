@@ -15,14 +15,15 @@ HardwarePolicyEngine::HardwarePolicyEngine(can::Channel& inner,
       config_(std::move(config)),
       name_(std::move(name)),
       trace_(trace) {
+  refresh_active_lists();
   inner_.set_sink(this);
 }
 
 HardwarePolicyEngine::~HardwarePolicyEngine() { inner_.set_sink(nullptr); }
 
-const ListPair& HardwarePolicyEngine::active_lists() const noexcept {
+void HardwarePolicyEngine::refresh_active_lists() noexcept {
   const auto it = config_.per_mode.find(mode_);
-  return it == config_.per_mode.end() ? config_.default_lists : it->second;
+  active_ = it == config_.per_mode.end() ? &config_.default_lists : &it->second;
 }
 
 bool HardwarePolicyEngine::decide(const can::Frame& frame, Direction direction,
@@ -105,6 +106,7 @@ void HardwarePolicyEngine::set_mode(std::uint8_t mode) noexcept {
   if (mode_ != mode) {
     mode_ = mode;
     ++stats_.mode_switches;
+    refresh_active_lists();
   }
 }
 
@@ -115,6 +117,7 @@ void HardwarePolicyEngine::set_config(HpeConfig config) {
         "HardwarePolicyEngine::set_config: engine is locked; use apply_update");
   }
   config_ = std::move(config);
+  refresh_active_lists();
 }
 
 bool HardwarePolicyEngine::apply_update(const core::PolicyBundle& bundle,
@@ -137,6 +140,7 @@ bool HardwarePolicyEngine::apply_update(const core::PolicyBundle& bundle,
     return false;
   }
   config_ = std::move(new_config);
+  refresh_active_lists();
   policy_version_ = bundle.version();
   return true;
 }

@@ -160,13 +160,19 @@ class HardwarePolicyEngine final : public can::Channel, public can::FrameSink {
   void set_mode(std::uint8_t mode) noexcept;
 
  private:
-  [[nodiscard]] const ListPair& active_lists() const noexcept;
+  [[nodiscard]] const ListPair& active_lists() const noexcept {
+    return *active_;
+  }
+  /// Re-resolves active_ after a mode or configuration change, so the
+  /// per-frame decision path never walks the per-mode map.
+  void refresh_active_lists() noexcept;
   [[nodiscard]] bool decide(const can::Frame& frame, Direction direction,
                             sim::SimTime at);
   void record_block(can::CanId id, Direction direction, sim::SimTime at);
 
   can::Channel& inner_;
   HpeConfig config_;
+  const ListPair* active_ = nullptr;  // into config_; never null post-ctor
   std::string name_;
   sim::Trace* trace_;
   can::FrameSink* node_sink_ = nullptr;

@@ -4,52 +4,143 @@
 
 namespace psme::mac {
 
+namespace {
+
+[[nodiscard]] std::size_t next_pow2(std::size_t n) noexcept {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
 Avc::Avc(std::size_t capacity) : capacity_(capacity) {
   if (capacity_ == 0) {
     throw std::invalid_argument("Avc: capacity must be positive");
   }
+  nodes_.resize(capacity_);
+  // ~2x slots per bucket array keeps chains around one node on average.
+  buckets_.assign(next_pow2(capacity_ * 2), kNil);
+  reset_free_list();
 }
 
-void Avc::touch(const CacheKey& key, Entry& entry) {
-  lru_.erase(entry.lru_pos);
-  lru_.push_front(key);
-  entry.lru_pos = lru_.begin();
+void Avc::reset_free_list() noexcept {
+  for (std::uint32_t i = 0; i + 1 < capacity_; ++i) {
+    nodes_[i].hash_next = i + 1;
+  }
+  nodes_[capacity_ - 1].hash_next = kNil;
+  free_head_ = 0;
+  lru_head_ = lru_tail_ = kNil;
+  size_ = 0;
 }
 
-AccessVector Avc::query(const PolicyDb& db, const std::string& source_type,
-                        const std::string& target_type,
-                        const std::string& object_class) {
+void Avc::lru_unlink(std::uint32_t n) noexcept {
+  Node& node = nodes_[n];
+  if (node.lru_prev != kNil) {
+    nodes_[node.lru_prev].lru_next = node.lru_next;
+  } else {
+    lru_head_ = node.lru_next;
+  }
+  if (node.lru_next != kNil) {
+    nodes_[node.lru_next].lru_prev = node.lru_prev;
+  } else {
+    lru_tail_ = node.lru_prev;
+  }
+  node.lru_prev = node.lru_next = kNil;
+}
+
+void Avc::lru_push_front(std::uint32_t n) noexcept {
+  Node& node = nodes_[n];
+  node.lru_prev = kNil;
+  node.lru_next = lru_head_;
+  if (lru_head_ != kNil) nodes_[lru_head_].lru_prev = n;
+  lru_head_ = n;
+  if (lru_tail_ == kNil) lru_tail_ = n;
+}
+
+void Avc::chain_remove(std::uint32_t bucket, std::uint32_t n) noexcept {
+  std::uint32_t cur = buckets_[bucket];
+  if (cur == n) {
+    buckets_[bucket] = nodes_[n].hash_next;
+    return;
+  }
+  while (cur != kNil) {
+    if (nodes_[cur].hash_next == n) {
+      nodes_[cur].hash_next = nodes_[n].hash_next;
+      return;
+    }
+    cur = nodes_[cur].hash_next;
+  }
+}
+
+AccessVector Avc::query(const PolicyDb& db, Sid source, Sid target, Sid cls) {
   if (db.seqno() != db_seqno_) {
     // Policy reload invalidates cached vectors. The very first query merely
     // synchronises the seqno — an empty cache has nothing to flush.
-    if (!entries_.empty()) flush();
+    if (size_ != 0) flush();
     db_seqno_ = db.seqno();
   }
 
-  const CacheKey key{source_type, target_type, object_class};
-  const auto it = entries_.find(key);
-  if (it != entries_.end()) {
-    ++stats_.hits;
-    touch(key, it->second);
-    return it->second.av;
+  const std::uint64_t key = pack_av_key(source, target, cls);
+  const std::uint32_t bucket = bucket_of(key);
+  for (std::uint32_t n = buckets_[bucket]; n != kNil; n = nodes_[n].hash_next) {
+    if (nodes_[n].key == key) {
+      ++stats_.hits;
+      if (lru_head_ != n) {
+        lru_unlink(n);
+        lru_push_front(n);
+      }
+      return nodes_[n].av;
+    }
   }
 
   ++stats_.misses;
-  const AccessVector av = db.lookup(source_type, target_type, object_class);
-  if (entries_.size() >= capacity_) {
-    const CacheKey& victim = lru_.back();
-    entries_.erase(victim);
-    lru_.pop_back();
+  const AccessVector av = db.lookup(source, target, cls);
+
+  std::uint32_t n;
+  if (free_head_ != kNil) {
+    n = free_head_;
+    free_head_ = nodes_[n].hash_next;
+    ++size_;
+  } else {
+    // Cache full: recycle the least recently used slot.
+    n = lru_tail_;
+    chain_remove(bucket_of(nodes_[n].key), n);
+    lru_unlink(n);
     ++stats_.evictions;
   }
-  lru_.push_front(key);
-  entries_[key] = Entry{av, lru_.begin()};
+  Node& node = nodes_[n];
+  node.key = key;
+  node.av = av;
+  node.hash_next = buckets_[bucket];
+  buckets_[bucket] = n;
+  lru_push_front(n);
   return av;
 }
 
-bool Avc::allowed(const PolicyDb& db, const std::string& source_type,
-                  const std::string& target_type,
-                  const std::string& object_class, const std::string& perm) {
+AccessVector Avc::query(const PolicyDb& db, std::string_view source_type,
+                        std::string_view target_type,
+                        std::string_view object_class) {
+  // Interning through a const database is deliberate: like the SELinux
+  // sidtab, the interner grows at enforcement time without changing any
+  // SID already issued, so the compiled policy is unaffected.
+  SidTable& sids = *db.sid_table();
+  const Sid source = sids.intern(source_type);
+  const Sid target = sids.intern(target_type);
+  const Sid cls = sids.intern(object_class);
+  if (cls > kMaxClassSid) {
+    // A class name interned beyond the packed-key range cannot be cached
+    // without aliasing; answer from the database directly (still counted
+    // as a miss so the stats stay truthful).
+    ++stats_.misses;
+    return db.lookup(source_type, target_type, object_class);
+  }
+  return query(db, source, target, cls);
+}
+
+bool Avc::allowed(const PolicyDb& db, std::string_view source_type,
+                  std::string_view target_type, std::string_view object_class,
+                  std::string_view perm) {
   const ClassDef* cls = db.find_class(object_class);
   if (cls == nullptr) return false;
   const auto bit = cls->bit(perm);
@@ -58,8 +149,8 @@ bool Avc::allowed(const PolicyDb& db, const std::string& source_type,
 }
 
 void Avc::flush() noexcept {
-  entries_.clear();
-  lru_.clear();
+  for (auto& bucket : buckets_) bucket = kNil;
+  reset_free_list();
   ++stats_.flushes;
 }
 

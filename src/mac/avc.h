@@ -5,13 +5,20 @@
 // reproduce the structure (keyed by source/target/class, invalidated by
 // policy seqno) so the bench suite can measure hit-ratio-dependent cost,
 // the paper's software-enforcement overhead story.
+//
+// The cache is SID-keyed: entries live in a fixed-capacity slot array
+// allocated once at construction, chained into a power-of-two bucket index
+// and threaded onto an intrusive doubly-linked LRU list by array index.
+// After the constructor returns, queries never allocate — a hit is one
+// hash, one short chain walk and four index writes. String queries are
+// shims that intern through the database's SidTable first.
 #pragma once
 
 #include <cstdint>
-#include <list>
-#include <map>
-#include <string>
+#include <string_view>
+#include <vector>
 
+#include "mac/sid_table.h"
 #include "mac/te_policy.h"
 
 namespace psme::mac {
@@ -28,49 +35,71 @@ struct AvcStats {
   }
 };
 
-/// Bounded LRU cache of (source, target, class) -> access vector.
+/// Bounded LRU cache of (source, target, class) SIDs -> access vector.
 class Avc {
  public:
   explicit Avc(std::size_t capacity = 512);
 
   /// Returns the access vector, consulting `db` on a miss and caching the
   /// result. A db seqno change flushes the cache first (policy reload).
+  /// SID-space hot path: zero heap allocations.
+  [[nodiscard]] AccessVector query(const PolicyDb& db, Sid source, Sid target,
+                                   Sid cls);
+
+  /// True when every bit of `required` is granted (one bit = one perm).
+  [[nodiscard]] bool allowed(const PolicyDb& db, Sid source, Sid target,
+                             Sid cls, AccessVector required) {
+    return required != 0 &&
+           (query(db, source, target, cls) & required) == required;
+  }
+
+  /// String shim: interns the names through the db's SidTable (so repeat
+  /// queries for the same strings hit the same slot) and defers to the SID
+  /// path. Kept for tests, examples and the string-keyed baseline bench.
   [[nodiscard]] AccessVector query(const PolicyDb& db,
-                                   const std::string& source_type,
-                                   const std::string& target_type,
-                                   const std::string& object_class);
+                                   std::string_view source_type,
+                                   std::string_view target_type,
+                                   std::string_view object_class);
 
   /// Permission-level convenience mirroring PolicyDb::allowed.
-  [[nodiscard]] bool allowed(const PolicyDb& db, const std::string& source_type,
-                             const std::string& target_type,
-                             const std::string& object_class,
-                             const std::string& perm);
+  [[nodiscard]] bool allowed(const PolicyDb& db, std::string_view source_type,
+                             std::string_view target_type,
+                             std::string_view object_class,
+                             std::string_view perm);
 
   void flush() noexcept;
 
   [[nodiscard]] const AvcStats& stats() const noexcept { return stats_; }
-  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
 
  private:
-  struct CacheKey {
-    std::string source, target, cls;
-    friend bool operator<(const CacheKey& a, const CacheKey& b) noexcept {
-      if (a.source != b.source) return a.source < b.source;
-      if (a.target != b.target) return a.target < b.target;
-      return a.cls < b.cls;
-    }
-  };
-  struct Entry {
-    AccessVector av;
-    std::list<CacheKey>::iterator lru_pos;
+  static constexpr std::uint32_t kNil = 0xFFFFFFFFu;
+
+  struct Node {
+    std::uint64_t key = 0;
+    AccessVector av = 0;
+    std::uint32_t lru_prev = kNil;
+    std::uint32_t lru_next = kNil;
+    std::uint32_t hash_next = kNil;  // doubles as the free-list link
   };
 
-  void touch(const CacheKey& key, Entry& entry);
+  [[nodiscard]] std::uint32_t bucket_of(std::uint64_t key) const noexcept {
+    return static_cast<std::uint32_t>(mix_av_key(key) & (buckets_.size() - 1));
+  }
+
+  void lru_unlink(std::uint32_t n) noexcept;
+  void lru_push_front(std::uint32_t n) noexcept;
+  void chain_remove(std::uint32_t bucket, std::uint32_t n) noexcept;
+  void reset_free_list() noexcept;
 
   std::size_t capacity_;
-  std::map<CacheKey, Entry> entries_;
-  std::list<CacheKey> lru_;  // front = most recently used
+  std::vector<Node> nodes_;             // exactly capacity_ slots, fixed
+  std::vector<std::uint32_t> buckets_;  // power-of-two index, kNil-terminated
+  std::uint32_t lru_head_ = kNil;       // most recently used
+  std::uint32_t lru_tail_ = kNil;       // eviction victim
+  std::uint32_t free_head_ = kNil;
+  std::size_t size_ = 0;
   std::uint64_t db_seqno_ = 0;
   AvcStats stats_;
 };

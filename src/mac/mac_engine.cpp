@@ -1,11 +1,14 @@
 #include "mac/mac_engine.h"
 
 #include <algorithm>
+#include <set>
 #include <stdexcept>
 
 namespace psme::mac {
 
-MacEngine::MacEngine(std::size_t avc_capacity) : avc_(avc_capacity) {
+MacEngine::MacEngine(std::size_t avc_capacity)
+    : sids_(std::make_shared<SidTable>()), avc_(avc_capacity) {
+  default_type_sid_ = sids_->intern(default_context_.type());
   rebuild();  // empty database: everything denied (least privilege)
 }
 
@@ -13,6 +16,7 @@ void MacEngine::label(const std::string& entity, SecurityContext context) {
   if (entity.empty()) {
     throw std::invalid_argument("MacEngine::label: empty entity id");
   }
+  label_type_sids_[entity] = sids_->intern(context.type());
   labels_[entity] = std::move(context);
 }
 
@@ -23,14 +27,26 @@ const SecurityContext& MacEngine::context_of(const std::string& entity) const {
 
 void MacEngine::set_default_context(SecurityContext context) {
   default_context_ = std::move(context);
+  default_type_sid_ = sids_->intern(default_context_.type());
+}
+
+Sid MacEngine::type_sid_of(const std::string& entity) const noexcept {
+  const auto it = label_type_sids_.find(entity);
+  return it == label_type_sids_.end() ? default_type_sid_ : it->second;
 }
 
 void MacEngine::rebuild() {
   PolicyDbBuilder builder;
   builder.add_class(kAssetClass, {"read", "write"});
-  builder.add_type(default_context_.type());
+  // The builder rejects duplicate type declarations; modules may share
+  // types with each other or with the default context, so dedupe here.
+  std::set<std::string> declared;
+  auto declare = [&](const std::string& t) {
+    if (declared.insert(t).second) builder.add_type(t);
+  };
+  declare(default_context_.type());
   for (const auto& mod : modules_) {
-    for (const auto& t : mod.types) builder.add_type(t);
+    for (const auto& t : mod.types) declare(t);
   }
   for (const auto& mod : modules_) {
     for (const auto& rule : mod.allows) builder.allow(rule);
@@ -44,7 +60,14 @@ void MacEngine::rebuild() {
     }
     for (const auto& rule : mod.neverallows) builder.neverallow(rule);
   }
-  db_ = builder.build(next_seqno_++);
+  db_ = builder.build(next_seqno_++, sids_);
+  // Cache the SID-space coordinates of the asset class so evaluate() can
+  // run without any name resolution. The bit layout follows registration
+  // order above and is stable across rebuilds.
+  const ClassDef* asset = db_.find_class(std::string_view(kAssetClass));
+  asset_class_sid_ = asset->sid;
+  read_mask_ = *asset->bit("read");
+  write_mask_ = *asset->bit("write");
   // The AVC notices the seqno change lazily on the next query.
 }
 
@@ -114,23 +137,31 @@ std::vector<std::string> MacEngine::loaded_modules() const {
 }
 
 core::Decision MacEngine::evaluate(const core::AccessRequest& request) {
-  const std::string& source = context_of(request.subject).type();
-  const std::string& target = context_of(request.object).type();
-  const std::string perm =
-      request.access == core::AccessType::kRead ? "read" : "write";
+  const Sid source = type_sid_of(request.subject);
+  const Sid target = type_sid_of(request.object);
+  const AccessVector need =
+      request.access == core::AccessType::kRead ? read_mask_ : write_mask_;
 
-  const bool ok = avc_.allowed(db_, source, target, kAssetClass, perm);
+  const bool ok = (avc_.query(db_, source, target, asset_class_sid_) & need) != 0;
   if (ok) {
-    return core::Decision::allow(
-        "te", source + " -> " + target + " : asset { " + perm + " }");
+    // Hot path: both literals fit the small-string buffer, so a cached
+    // allow constructs no heap memory at all.
+    return core::Decision::allow("te", "avc: granted");
   }
+  // Denials reverse-map SIDs to names for the audit trail; this is where
+  // the interner's reverse table earns its keep.
+  const std::string& source_name = sids_->name_of(source);
+  const std::string& target_name = sids_->name_of(target);
+  const std::string_view perm = core::to_string(request.access);
   if (permissive_) {
     ++permissive_denials_;
     return core::Decision::allow(
-        "te-permissive", "would deny " + source + " -> " + target + " " + perm);
+        "te-permissive", "would deny " + source_name + " -> " + target_name +
+                             " " + std::string(perm));
   }
   return core::Decision::deny(
-      "te", "no allow rule " + source + " -> " + target + " : asset { " + perm + " }");
+      "te", "no allow rule " + source_name + " -> " + target_name +
+                " : asset { " + std::string(perm) + " }");
 }
 
 bool MacEngine::allowed(const std::string& source_type,

@@ -2,26 +2,37 @@
 //
 // MacEngine implements core::PolicyEngine by translating generic access
 // requests into type-enforcement queries:
-//   subject id --(label map)--> source type
-//   object  id --(label map)--> target type
-//   read/write --> permission of the "asset" object class
+//   subject id --(label map)--> source type SID
+//   object  id --(label map)--> target type SID
+//   read/write --> permission bit of the "asset" object class
 //
 // Policies are organised into named, loadable modules ("Policies are
 // deployed using a modular approach", paper Sec. V-B.1): loading or
 // unloading a module rebuilds the policy database with a new sequence
 // number, which flushes the AVC — the same lifecycle as an SELinux policy
 // reload.
+//
+// The engine owns a SidTable shared with every database it builds, so
+// SIDs stay stable across policy reloads: entity labels are translated to
+// type SIDs once (at label() time) and the cached mapping survives any
+// number of rebuilds. A cached evaluate() therefore runs entirely in SID
+// space and performs no heap allocation: two label-map probes, one AVC
+// hit, and a Decision whose strings fit in the small-string buffer.
+// Denials (never the hot path) reverse-map SIDs to names for the audit
+// reason text.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/policy.h"
 #include "mac/avc.h"
 #include "mac/context.h"
+#include "mac/sid_table.h"
 #include "mac/te_policy.h"
 
 namespace psme::mac {
@@ -57,7 +68,9 @@ class MacEngine final : public core::PolicyEngine {
   // -- labelling -------------------------------------------------------
 
   /// Associates an entity id (entry point, node, asset) with a context.
-  /// Unlabelled entities fall back to the configurable default context.
+  /// The context's type is interned immediately; evaluate() never touches
+  /// the context string again. Unlabelled entities fall back to the
+  /// configurable default context.
   void label(const std::string& entity, SecurityContext context);
   [[nodiscard]] const SecurityContext& context_of(const std::string& entity) const;
   void set_default_context(SecurityContext context);
@@ -101,6 +114,12 @@ class MacEngine final : public core::PolicyEngine {
   }
   [[nodiscard]] const PolicyDb& db() const noexcept { return db_; }
 
+  /// The engine's interner (stable across reloads; for tests and audit).
+  [[nodiscard]] const SidTable& sids() const noexcept { return *sids_; }
+
+  /// Source/target type SID an entity currently resolves to.
+  [[nodiscard]] Sid type_sid_of(const std::string& entity) const noexcept;
+
   /// Permissive mode logs would-be denials but allows them (SELinux's
   /// permissive mode; useful when introducing policies to a live fleet).
   void set_permissive(bool permissive) noexcept { permissive_ = permissive; }
@@ -112,8 +131,17 @@ class MacEngine final : public core::PolicyEngine {
  private:
   void rebuild();
 
+  std::shared_ptr<SidTable> sids_;
   std::map<std::string, SecurityContext> labels_;
+  /// entity id -> type SID, maintained by label(); the evaluate() fast
+  /// path reads only this map.
+  std::unordered_map<std::string, Sid, SidTable::Hash, std::equal_to<>>
+      label_type_sids_;
   SecurityContext default_context_{"system", "object", "unlabeled_t"};
+  Sid default_type_sid_ = kNullSid;
+  Sid asset_class_sid_ = kNullSid;
+  AccessVector read_mask_ = 0;
+  AccessVector write_mask_ = 0;
   std::vector<PolicyModule> modules_;
   std::map<std::string, bool> booleans_;
   PolicyDb db_;

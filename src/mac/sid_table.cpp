@@ -1,0 +1,31 @@
+#include "mac/sid_table.h"
+
+#include <stdexcept>
+
+namespace psme::mac {
+
+Sid SidTable::intern(std::string_view name) {
+  const auto it = ids_.find(name);
+  if (it != ids_.end()) return it->second;
+  if (names_.size() >= kMaxTypeSid) {
+    throw std::length_error("SidTable::intern: table full (2^24 - 1 names)");
+  }
+  const Sid sid = static_cast<Sid>(names_.size() + 1);
+  const auto [pos, inserted] = ids_.emplace(std::string(name), sid);
+  names_.push_back(&pos->first);
+  return sid;
+}
+
+Sid SidTable::find(std::string_view name) const noexcept {
+  const auto it = ids_.find(name);
+  return it == ids_.end() ? kNullSid : it->second;
+}
+
+const std::string& SidTable::name_of(Sid sid) const {
+  if (!contains(sid)) {
+    throw std::out_of_range("SidTable::name_of: unknown SID");
+  }
+  return *names_[sid - 1];
+}
+
+}  // namespace psme::mac

@@ -1,0 +1,101 @@
+// psme::mac — security identifier (SID) interner.
+//
+// Real SELinux never compares strings on the decision path: every security
+// context is interned once into a small integer SID, and the policy
+// database, the AVC and the enforcement hooks all speak SIDs from then on.
+// This table reproduces that design: type, class and entity names map to
+// dense std::uint32_t identifiers with O(1) amortised interning, O(1)
+// non-allocating lookup, and O(1) reverse lookup (the reverse direction
+// exists for audit and trace messages only — the hot path never touches a
+// string).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace psme::mac {
+
+/// Dense security identifier. 0 (kNullSid) is reserved for "no such name",
+/// so a packed key built from valid SIDs is never zero — which lets the
+/// flat AV tables use 0 as their empty-slot sentinel.
+using Sid = std::uint32_t;
+
+inline constexpr Sid kNullSid = 0;
+
+/// Widest SID representable in a source/target field of a packed AV key.
+/// SidTable::intern refuses to hand out more names than this, so any SID
+/// it returns packs safely.
+inline constexpr Sid kMaxTypeSid = (Sid{1} << 24) - 1;
+
+/// Widest SID usable as the class field of a packed AV key. Classes are
+/// interned before types by PolicyDbBuilder, so in practice class SIDs are
+/// tiny; PolicyDbBuilder::build enforces the bound.
+inline constexpr Sid kMaxClassSid = (Sid{1} << 16) - 1;
+
+/// Packs a (source type, target type, object class) SID triple into the
+/// 64-bit key used by PolicyDb's flat table and the AVC: 24 source bits,
+/// 24 target bits, 16 class bits.
+[[nodiscard]] constexpr std::uint64_t pack_av_key(Sid source, Sid target,
+                                                  Sid cls) noexcept {
+  return (static_cast<std::uint64_t>(source) << 40) |
+         (static_cast<std::uint64_t>(target) << 16) |
+         static_cast<std::uint64_t>(cls);
+}
+
+/// splitmix64 finaliser: avalanches a packed key's bit fields so hash
+/// structures (the policy AV table, the AVC bucket index) see a uniform
+/// distribution. Shared so the two tables can never drift apart.
+[[nodiscard]] constexpr std::uint64_t mix_av_key(std::uint64_t key) noexcept {
+  key ^= key >> 30;
+  key *= 0xBF58476D1CE4E5B9ULL;
+  key ^= key >> 27;
+  key *= 0x94D049BB133111EBULL;
+  key ^= key >> 31;
+  return key;
+}
+
+/// String -> dense u32 interner with reverse lookup.
+class SidTable {
+ public:
+  /// Transparent FNV-1a string hash so string_view lookups never allocate.
+  struct Hash {
+    using is_transparent = void;
+    [[nodiscard]] std::size_t operator()(std::string_view s) const noexcept {
+      std::uint64_t h = 0xCBF29CE484222325ULL;
+      for (const unsigned char ch : s) {
+        h ^= ch;
+        h *= 0x100000001B3ULL;
+      }
+      return static_cast<std::size_t>(h);
+    }
+  };
+
+  /// Returns the SID for `name`, interning it on first sight. SIDs are
+  /// handed out densely starting at 1 in interning order. Throws
+  /// std::length_error once kMaxTypeSid names exist.
+  Sid intern(std::string_view name);
+
+  /// SID of an already-interned name; kNullSid when never seen.
+  [[nodiscard]] Sid find(std::string_view name) const noexcept;
+
+  /// Reverse lookup, for audit/trace messages. Throws std::out_of_range
+  /// for kNullSid or a SID this table never issued.
+  [[nodiscard]] const std::string& name_of(Sid sid) const;
+
+  [[nodiscard]] bool contains(Sid sid) const noexcept {
+    return sid != kNullSid && sid <= names_.size();
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return names_.size(); }
+
+ private:
+  std::unordered_map<std::string, Sid, Hash, std::equal_to<>> ids_;
+  // names_[sid - 1] points at the key stored in ids_; unordered_map keys
+  // are node-based, so the pointers survive rehashing.
+  std::vector<const std::string*> names_;
+};
+
+}  // namespace psme::mac

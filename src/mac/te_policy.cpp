@@ -12,13 +12,54 @@ std::optional<AccessVector> ClassDef::bit(std::string_view perm) const noexcept 
   return std::nullopt;
 }
 
+void AvTable::grow() {
+  const std::size_t new_cap = keys_.empty() ? 16 : keys_.size() * 2;
+  std::vector<std::uint64_t> old_keys = std::move(keys_);
+  std::vector<AccessVector> old_values = std::move(values_);
+  keys_.assign(new_cap, 0);
+  values_.assign(new_cap, 0);
+  const std::size_t mask = new_cap - 1;
+  for (std::size_t i = 0; i < old_keys.size(); ++i) {
+    if (old_keys[i] == 0) continue;
+    std::size_t j = mix_av_key(old_keys[i]) & mask;
+    while (keys_[j] != 0) j = (j + 1) & mask;
+    keys_[j] = old_keys[i];
+    values_[j] = old_values[i];
+  }
+}
+
+void AvTable::merge(std::uint64_t key, AccessVector av) {
+  // Keep load below ~0.7 so probe sequences stay short.
+  if (keys_.empty() || (size_ + 1) * 10 > keys_.size() * 7) grow();
+  const std::size_t mask = keys_.size() - 1;
+  std::size_t i = mix_av_key(key) & mask;
+  while (keys_[i] != 0 && keys_[i] != key) i = (i + 1) & mask;
+  if (keys_[i] == 0) {
+    keys_[i] = key;
+    ++size_;
+  }
+  values_[i] |= av;
+}
+
+const ClassDef* PolicyDb::find_class(Sid cls) const noexcept {
+  for (const auto& c : classes_) {
+    if (c.sid == cls) return &c;
+  }
+  return nullptr;
+}
+
+const ClassDef* PolicyDb::find_class(std::string_view name) const noexcept {
+  for (const auto& c : classes_) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
 AccessVector PolicyDb::lookup(std::string_view source_type,
                               std::string_view target_type,
                               std::string_view object_class) const noexcept {
-  const auto it = av_.find(Key{std::string(source_type),
-                               std::string(target_type),
-                               std::string(object_class)});
-  return it == av_.end() ? 0 : it->second;
+  return lookup(sids_->find(source_type), sids_->find(target_type),
+                sids_->find(object_class));
 }
 
 bool PolicyDb::allowed(std::string_view source_type,
@@ -29,25 +70,27 @@ bool PolicyDb::allowed(std::string_view source_type,
   if (cls == nullptr) return false;
   const auto bit = cls->bit(perm);
   if (!bit.has_value()) return false;
-  return (lookup(source_type, target_type, object_class) & *bit) != 0;
-}
-
-const ClassDef* PolicyDb::find_class(std::string_view name) const noexcept {
-  for (const auto& c : classes_) {
-    if (c.name == name) return &c;
-  }
-  return nullptr;
-}
-
-bool PolicyDb::knows_type(std::string_view name) const noexcept {
-  return types_.count(std::string(name)) != 0;
+  return allowed(sids_->find(source_type), sids_->find(target_type), cls->sid,
+                 *bit);
 }
 
 PolicyDbBuilder& PolicyDbBuilder::add_class(
     std::string name, std::vector<std::string> permissions) {
   if (name.empty()) throw std::invalid_argument("add_class: empty class name");
   if (permissions.empty() || permissions.size() > 32) {
-    throw std::invalid_argument("add_class: 1..32 permissions required");
+    throw std::invalid_argument(
+        "add_class: class '" + name + "' needs 1..32 permissions, got " +
+        std::to_string(permissions.size()) +
+        " (an AccessVector holds 32 bits)");
+  }
+  for (std::size_t i = 0; i < permissions.size(); ++i) {
+    for (std::size_t j = i + 1; j < permissions.size(); ++j) {
+      if (permissions[i] == permissions[j]) {
+        throw std::invalid_argument("add_class: class '" + name +
+                                    "' declares permission '" +
+                                    permissions[i] + "' twice");
+      }
+    }
   }
   for (const auto& c : classes_) {
     if (c.name == name) {
@@ -63,6 +106,9 @@ PolicyDbBuilder& PolicyDbBuilder::add_type(std::string name) {
   if (attributes_.count(name) != 0) {
     throw std::invalid_argument("add_type: '" + name + "' is an attribute");
   }
+  if (types_.count(name) != 0) {
+    throw std::invalid_argument("add_type: duplicate type '" + name + "'");
+  }
   types_.insert(std::move(name));
   return *this;
 }
@@ -74,6 +120,10 @@ PolicyDbBuilder& PolicyDbBuilder::add_attribute(
   }
   if (types_.count(name) != 0) {
     throw std::invalid_argument("add_attribute: '" + name + "' is a type");
+  }
+  if (attributes_.count(name) != 0) {
+    throw std::invalid_argument("add_attribute: duplicate attribute '" + name +
+                                "'");
   }
   for (const auto& t : member_types) {
     if (types_.count(t) == 0) {
@@ -129,16 +179,35 @@ PolicyDbBuilder& PolicyDbBuilder::neverallow(TeRule rule) {
   return *this;
 }
 
-std::vector<std::string> PolicyDbBuilder::expand(const std::string& name) const {
+const std::vector<std::string>& PolicyDbBuilder::expand(
+    const std::string& name, std::vector<std::string>& scratch) const {
   const auto attr = attributes_.find(name);
   if (attr != attributes_.end()) return attr->second;
-  return {name};
+  scratch.assign(1, name);
+  return scratch;
 }
 
-PolicyDb PolicyDbBuilder::build(std::uint64_t seqno) const {
+PolicyDb PolicyDbBuilder::build(std::uint64_t seqno,
+                                std::shared_ptr<SidTable> sids) const {
   PolicyDb db;
+  if (sids != nullptr) db.sids_ = std::move(sids);
+  SidTable& table = *db.sids_;
+
+  // Classes first: when the database owns a fresh interner this keeps
+  // class SIDs tiny. With a shared, long-lived interner the class may have
+  // been interned late; the packed key reserves only 16 bits for it.
   db.classes_ = classes_;
-  db.types_ = types_;
+  for (auto& cls : db.classes_) {
+    cls.sid = table.intern(cls.name);
+    if (cls.sid > kMaxClassSid) {
+      throw std::length_error("PolicyDbBuilder::build: class '" + cls.name +
+                              "' interned beyond the packed-key class range");
+    }
+  }
+
+  for (const auto& t : types_) (void)table.intern(t);
+  db.is_type_.assign(table.size() + 1, 0);
+  for (const auto& t : types_) db.is_type_[table.find(t)] = 1;
   db.seqno_ = seqno;
 
   auto vector_of = [this](const TeRule& rule) -> AccessVector {
@@ -150,12 +219,20 @@ PolicyDb PolicyDbBuilder::build(std::uint64_t seqno) const {
     for (const auto& p : rule.permissions) av |= *cls->bit(p);
     return av;
   };
+  auto class_sid = [&db](const TeRule& rule) -> Sid {
+    return db.find_class(std::string_view(rule.object_class))->sid;
+  };
 
+  // Attribute expansion resolves to SIDs here, at build time: the compiled
+  // table only ever holds concrete (type, type, class) triples.
+  std::vector<std::string> scratch_src, scratch_tgt;
   for (const auto& rule : allows_) {
     const AccessVector av = vector_of(rule);
-    for (const auto& src : expand(rule.source)) {
-      for (const auto& tgt : expand(rule.target)) {
-        db.av_[PolicyDb::Key{src, tgt, rule.object_class}] |= av;
+    const Sid cls = class_sid(rule);
+    for (const auto& src : expand(rule.source, scratch_src)) {
+      const Sid src_sid = table.find(src);
+      for (const auto& tgt : expand(rule.target, scratch_tgt)) {
+        db.av_.merge(pack_av_key(src_sid, table.find(tgt), cls), av);
       }
     }
   }
@@ -165,11 +242,12 @@ PolicyDb PolicyDbBuilder::build(std::uint64_t seqno) const {
   // compilation fails.
   for (const auto& never : neverallows_) {
     const AccessVector banned = vector_of(never);
-    for (const auto& src : expand(never.source)) {
-      for (const auto& tgt : expand(never.target)) {
-        const auto it =
-            db.av_.find(PolicyDb::Key{src, tgt, never.object_class});
-        if (it != db.av_.end() && (it->second & banned) != 0) {
+    const Sid cls = class_sid(never);
+    for (const auto& src : expand(never.source, scratch_src)) {
+      const Sid src_sid = table.find(src);
+      for (const auto& tgt : expand(never.target, scratch_tgt)) {
+        if ((db.av_.find(pack_av_key(src_sid, table.find(tgt), cls)) &
+             banned) != 0) {
           throw std::logic_error("neverallow violated: " + src + " -> " + tgt +
                                  " : " + never.object_class);
         }

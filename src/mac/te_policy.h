@@ -9,17 +9,25 @@
 //     ill-formed update from widening access.
 //
 // A PolicyDb is built from rules via PolicyDbBuilder, which validates
-// references and checks every allow against every neverallow. Lookups are
-// hash-table based and return a permission bitmask.
+// references and checks every allow against every neverallow. The compiled
+// form is SID-interned: every type and class name is resolved to a dense
+// std::uint32_t (mac::SidTable) at build time, attribute expansion
+// included, and lookups probe a flat open-addressing hash table keyed by
+// the packed (source_sid, target_sid, class_sid) triple. The decision path
+// never hashes or compares a string; the string overloads below are thin
+// shims kept for tests, examples and audit tooling.
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <set>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "mac/sid_table.h"
 
 namespace psme::mac {
 
@@ -29,7 +37,8 @@ using AccessVector = std::uint32_t;
 
 struct ClassDef {
   std::string name;
-  std::vector<std::string> permissions;  // at most 32
+  std::vector<std::string> permissions;  // at most 32, enforced by builder
+  Sid sid = kNullSid;                    // assigned at build time
 
   /// Bit for a permission name; nullopt if unknown.
   [[nodiscard]] std::optional<AccessVector> bit(std::string_view perm) const noexcept;
@@ -44,23 +53,65 @@ struct TeRule {
   std::vector<std::string> permissions;
 };
 
+/// Flat open-addressing hash table: packed SID key -> access vector.
+/// Linear probing over a power-of-two slot array; key 0 marks an empty
+/// slot (valid packed keys always carry a non-zero class SID). Grows only
+/// at build time; find() never allocates.
+class AvTable {
+ public:
+  [[nodiscard]] AccessVector find(std::uint64_t key) const noexcept {
+    if (size_ == 0) return 0;
+    const std::size_t mask = keys_.size() - 1;
+    for (std::size_t i = mix_av_key(key) & mask;; i = (i + 1) & mask) {
+      if (keys_[i] == key) return values_[i];
+      if (keys_[i] == 0) return 0;
+    }
+  }
+
+  /// ORs `av` into the slot for `key`, growing as needed.
+  void merge(std::uint64_t key, AccessVector av);
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+ private:
+  void grow();
+
+  std::vector<std::uint64_t> keys_;
+  std::vector<AccessVector> values_;
+  std::size_t size_ = 0;
+};
+
 /// Compiled, queryable policy.
 class PolicyDb {
  public:
-  struct Key {
-    std::string source_type;
-    std::string target_type;
-    std::string object_class;
-    friend bool operator<(const Key& a, const Key& b) noexcept {
-      if (a.source_type != b.source_type) return a.source_type < b.source_type;
-      if (a.target_type != b.target_type) return a.target_type < b.target_type;
-      return a.object_class < b.object_class;
-    }
-  };
+  PolicyDb() : sids_(std::make_shared<SidTable>()) {}
 
-  /// Granted access vector for (source type, target type, class); 0 when
-  /// nothing is allowed. Types must be concrete (attributes are expanded
-  /// at build time).
+  // -- SID-space queries (the hot path; no strings, no allocation) -------
+
+  /// Granted access vector for (source, target, class) SIDs; 0 when
+  /// nothing is allowed or any SID is kNullSid.
+  [[nodiscard]] AccessVector lookup(Sid source, Sid target, Sid cls) const noexcept {
+    if (source == kNullSid || target == kNullSid || cls == kNullSid) return 0;
+    return av_.find(pack_av_key(source, target, cls));
+  }
+
+  /// True when every bit of `required` is granted (pass a single
+  /// permission bit for the classic perm check).
+  [[nodiscard]] bool allowed(Sid source, Sid target, Sid cls,
+                             AccessVector required) const noexcept {
+    return required != 0 &&
+           (lookup(source, target, cls) & required) == required;
+  }
+
+  [[nodiscard]] const ClassDef* find_class(Sid cls) const noexcept;
+  [[nodiscard]] bool knows_type(Sid sid) const noexcept {
+    return sid != kNullSid && sid < is_type_.size() && is_type_[sid] != 0;
+  }
+
+  // -- string shims (tests, examples, audit tooling) ---------------------
+
+  /// As above, translating names through the SID table first. Unknown
+  /// names resolve to kNullSid and therefore to 0 / false.
   [[nodiscard]] AccessVector lookup(std::string_view source_type,
                                     std::string_view target_type,
                                     std::string_view object_class) const noexcept;
@@ -72,30 +123,52 @@ class PolicyDb {
                              std::string_view perm) const noexcept;
 
   [[nodiscard]] const ClassDef* find_class(std::string_view name) const noexcept;
-  [[nodiscard]] bool knows_type(std::string_view name) const noexcept;
+  [[nodiscard]] bool knows_type(std::string_view name) const noexcept {
+    return knows_type(sids_->find(name));
+  }
+
+  // -- observation -------------------------------------------------------
+
   [[nodiscard]] std::size_t rule_count() const noexcept { return av_.size(); }
 
   /// Monotonic sequence number; bumped on every rebuild so caches (the
   /// AVC) know to revalidate.
   [[nodiscard]] std::uint64_t seqno() const noexcept { return seqno_; }
 
+  /// The interner this database was compiled against. Shared so that an
+  /// engine rebuilding its database keeps SIDs stable across reloads, and
+  /// so runtime callers (the AVC string shims) can intern names they meet
+  /// after the build — growing the table never changes an issued SID.
+  [[nodiscard]] const std::shared_ptr<SidTable>& sid_table() const noexcept {
+    return sids_;
+  }
+  [[nodiscard]] const SidTable& sids() const noexcept { return *sids_; }
+
  private:
   friend class PolicyDbBuilder;
 
+  std::shared_ptr<SidTable> sids_;
   std::vector<ClassDef> classes_;
-  std::set<std::string> types_;
-  std::map<Key, AccessVector> av_;
+  std::vector<std::uint8_t> is_type_;  // indexed by SID at build time
+  AvTable av_;
   std::uint64_t seqno_ = 0;
 };
 
 /// Accumulates declarations and rules, validates, and compiles a PolicyDb.
 class PolicyDbBuilder {
  public:
+  /// Declares a class with 1..32 uniquely-named permissions. Throws
+  /// std::invalid_argument on a duplicate class, a duplicate permission
+  /// name, or a permission count that would overflow the AccessVector.
   PolicyDbBuilder& add_class(std::string name,
                              std::vector<std::string> permissions);
+
+  /// Declares a type. Throws std::invalid_argument on redeclaration (of a
+  /// type or an attribute of the same name).
   PolicyDbBuilder& add_type(std::string name);
 
-  /// Declares an attribute as a named group of existing types.
+  /// Declares an attribute as a named group of existing types. Throws
+  /// std::invalid_argument on redeclaration.
   PolicyDbBuilder& add_attribute(std::string name,
                                  std::vector<std::string> member_types);
 
@@ -105,12 +178,18 @@ class PolicyDbBuilder {
   /// build(); violations throw std::logic_error naming the offender.
   PolicyDbBuilder& neverallow(TeRule rule);
 
-  /// Validates everything and compiles. `seqno` tags the build.
-  [[nodiscard]] PolicyDb build(std::uint64_t seqno = 1) const;
+  /// Validates everything and compiles. `seqno` tags the build. When
+  /// `sids` is provided the database is compiled against that interner
+  /// (names already interned keep their SIDs — this is how MacEngine keeps
+  /// labels and caches valid across policy reloads); otherwise a fresh
+  /// table is created.
+  [[nodiscard]] PolicyDb build(std::uint64_t seqno = 1,
+                               std::shared_ptr<SidTable> sids = nullptr) const;
 
  private:
   /// Expands a type-or-attribute name into concrete types.
-  [[nodiscard]] std::vector<std::string> expand(const std::string& name) const;
+  [[nodiscard]] const std::vector<std::string>& expand(
+      const std::string& name, std::vector<std::string>& scratch) const;
 
   void validate_rule(const TeRule& rule, const char* kind) const;
 
