@@ -1,0 +1,199 @@
+// Fleet-scale policy evaluation sweep: how much does the SID-native
+// pipeline buy once millions of vehicles share one compiled image?
+//
+// For fleet sizes 1, 10^2, 10^4 and 10^6 the same per-vehicle workload
+// (every entry-point x asset x access question the binding layer asks)
+// is evaluated three ways against the same deployed policy:
+//
+//   strings  — the legacy shim: an AccessRequest is assembled per
+//              element and every name re-hashed inside PolicySet;
+//   scalar   — identities pre-resolved to SIDs once, per-element
+//              CompiledPolicyImage::evaluate;
+//   batched  — car::FleetEvaluator's chunked evaluate_batch sweep over
+//              the whole fleet (the product path).
+//
+// All three must produce identical allow/deny tallies (checked; the
+// byte-level Decision parity lives in tests/test_policy_image.cpp).
+// Expected result: batched >= 3x faster than strings at 10^4 vehicles.
+// A JSON record of the sweep is printed for BENCH_fleet_eval.json.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "car/base_policy.h"
+#include "car/fleet_evaluator.h"
+#include "car/table1.h"
+#include "core/policy_compiler.h"
+#include "core/policy_image.h"
+#include "sim/rng.h"
+
+using namespace psme;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct PathResult {
+  double ns_per_decision = 0.0;
+  std::uint64_t decisions = 0;
+  std::uint64_t allowed = 0;
+};
+
+template <typename Tick>
+PathResult measure(std::uint64_t target_decisions, Tick&& tick) {
+  PathResult result;
+  // One untimed warm-up tick fills caches and (for the batched path) the
+  // reused request/decision buffers.
+  (void)tick();
+  const auto start = Clock::now();
+  double elapsed_ns = 0.0;
+  do {
+    const car::FleetTickStats stats = tick();
+    result.decisions += stats.decisions;
+    result.allowed += stats.allowed;
+    elapsed_ns = static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start)
+            .count());
+  } while (result.decisions < target_decisions);
+  result.ns_per_decision = elapsed_ns / static_cast<double>(result.decisions);
+  return result;
+}
+
+/// Deterministically spreads the fleet across operating modes
+/// (~80% normal, ~10% remote-diagnostic, ~10% fail-safe).
+void scatter_modes(car::FleetEvaluator& fleet, std::uint64_t seed) {
+  sim::Rng rng(seed);
+  for (std::size_t v = 0; v < fleet.fleet_size(); ++v) {
+    const std::uint64_t draw = rng.uniform(0, 9);
+    if (draw == 8) {
+      fleet.set_mode(v, car::CarMode::kRemoteDiagnostic);
+    } else if (draw == 9) {
+      fleet.set_mode(v, car::CarMode::kFailSafe);
+    }
+  }
+}
+
+/// Deterministic subsample of the standard workload, for the 10^6 row
+/// (the full 100+ question set times a million vehicles would make the
+/// string baseline take minutes; per-decision cost is what the sweep
+/// compares, so a slimmer per-vehicle workload keeps rows comparable).
+std::vector<car::FleetCheck> subsample(std::vector<car::FleetCheck> all,
+                                       std::size_t keep, std::uint64_t seed) {
+  sim::Rng rng(seed);
+  std::vector<car::FleetCheck> out;
+  out.reserve(keep);
+  for (std::size_t i = 0; i < keep; ++i) {
+    out.push_back(all[rng.uniform(0, all.size() - 1)]);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Fleet-scale policy evaluation: string shim vs scalar SID "
+              "vs batched ===\n\n");
+
+  const auto model = car::connected_car_threat_model();
+  const core::PolicySet policy = car::full_policy(model);
+  const core::CompiledPolicyImage& image = policy.image();
+
+  // The compiler's direct image path must agree with the string pipeline
+  // before any timing is worth reading.
+  const core::PolicySet derived = core::PolicyCompiler().compile(model);
+  const core::CompiledPolicyImage derived_image =
+      core::PolicyCompiler().compile_to_image(model);
+  if (derived.size() != derived_image.size()) {
+    std::printf("FAIL: compile() and compile_to_image() rule counts differ "
+                "(%zu vs %zu)\n",
+                derived.size(), derived_image.size());
+    return 1;
+  }
+  std::printf("policy: %zu rules (+%zu base grants), image fingerprint "
+              "%016llx, %zu interned names\n\n",
+              derived.size(), policy.size() - derived.size(),
+              static_cast<unsigned long long>(image.fingerprint()),
+              image.sids().size());
+
+  const std::vector<car::FleetCheck> full_checks = car::default_fleet_checks();
+
+  struct Row {
+    std::size_t fleet_size;
+    std::size_t checks;
+    PathResult strings, scalar, batched;
+  };
+  std::vector<Row> rows;
+  bool parity_ok = true;
+
+  const std::size_t sweep[] = {1, 100, 10000, 1000000};
+  for (const std::size_t fleet_size : sweep) {
+    const std::vector<car::FleetCheck> checks =
+        fleet_size >= 1000000 ? subsample(full_checks, 8, 99) : full_checks;
+
+    car::FleetEvaluatorOptions options;
+    options.fleet_size = fleet_size;
+    car::FleetEvaluator fleet(image, checks, options);
+    scatter_modes(fleet, 7);
+
+    const std::uint64_t per_tick = fleet_size * checks.size();
+    const std::uint64_t sid_target = std::max<std::uint64_t>(per_tick, 2000000);
+    const std::uint64_t str_target = std::max<std::uint64_t>(per_tick, 1000000);
+
+    Row row;
+    row.fleet_size = fleet_size;
+    row.checks = checks.size();
+    row.strings =
+        measure(str_target, [&] { return fleet.tick_strings(policy); });
+    row.scalar = measure(sid_target, [&] { return fleet.tick_scalar(); });
+    row.batched = measure(sid_target, [&] { return fleet.tick(); });
+
+    const auto rate = [](const PathResult& r) {
+      return static_cast<double>(r.allowed) / static_cast<double>(r.decisions);
+    };
+    if (rate(row.strings) != rate(row.scalar) ||
+        rate(row.strings) != rate(row.batched)) {
+      std::printf("FAIL: allow-rate mismatch at fleet size %zu\n", fleet_size);
+      parity_ok = false;
+    }
+
+    std::printf("fleet %8zu  (%3zu checks/vehicle, %5.1f%% allowed)\n",
+                fleet_size, checks.size(), 100.0 * rate(row.batched));
+    std::printf("  strings  %8.1f ns/decision\n", row.strings.ns_per_decision);
+    std::printf("  scalar   %8.1f ns/decision  (%.2fx vs strings)\n",
+                row.scalar.ns_per_decision,
+                row.strings.ns_per_decision / row.scalar.ns_per_decision);
+    std::printf("  batched  %8.1f ns/decision  (%.2fx vs strings)\n\n",
+                row.batched.ns_per_decision,
+                row.strings.ns_per_decision / row.batched.ns_per_decision);
+    rows.push_back(row);
+  }
+
+  // Acceptance: batched >= 3x over the string shim at 10^4 vehicles.
+  for (const Row& row : rows) {
+    if (row.fleet_size == 10000) {
+      const double speedup =
+          row.strings.ns_per_decision / row.batched.ns_per_decision;
+      std::printf("batched speedup at 10^4 vehicles: %.2fx (target >= 3x) — "
+                  "%s\n\n",
+                  speedup, speedup >= 3.0 ? "met" : "MISSED");
+    }
+  }
+
+  // Machine-readable record (BENCH_fleet_eval.json).
+  std::printf("JSON: {\"bench\":\"fleet_eval\",\"unit\":\"ns/decision\","
+              "\"rows\":[");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    std::printf("%s{\"fleet_size\":%zu,\"checks_per_vehicle\":%zu,"
+                "\"strings\":%.1f,\"scalar\":%.1f,\"batched\":%.1f}",
+                i == 0 ? "" : ",", row.fleet_size, row.checks,
+                row.strings.ns_per_decision, row.scalar.ns_per_decision,
+                row.batched.ns_per_decision);
+  }
+  std::printf("]}\n");
+
+  return parity_ok ? 0 : 1;
+}

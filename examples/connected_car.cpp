@@ -50,6 +50,20 @@ void drive_and_attack(car::Enforcement regime) {
   }
   std::printf("\n");
 
+  // How much work did compiling this vehicle's enforcement actually
+  // cost? The shared binding compiler memoises per (entry point, asset,
+  // access, mode) SID key: every repeated question is a memo hit.
+  const auto& binding = vehicle.binding().stats();
+  std::printf("  binding compiler: %llu queries, %llu unique questions, "
+              "%llu memo hits (%.0f%% of questions answered from the memo)\n",
+              static_cast<unsigned long long>(binding.queries),
+              static_cast<unsigned long long>(binding.unique_questions),
+              static_cast<unsigned long long>(binding.memo_hits()),
+              binding.queries == 0
+                  ? 0.0
+                  : 100.0 * static_cast<double>(binding.memo_hits()) /
+                        static_cast<double>(binding.queries));
+
   // Security-relevant trace lines recorded during the run.
   std::size_t shown = 0;
   trace.for_each("", [&](const sim::TraceEntry& e) {

@@ -1,0 +1,77 @@
+// Fleet-scale enforcement driven by the discrete-event scheduler: ten
+// thousand simulated vehicles share ONE compiled policy image and ONE
+// SID interner; each simulation tick answers the whole fleet's policy
+// questions through the batched evaluator, while scheduled events move
+// individual vehicles between operating modes (one car crashes into
+// fail-safe, another enters remote diagnostics — the rest keep driving).
+//
+// Build & run:  ./build/examples/example_fleet_scale
+#include <cstdio>
+
+#include "car/base_policy.h"
+#include "car/fleet_evaluator.h"
+#include "car/table1.h"
+#include "sim/event_queue.h"
+#include "sim/rng.h"
+
+using namespace psme;
+using namespace std::chrono_literals;
+
+int main() {
+  std::printf("=== One policy image, ten thousand vehicles ===\n\n");
+
+  const auto model = car::connected_car_threat_model();
+  const core::PolicySet policy = car::full_policy(model);
+  const core::CompiledPolicyImage& image = policy.image();
+  std::printf("compiled image: %zu packed rules, fingerprint %016llx, "
+              "%zu interned names shared fleet-wide\n\n",
+              image.size(),
+              static_cast<unsigned long long>(image.fingerprint()),
+              image.sids().size());
+
+  car::FleetEvaluatorOptions options;
+  options.fleet_size = 10000;
+  car::FleetEvaluator fleet(image, car::default_fleet_checks(), options);
+
+  sim::Scheduler sched;
+  sim::Rng rng(2026);
+  car::FleetTickStats totals;
+  std::uint64_t ticks = 0;
+
+  // Every 100 ms of simulated time: a handful of vehicles change mode,
+  // then the whole fleet is policed in one batched sweep.
+  sim::PeriodicTask ticker(
+      sched, sched.now(), 100ms,
+      [&] {
+        for (int changes = 0; changes < 5; ++changes) {
+          const auto vehicle =
+              static_cast<std::size_t>(rng.uniform(0, options.fleet_size - 1));
+          const std::uint64_t draw = rng.uniform(0, 9);
+          fleet.set_mode(vehicle,
+                         draw < 8 ? car::CarMode::kNormal
+                         : draw == 8 ? car::CarMode::kRemoteDiagnostic
+                                     : car::CarMode::kFailSafe);
+        }
+        const car::FleetTickStats stats = fleet.tick();
+        totals.decisions += stats.decisions;
+        totals.allowed += stats.allowed;
+        totals.denied += stats.denied;
+        ++ticks;
+      },
+      "fleet-tick");
+
+  sched.run_until(sched.now() + 1s);
+  ticker.stop();
+
+  std::printf("simulated 1 s: %llu ticks, %llu decisions "
+              "(%llu allowed, %llu denied)\n",
+              static_cast<unsigned long long>(ticks),
+              static_cast<unsigned long long>(totals.decisions),
+              static_cast<unsigned long long>(totals.allowed),
+              static_cast<unsigned long long>(totals.denied));
+  std::printf("per tick: %zu vehicles x %zu checks = %zu decisions, "
+              "zero strings touched, zero allocations after warm-up\n",
+              fleet.fleet_size(), fleet.checks_per_vehicle(),
+              fleet.fleet_size() * fleet.checks_per_vehicle());
+  return 0;
+}

@@ -1,0 +1,147 @@
+#include "car/fleet_evaluator.h"
+
+#include <stdexcept>
+
+#include "car/ids.h"
+
+namespace psme::car {
+
+std::vector<FleetCheck> default_fleet_checks() {
+  // Every question the binding layer asks when policing one vehicle:
+  // each hosted entry point against each asset, read and write. The
+  // deterministic (node-binding, asset-binding) order matters — fleet
+  // sweeps must replay identically across runs (DESIGN.md §3).
+  std::vector<FleetCheck> checks;
+  for (const NodeBinding& node : node_bindings()) {
+    for (const std::string& entry_point : node.entry_points) {
+      for (const AssetBinding& asset : asset_bindings()) {
+        for (const core::AccessType access :
+             {core::AccessType::kRead, core::AccessType::kWrite}) {
+          checks.push_back(FleetCheck{entry_point, asset.asset_id, access});
+        }
+      }
+    }
+  }
+  return checks;
+}
+
+FleetEvaluator::FleetEvaluator(const core::CompiledPolicyImage& image,
+                               std::vector<FleetCheck> checks,
+                               FleetEvaluatorOptions options)
+    : image_(image),
+      checks_(std::move(checks)),
+      batch_chunk_(options.batch_chunk) {
+  if (options.fleet_size == 0) {
+    throw std::invalid_argument("FleetEvaluator: empty fleet");
+  }
+  if (checks_.empty()) {
+    throw std::invalid_argument("FleetEvaluator: empty per-vehicle workload");
+  }
+  if (batch_chunk_ == 0) {
+    throw std::invalid_argument("FleetEvaluator: zero batch chunk");
+  }
+
+  // The once-per-fleet string boundary: every entity and mode name is
+  // resolved into the image's shared SID space here; ticks never touch a
+  // string again. Interning (rather than find) gives entities the policy
+  // never names a stable SID too, so the memo of SIDs is total.
+  mac::SidTable& sids = *image_.sid_table();
+  resolved_.reserve(checks_.size());
+  for (const FleetCheck& check : checks_) {
+    core::SidRequest request;
+    request.subject = sids.intern(check.subject);
+    request.object = sids.intern(check.object);
+    request.access = check.access;
+    request.mode = mac::kNullSid;  // filled per vehicle at tick time
+    resolved_.push_back(request);
+  }
+  for (CarMode mode : kAllModes) {
+    const auto slot = static_cast<std::size_t>(mode);
+    mode_ids_[slot] = mode_id(mode);
+    mode_sids_[slot] = image_.mode_sid(mode_ids_[slot]);
+  }
+
+  vehicle_modes_.assign(options.fleet_size,
+                        static_cast<std::uint8_t>(options.initial_mode));
+  batch_.reserve(batch_chunk_);
+  decisions_.reserve(batch_chunk_);
+}
+
+void FleetEvaluator::set_mode(std::size_t vehicle, CarMode mode) {
+  vehicle_modes_.at(vehicle) = static_cast<std::uint8_t>(mode);
+}
+
+CarMode FleetEvaluator::mode(std::size_t vehicle) const {
+  return static_cast<CarMode>(vehicle_modes_.at(vehicle));
+}
+
+void FleetEvaluator::flush(FleetTickStats& stats, const ChunkSink& sink) {
+  if (batch_.empty()) return;
+  decisions_.resize(batch_.size());
+  image_.evaluate_batch(batch_, decisions_);
+  for (const core::Decision& decision : decisions_) {
+    decision.allowed ? ++stats.allowed : ++stats.denied;
+  }
+  stats.decisions += batch_.size();
+  if (sink) {
+    try {
+      sink(batch_, decisions_);
+    } catch (...) {
+      // A throwing sink must not leave this chunk queued: the next
+      // tick() would replay it (stale modes, double counting) ahead of
+      // fresh requests.
+      batch_.clear();
+      throw;
+    }
+  }
+  batch_.clear();
+}
+
+FleetTickStats FleetEvaluator::tick(const ChunkSink& sink) {
+  FleetTickStats stats;
+  for (const std::uint8_t mode : vehicle_modes_) {
+    const mac::Sid mode_sid = mode_sids_[mode];
+    for (const core::SidRequest& request : resolved_) {
+      core::SidRequest& queued = batch_.emplace_back(request);
+      queued.mode = mode_sid;
+      if (batch_.size() == batch_chunk_) flush(stats, sink);
+    }
+  }
+  flush(stats, sink);
+  return stats;
+}
+
+FleetTickStats FleetEvaluator::tick_scalar() const {
+  FleetTickStats stats;
+  for (const std::uint8_t mode : vehicle_modes_) {
+    const mac::Sid mode_sid = mode_sids_[mode];
+    for (core::SidRequest request : resolved_) {
+      request.mode = mode_sid;
+      const core::Decision decision = image_.evaluate(request);
+      decision.allowed ? ++stats.allowed : ++stats.denied;
+      ++stats.decisions;
+    }
+  }
+  return stats;
+}
+
+FleetTickStats FleetEvaluator::tick_strings(
+    const core::PolicySet& policy) const {
+  FleetTickStats stats;
+  for (const std::uint8_t mode : vehicle_modes_) {
+    const threat::ModeId& mode_id = mode_ids_[mode];
+    for (const FleetCheck& check : checks_) {
+      // The legacy boundary cost, paid per element: an AccessRequest is
+      // assembled (string copies) and every name re-hashed inside
+      // PolicySet::evaluate's interning shim.
+      core::AccessRequest request{check.subject, check.object, check.access,
+                                  mode_id};
+      const core::Decision decision = policy.evaluate(request);
+      decision.allowed ? ++stats.allowed : ++stats.denied;
+      ++stats.decisions;
+    }
+  }
+  return stats;
+}
+
+}  // namespace psme::car

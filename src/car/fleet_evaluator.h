@@ -1,0 +1,119 @@
+// psme::car — batched policy evaluation for whole fleets.
+//
+// The paper's scalability argument (software MAC is affordable because
+// the cache answers the hot path) only holds fleet-wide if millions of
+// simulated vehicles share one compiled SID-space image instead of each
+// re-hashing strings per request. FleetEvaluator is that boundary: it
+// resolves every vehicle's entity labels to SIDs exactly once at
+// construction, keeps one mode byte per vehicle, and per simulation tick
+// drives the image's batched evaluator over the whole fleet in
+// fixed-size chunks whose request/decision buffers are reused — after
+// the first tick, a fleet sweep performs no heap allocation.
+//
+// Three evaluation paths exist so benches can price the pipeline stages:
+//   tick()         — batched SID path (the product);
+//   tick_scalar()  — same pre-resolved requests, per-element evaluate;
+//   tick_strings() — the legacy shim: string requests built and hashed
+//                    per element against a PolicySet.
+// All three produce byte-identical Decisions for the same fleet state.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "car/modes.h"
+#include "core/policy.h"
+#include "core/policy_image.h"
+
+namespace psme::car {
+
+/// One logical access question every vehicle asks per tick.
+struct FleetCheck {
+  std::string subject;  // entry-point id
+  std::string object;   // asset id
+  core::AccessType access = core::AccessType::kRead;
+};
+
+/// The standard per-vehicle workload: every (hosted entry point, asset,
+/// access) question the binding layer asks when policing a vehicle —
+/// the fleet-scale version of BindingCompiler's question space.
+[[nodiscard]] std::vector<FleetCheck> default_fleet_checks();
+
+struct FleetEvaluatorOptions {
+  std::size_t fleet_size = 1;
+  CarMode initial_mode = CarMode::kNormal;
+  /// Decisions materialised per evaluate_batch call; bounds peak memory
+  /// (the fleet never holds more than this many Decisions at once).
+  std::size_t batch_chunk = 4096;
+};
+
+struct FleetTickStats {
+  std::uint64_t decisions = 0;
+  std::uint64_t allowed = 0;
+  std::uint64_t denied = 0;
+};
+
+class FleetEvaluator {
+ public:
+  /// Observes each flushed chunk: the requests answered and their
+  /// decisions, in fleet order (vehicle-major, check-minor). Used by
+  /// audit/parity consumers; the counting paths skip it.
+  using ChunkSink = std::function<void(std::span<const core::SidRequest>,
+                                       std::span<const core::Decision>)>;
+
+  /// Resolves `checks` against the image's interner once. The image must
+  /// outlive the evaluator. Throws std::invalid_argument on an empty
+  /// fleet, an empty workload or a zero chunk size.
+  FleetEvaluator(const core::CompiledPolicyImage& image,
+                 std::vector<FleetCheck> checks,
+                 FleetEvaluatorOptions options = {});
+
+  [[nodiscard]] std::size_t fleet_size() const noexcept {
+    return vehicle_modes_.size();
+  }
+  [[nodiscard]] std::size_t checks_per_vehicle() const noexcept {
+    return checks_.size();
+  }
+  [[nodiscard]] const core::CompiledPolicyImage& image() const noexcept {
+    return image_;
+  }
+
+  /// Per-vehicle operational mode (mode changes are per vehicle: one
+  /// car enters fail-safe, the rest keep driving).
+  void set_mode(std::size_t vehicle, CarMode mode);
+  [[nodiscard]] CarMode mode(std::size_t vehicle) const;
+
+  /// One fleet sweep through the batched SID path. With a sink, each
+  /// chunk is surfaced after evaluation (parity checking, auditing).
+  FleetTickStats tick(const ChunkSink& sink = {});
+
+  /// Same requests, per-element image evaluation — what batching saves.
+  [[nodiscard]] FleetTickStats tick_scalar() const;
+
+  /// The legacy string pipeline: builds an AccessRequest per element
+  /// and lets `policy` hash names per request. Pass the set the image
+  /// was compiled from for comparable (byte-identical) decisions.
+  [[nodiscard]] FleetTickStats tick_strings(const core::PolicySet& policy) const;
+
+ private:
+  /// Appends vehicle `v`'s requests; flushes full chunks through the
+  /// batched evaluator.
+  void flush(FleetTickStats& stats, const ChunkSink& sink);
+
+  const core::CompiledPolicyImage& image_;
+  std::vector<FleetCheck> checks_;             // string form (tick_strings)
+  std::vector<core::SidRequest> resolved_;     // SID form, mode filled per tick
+  std::array<mac::Sid, 3> mode_sids_{};        // CarMode -> image mode SID
+  std::array<threat::ModeId, 3> mode_ids_;     // CarMode -> string mode id
+  std::vector<std::uint8_t> vehicle_modes_;
+  std::size_t batch_chunk_;
+  /// Chunk buffers, reused across flushes and ticks (capacity-warm).
+  std::vector<core::SidRequest> batch_;
+  std::vector<core::Decision> decisions_;
+};
+
+}  // namespace psme::car

@@ -57,27 +57,52 @@ void add_content_rules(const std::string& node, CarMode mode,
 
 }  // namespace
 
+BindingCompiler::BindingCompiler(
+    std::shared_ptr<const core::CompiledPolicyImage> retained,
+    const core::CompiledPolicyImage* image, BindingOptions options)
+    : retained_(std::move(retained)),
+      image_(image != nullptr ? *image : *retained_),
+      options_(options),
+      sids_(image_.sid_table()) {
+  // Resolve the three operational modes into image SID space once; every
+  // memoised question after this runs without touching a string.
+  for (CarMode mode : kAllModes) {
+    mode_sids_[static_cast<std::size_t>(mode)] =
+        image_.mode_sid(mode_id(mode));
+  }
+}
+
+BindingCompiler::BindingCompiler(const core::CompiledPolicyImage& image,
+                                 BindingOptions options)
+    : BindingCompiler(nullptr, &image, options) {}
+
 BindingCompiler::BindingCompiler(const core::PolicySet& policy,
                                  BindingOptions options)
-    : policy_(policy), options_(options) {}
+    : BindingCompiler(policy.image_ptr(), nullptr, options) {}
 
 bool BindingCompiler::entry_point_may(const std::string& entry_point,
                                       const std::string& asset_id,
                                       core::AccessType access, CarMode mode) {
   ++stats_.queries;
-  const std::uint64_t key = memo_key(sids_.intern(entry_point),
-                                     sids_.intern(asset_id), access, mode);
+  // Interning through the *shared* table (rather than a private one)
+  // keeps the whole pipeline in one SID space; names the policy already
+  // knows resolve to their existing SIDs, fresh entity names grow the
+  // table without disturbing any issued SID.
+  const mac::Sid subject = sids_->intern(entry_point);
+  const mac::Sid object = sids_->intern(asset_id);
+  const std::uint64_t key = memo_key(subject, object, access, mode);
   const auto it = memo_.find(key);
   if (it != memo_.end()) return it->second;
 
   ++stats_.policy_evaluations;
-  core::AccessRequest request;
-  request.subject = entry_point;
-  request.object = asset_id;
+  core::SidRequest request;
+  request.subject = subject;
+  request.object = object;
   request.access = access;
-  request.mode = mode_id(mode);
-  const bool verdict = policy_.evaluate(request).allowed;
+  request.mode = mode_sids_[static_cast<std::size_t>(mode)];
+  const bool verdict = image_.evaluate(request).allowed;
   memo_.emplace(key, verdict);
+  stats_.unique_questions = memo_.size();
   return verdict;
 }
 

@@ -22,12 +22,16 @@
 // Compiling a full vehicle asks the policy the same (entry point, asset,
 // access, mode) question many times over — every node consults
 // anyone_may_write for every asset in every mode. BindingCompiler below
-// interns entity names into SIDs (mac::SidTable) and memoises each
-// verdict under a packed 64-bit key, so each unique question reaches
-// PolicySet::evaluate exactly once per compilation.
+// consumes the policy's SID-native compiled form (CompiledPolicyImage):
+// entity and mode names resolve through the image's *shared* interner —
+// there is no per-compiler re-interning stage — and each verdict is
+// memoised under a packed 64-bit SID key, so each unique question
+// reaches the image exactly once per compilation.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -36,6 +40,7 @@
 #include "car/ids.h"
 #include "car/modes.h"
 #include "core/policy.h"
+#include "core/policy_image.h"
 #include "hpe/hpe.h"
 #include "mac/sid_table.h"
 
@@ -57,12 +62,23 @@ struct BindingOptions {
   bool mode_conditional = true;
 };
 
-/// SID-interned, memoising compiler from one PolicySet to approved-id
-/// lists. Holds a reference to the policy — keep the set alive and
+/// SID-native, memoising compiler from one compiled policy to
+/// approved-id lists. Holds a reference to the image — keep it (and,
+/// for the PolicySet convenience constructor, the set) alive and
 /// unmodified for the compiler's lifetime (rebuild the compiler after a
 /// policy update; a stale memo would happily answer from the old rules).
 class BindingCompiler {
  public:
+  /// Compiles against a SID-native policy image; entity names resolve
+  /// through the image's shared interner.
+  explicit BindingCompiler(const core::CompiledPolicyImage& image,
+                           BindingOptions options = {});
+
+  /// Convenience: compiles against the set's lazily-built image. The
+  /// compiler retains shared ownership of that image snapshot, so a
+  /// later mutation of the set leaves this compiler answering (stale
+  /// but well-defined) from the snapshot — rebuild after a policy
+  /// update, as ever.
   explicit BindingCompiler(const core::PolicySet& policy,
                            BindingOptions options = {});
 
@@ -94,19 +110,34 @@ class BindingCompiler {
 
   struct Stats {
     std::uint64_t queries = 0;             // entry_point_may calls
-    std::uint64_t policy_evaluations = 0;  // of which reached the PolicySet
+    std::uint64_t policy_evaluations = 0;  // of which reached the image (misses)
+    std::uint64_t unique_questions = 0;    // memo table population
     [[nodiscard]] std::uint64_t memo_hits() const noexcept {
       return queries - policy_evaluations;
     }
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
-  [[nodiscard]] const core::PolicySet& policy() const noexcept { return policy_; }
+  [[nodiscard]] const core::CompiledPolicyImage& image() const noexcept {
+    return image_;
+  }
   [[nodiscard]] const BindingOptions& options() const noexcept { return options_; }
 
  private:
-  const core::PolicySet& policy_;
+  /// Primary: `image` when borrowing (non-owning public ctor), null to
+  /// answer from the retained snapshot (PolicySet ctor).
+  BindingCompiler(std::shared_ptr<const core::CompiledPolicyImage> retained,
+                  const core::CompiledPolicyImage* image,
+                  BindingOptions options);
+
+  /// Non-null only on the PolicySet path: keeps the set's image
+  /// snapshot alive across later set mutations.
+  std::shared_ptr<const core::CompiledPolicyImage> retained_;
+  const core::CompiledPolicyImage& image_;
   BindingOptions options_;
-  mac::SidTable sids_;                       // entry-point and asset names
+  /// The image's interner — shared, not a private re-interning table.
+  std::shared_ptr<mac::SidTable> sids_;
+  /// CarMode -> the image-space SID of its mode id, resolved once.
+  std::array<mac::Sid, 3> mode_sids_{};
   std::unordered_map<std::uint64_t, bool> memo_;
   Stats stats_;
 };

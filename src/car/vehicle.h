@@ -95,6 +95,13 @@ class Vehicle {
     return config_.enforcement;
   }
 
+  /// The vehicle's shared memoising binding compiler — its stats() show
+  /// how many unique policy questions one vehicle compilation actually
+  /// asks (examples/connected_car.cpp surfaces them).
+  [[nodiscard]] const BindingCompiler& binding() const noexcept {
+    return *binding_;
+  }
+
   /// Applies an OTA policy update to every enforcement point. With the HPE
   /// regime this goes through each engine's authenticated update path;
   /// with software filters the vehicle firmware verifies and reprograms.

@@ -1,8 +1,11 @@
 #include "core/policy.h"
 
 #include <algorithm>
+#include <cassert>
 #include <sstream>
 #include <stdexcept>
+
+#include "core/policy_image.h"
 
 namespace psme::core {
 
@@ -71,12 +74,7 @@ void PolicySet::add_rule(PolicyRule rule) {
                                 rule.id + "'");
   }
   rules_.push_back(std::move(rule));
-  if (index_valid_) {
-    // Appending keeps existing indices stable; extend the bucket in place.
-    const PolicyRule& added = rules_.back();
-    index_[pair_key(name_hash(added.subject), name_hash(added.object))]
-        .push_back(static_cast<std::uint32_t>(rules_.size() - 1));
-  }
+  invalidate();
 }
 
 bool PolicySet::remove_rule(std::string_view rule_id) {
@@ -84,82 +82,78 @@ bool PolicySet::remove_rule(std::string_view rule_id) {
                                [&](const PolicyRule& r) { return r.id == rule_id; });
   if (it == rules_.end()) return false;
   rules_.erase(it);
-  index_valid_ = false;  // indices after the erased rule shifted
+  invalidate();
   return true;
 }
 
 std::uint64_t PolicySet::name_hash(std::string_view name) noexcept {
-  // FNV-1a 64-bit.
-  std::uint64_t hash = 0xCBF29CE484222325ULL;
-  for (const unsigned char ch : name) {
-    hash ^= ch;
-    hash *= 0x100000001B3ULL;
-  }
-  return hash;
+  return mac::fnv1a(name);
 }
 
-std::uint64_t PolicySet::pair_key(std::uint64_t subject_hash,
-                                  std::uint64_t object_hash) noexcept {
-  // Asymmetric mix so (a, b) and (b, a) land in different buckets.
-  return subject_hash ^ (object_hash * 0x9E3779B97F4A7C15ULL + 0x7F4A7C15ULL);
+void PolicySet::invalidate() noexcept {
+  image_.reset();
+#ifndef NDEBUG
+  // A mutation implies the caller holds exclusive access again; the next
+  // evaluation re-pins whichever thread performs it.
+  eval_pin_.id = std::thread::id{};
+#endif
 }
 
-void PolicySet::rebuild_index() const {
-  index_.clear();
-  for (std::uint32_t i = 0; i < rules_.size(); ++i) {
-    index_[pair_key(name_hash(rules_[i].subject), name_hash(rules_[i].object))]
-        .push_back(i);
+void PolicySet::assert_single_thread() const noexcept {
+#ifndef NDEBUG
+  if (eval_pin_.id == std::thread::id{}) {
+    eval_pin_.id = std::this_thread::get_id();
   }
-  index_valid_ = true;
+  assert(eval_pin_.id == std::this_thread::get_id() &&
+         "PolicySet evaluation is single-threaded by design (DESIGN.md §3): "
+         "the lazy image compile writes through mutable members");
+#endif
+}
+
+const CompiledPolicyImage& PolicySet::ensure_image() const {
+  assert_single_thread();
+  if (image_ == nullptr) {
+    if (sids_ == nullptr) sids_ = std::make_shared<mac::SidTable>();
+    image_ = std::make_shared<const CompiledPolicyImage>(
+        CompiledPolicyImage::from_policy_set(*this, sids_));
+  }
+  return *image_;
+}
+
+const CompiledPolicyImage& PolicySet::image() const { return ensure_image(); }
+
+std::shared_ptr<const CompiledPolicyImage> PolicySet::image_ptr() const {
+  ensure_image();
+  return image_;
+}
+
+const std::shared_ptr<mac::SidTable>& PolicySet::sid_table() const {
+  assert_single_thread();  // lazy creation writes through a mutable member
+  if (sids_ == nullptr) sids_ = std::make_shared<mac::SidTable>();
+  return sids_;
+}
+
+void PolicySet::bind_sid_table(std::shared_ptr<mac::SidTable> sids) {
+  if (sids == nullptr) {
+    throw std::invalid_argument("PolicySet::bind_sid_table: null table");
+  }
+  sids_ = std::move(sids);
+  invalidate();
+}
+
+SidRequest PolicySet::resolve(const AccessRequest& request) const {
+  return ensure_image().resolve(request);
+}
+
+Decision PolicySet::evaluate(const SidRequest& request) const {
+  return ensure_image().evaluate(request);
 }
 
 Decision PolicySet::evaluate(const AccessRequest& request) const {
-  if (!index_valid_) rebuild_index();
-
-  // A rule is bucketed under its literal (subject, object) pair, so the
-  // candidates for a request are exactly the four wildcard combinations.
-  const std::uint64_t subject_hash = name_hash(request.subject);
-  const std::uint64_t object_hash = name_hash(request.object);
-  static const std::uint64_t wildcard_hash = name_hash("*");
-  const std::uint64_t probes[4] = {
-      pair_key(subject_hash, object_hash),
-      pair_key(subject_hash, wildcard_hash),
-      pair_key(wildcard_hash, object_hash),
-      pair_key(wildcard_hash, wildcard_hash),
-  };
-
-  const PolicyRule* best = nullptr;
-  std::uint32_t best_index = 0;
-  for (const std::uint64_t key : probes) {
-    const auto bucket = index_.find(key);
-    if (bucket == index_.end()) continue;
-    for (const std::uint32_t i : bucket->second) {
-      const PolicyRule& rule = rules_[i];
-      if (!rule.matches(request)) continue;
-      // Priority wins; ties break on specificity, then insertion order
-      // (lowest index = first added) — identical to the former full scan.
-      if (best == nullptr || rule.priority > best->priority ||
-          (rule.priority == best->priority &&
-           rule.specificity() > best->specificity()) ||
-          (rule.priority == best->priority &&
-           rule.specificity() == best->specificity() && i < best_index)) {
-        best = &rule;
-        best_index = i;
-      }
-    }
-  }
-  if (best == nullptr) {
-    return default_allow_
-               ? Decision::allow("", "no matching rule; default allow")
-               : Decision::deny("", "no matching rule; default deny");
-  }
-  if (permits(best->permission, request.access)) {
-    return Decision::allow(best->id, best->to_string());
-  }
-  return Decision::deny(best->id,
-                        "permission " + std::string(threat::to_string(best->permission)) +
-                            " does not include " +
-                            std::string(core::to_string(request.access)));
+  // String shim: resolve the names once (transparent, non-allocating
+  // lookups) and delegate to the SID-native image.
+  const CompiledPolicyImage& img = ensure_image();
+  return img.evaluate(img.resolve(request));
 }
 
 void PolicySet::merge(const PolicySet& other) {

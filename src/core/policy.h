@@ -10,16 +10,20 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
-#include <unordered_map>
+#include <thread>
 #include <vector>
 
+#include "mac/sid_table.h"
 #include "threat/asset.h"
 #include "threat/threat.h"
 
 namespace psme::core {
+
+class CompiledPolicyImage;
 
 using threat::Permission;
 
@@ -42,6 +46,27 @@ struct AccessRequest {
   threat::ModeId mode;   // empty value => mode-independent request
 
   [[nodiscard]] std::string to_string() const;
+};
+
+/// Sentinel SID for a name that was *given* but is unknown to the
+/// interner at hand. Distinct from mac::kNullSid ("no name given"): an
+/// unresolved mode matches only mode-free rules, whereas a null mode
+/// means the request is mode-independent and matches everything. Never
+/// issued by any SidTable (it exceeds mac::kMaxTypeSid).
+inline constexpr mac::Sid kUnresolvedSid = 0xFFFFFFFFu;
+
+/// An access request whose identities are already resolved to SIDs — the
+/// native currency of the compiled pipeline. For core::PolicySet /
+/// CompiledPolicyImage the SIDs name the request's subject/object/mode in
+/// the image's interner; for mac::MacEngine::evaluate_batch they are the
+/// pre-resolved source/target *type* SIDs (mode is ignored there, as in
+/// the scalar MacEngine::evaluate). Resolve once at the fleet boundary,
+/// evaluate millions of times.
+struct SidRequest {
+  mac::Sid subject = mac::kNullSid;
+  mac::Sid object = mac::kNullSid;
+  AccessType access = AccessType::kRead;
+  mac::Sid mode = mac::kNullSid;  // kNullSid => mode-independent request
 };
 
 /// Outcome of policy evaluation.
@@ -102,15 +127,46 @@ class PolicySet {
   /// When true, requests matching no rule are allowed. Defaults to false
   /// (least privilege). Useful for incremental deployment where only the
   /// riskiest assets are policed.
-  void set_default_allow(bool allow) noexcept { default_allow_ = allow; }
+  void set_default_allow(bool allow) noexcept {
+    default_allow_ = allow;
+    invalidate();
+  }
   [[nodiscard]] bool default_allow() const noexcept { return default_allow_; }
 
-  /// Adjudicates a request against the rules. Candidate rules come from a
-  /// pre-built (subject, object) hash index — four bucket probes covering
-  /// the wildcard combinations — rather than a scan of every rule; the
-  /// index is (re)built lazily after a mutation. Not thread-safe: the lazy
-  /// rebuild writes through a mutable member.
+  /// Adjudicates a request against the rules. This is a shim over the
+  /// SID-native path: the set lazily compiles itself to a
+  /// CompiledPolicyImage after any mutation, the request's names are
+  /// resolved to SIDs once (non-allocating transparent lookups), and the
+  /// image answers. Not thread-safe: the lazy compile writes through a
+  /// mutable member — debug builds pin the first evaluating thread and
+  /// assert on any other (DESIGN.md §3).
   [[nodiscard]] Decision evaluate(const AccessRequest& request) const;
+
+  /// SID-native overload: adjudicates a request pre-resolved against
+  /// sid_table() (see resolve()). Fleet callers resolve identities once
+  /// and evaluate per tick without touching a string.
+  [[nodiscard]] Decision evaluate(const SidRequest& request) const;
+
+  /// Resolves a string request into this set's SID space without growing
+  /// the interner (unknown names still match wildcard rules, unknown
+  /// modes match only mode-free rules — the string semantics exactly).
+  [[nodiscard]] SidRequest resolve(const AccessRequest& request) const;
+
+  /// The set compiled to packed SID-space entries; (re)built lazily
+  /// after a mutation. The reference is invalidated by any mutation.
+  [[nodiscard]] const CompiledPolicyImage& image() const;
+
+  /// Shared ownership of the compiled image: survives a later mutation
+  /// of this set (the holder keeps answering from the snapshot it
+  /// retained). This is what long-lived consumers (BindingCompiler)
+  /// hold.
+  [[nodiscard]] std::shared_ptr<const CompiledPolicyImage> image_ptr() const;
+
+  /// The interner the lazy image compiles against (created on demand).
+  /// Bind a shared table *before* first evaluation so labels, databases
+  /// and images across a fleet agree on SID space.
+  [[nodiscard]] const std::shared_ptr<mac::SidTable>& sid_table() const;
+  void bind_sid_table(std::shared_ptr<mac::SidTable> sids);
 
   /// Merges another set's rules into this one (policy *module* loading, as
   /// in SELinux's modular policies). Duplicate rule ids throw.
@@ -125,18 +181,44 @@ class PolicySet {
 
  private:
   [[nodiscard]] static std::uint64_t name_hash(std::string_view name) noexcept;
-  [[nodiscard]] static std::uint64_t pair_key(std::uint64_t subject_hash,
-                                              std::uint64_t object_hash) noexcept;
-  void rebuild_index() const;
+  /// Drops the compiled image (called by every mutation) and, in debug
+  /// builds, re-opens the thread pin — a mutation implies the caller
+  /// holds exclusive access again.
+  void invalidate() noexcept;
+  /// Debug builds: pins the first calling thread and asserts on any
+  /// other. Guards every entry point that writes through the mutable
+  /// lazy-compile members. No-op in release builds.
+  void assert_single_thread() const noexcept;
+  /// Compiles the image if absent (thread-pinned, see above).
+  const CompiledPolicyImage& ensure_image() const;
 
   std::string name_;
   std::uint64_t version_ = 0;
   bool default_allow_ = false;
   std::vector<PolicyRule> rules_;
-  /// (subject hash, object hash) -> indices into rules_, ascending. Hash
-  /// collisions are harmless: candidates are re-checked with matches().
-  mutable std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> index_;
-  mutable bool index_valid_ = false;
+  /// Interner shared with image_ (and with any fleet caller that bound
+  /// its own). Copies of this set share it; SIDs only ever grow.
+  mutable std::shared_ptr<mac::SidTable> sids_;
+  /// Lazily compiled SID-space form. Immutable once built, so copies of
+  /// this set may share it; reset by any mutation.
+  mutable std::shared_ptr<const CompiledPolicyImage> image_;
+#ifndef NDEBUG
+  /// DESIGN.md §3: nothing in the enforcement core is thread-safe. The
+  /// first evaluation pins the thread; concurrent misuse fails loudly
+  /// instead of corrupting the lazy compile. Copies and moves start
+  /// unpinned — a copy is a distinct object with its own (possibly
+  /// different) owning thread.
+  struct ThreadPin {
+    std::thread::id id{};
+    ThreadPin() noexcept = default;
+    ThreadPin(const ThreadPin&) noexcept {}
+    ThreadPin& operator=(const ThreadPin&) noexcept {
+      id = {};
+      return *this;
+    }
+  };
+  mutable ThreadPin eval_pin_;
+#endif
 };
 
 /// Abstract policy decision point. Implemented by the software MAC engine

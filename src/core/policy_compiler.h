@@ -6,11 +6,22 @@
 // the threatened asset to the permission the threat analysis recommends
 // (Table I's Policy column), conditioned on the modes the threat applies
 // in, with rule priority derived from the DREAD risk band.
+//
+// The derivation itself runs in SID space: entity and mode names are
+// interned once up front and the least-privilege merging (permission
+// intersection, mode union, priority max) happens on integer identities.
+// compile_to_image() packs the result straight into a
+// CompiledPolicyImage — the fleet-deployable form — while compile()
+// materialises the same derivation back into string rules for tooling
+// that edits, diffs or serialises policy text.
 #pragma once
 
+#include <memory>
 #include <string>
 
 #include "core/policy.h"
+#include "core/policy_image.h"
+#include "mac/sid_table.h"
 #include "threat/threat_model.h"
 
 namespace psme::core {
@@ -39,18 +50,31 @@ class PolicyCompiler {
   /// privilege requires honouring every constraint simultaneously.
   [[nodiscard]] PolicySet compile(const threat::ThreatModel& model) const;
 
+  /// Derives the same rules as compile() but emits them as a packed
+  /// CompiledPolicyImage directly — no intermediate string rule set, no
+  /// re-interning downstream. When `sids` is provided the image is
+  /// compiled against that interner so labels, policy databases and
+  /// other images across a fleet share one SID space; otherwise a fresh
+  /// table is created. Decisions from the image are byte-identical to
+  /// compile()'s PolicySet on equivalent requests.
+  [[nodiscard]] CompiledPolicyImage compile_to_image(
+      const threat::ThreatModel& model,
+      std::shared_ptr<mac::SidTable> sids = nullptr) const;
+
   /// Derives the single rule countering one threat (used by the OTA update
   /// path when a new threat is discovered after deployment).
   [[nodiscard]] PolicySet compile_threat(const threat::ThreatModel& model,
                                          const threat::ThreatId& id) const;
 
+  /// As compile_threat, emitting the packed image form.
+  [[nodiscard]] CompiledPolicyImage compile_threat_to_image(
+      const threat::ThreatModel& model, const threat::ThreatId& id,
+      std::shared_ptr<mac::SidTable> sids = nullptr) const;
+
   /// Priority contribution of a DREAD band (exposed for tests).
   [[nodiscard]] static int band_weight(threat::RiskBand band) noexcept;
 
  private:
-  void emit_rules_for(const threat::Threat& threat,
-                      const threat::ThreatModel& model, PolicySet& out) const;
-
   CompilerOptions options_;
 };
 

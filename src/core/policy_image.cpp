@@ -1,0 +1,251 @@
+#include "core/policy_image.h"
+
+#include <stdexcept>
+
+namespace psme::core {
+
+namespace {
+
+[[nodiscard]] Decision make_perm_deny(const std::string& id,
+                                      threat::Permission permission,
+                                      AccessType access) {
+  return Decision::deny(
+      id, "permission " + std::string(threat::to_string(permission)) +
+              " does not include " + std::string(core::to_string(access)));
+}
+
+}  // namespace
+
+// ------------------------------------------------------------------ Builder
+
+CompiledPolicyImage::Builder::Builder(std::string name, std::uint64_t version,
+                                      std::shared_ptr<mac::SidTable> sids) {
+  image_.name_ = std::move(name);
+  image_.version_ = version;
+  image_.sids_ = sids != nullptr ? std::move(sids)
+                                 : std::make_shared<mac::SidTable>();
+  image_.wildcard_sid_ = image_.sids_->intern("*");
+}
+
+std::uint64_t CompiledPolicyImage::Builder::mode_mask_for(
+    std::span<const threat::ModeId> modes) {
+  std::uint64_t mask = 0;
+  for (const threat::ModeId& mode : modes) {
+    const mac::Sid sid = image_.sids_->intern(mode.value);
+    std::size_t bit = 0;
+    while (bit < image_.mode_sids_.size() && image_.mode_sids_[bit] != sid) {
+      ++bit;
+    }
+    if (bit == image_.mode_sids_.size()) {
+      if (bit == kMaxImageModes) {
+        throw std::length_error(
+            "CompiledPolicyImage: more than 64 distinct operational modes");
+      }
+      image_.mode_sids_.push_back(sid);
+    }
+    mask |= std::uint64_t{1} << bit;
+  }
+  return mask;
+}
+
+void CompiledPolicyImage::Builder::add_rule(
+    std::string id, std::string_view subject, std::string_view object,
+    threat::Permission permission, std::span<const threat::ModeId> modes,
+    int priority, std::string allow_reason) {
+  Entry entry;
+  entry.subject =
+      subject == "*" ? image_.wildcard_sid_ : image_.sids_->intern(subject);
+  entry.object =
+      object == "*" ? image_.wildcard_sid_ : image_.sids_->intern(object);
+  entry.permission = permission;
+  entry.specificity =
+      static_cast<std::uint8_t>((entry.subject != image_.wildcard_sid_ ? 1 : 0) +
+                                (entry.object != image_.wildcard_sid_ ? 1 : 0));
+  entry.priority = priority;
+  entry.mode_mask = mode_mask_for(modes);
+  entry.meta = static_cast<std::uint32_t>(image_.metas_.size());
+
+  Meta meta;
+  meta.allow = Decision::allow(id, std::move(allow_reason));
+  meta.deny_read = make_perm_deny(id, permission, AccessType::kRead);
+  meta.deny_write = make_perm_deny(id, permission, AccessType::kWrite);
+  meta.id = std::move(id);
+  image_.metas_.push_back(std::move(meta));
+
+  image_.index_build_[pair_key(entry.subject, entry.object)].push_back(
+      static_cast<std::uint32_t>(image_.entries_.size()));
+  image_.entries_.push_back(entry);
+}
+
+CompiledPolicyImage CompiledPolicyImage::Builder::build() {
+  image_.default_allow_decision_ =
+      Decision::allow("", "no matching rule; default allow");
+  image_.default_deny_decision_ =
+      Decision::deny("", "no matching rule; default deny");
+  image_.seal_index();
+  return std::move(image_);
+}
+
+void CompiledPolicyImage::seal_index() {
+  std::size_t slots = 1;
+  while (slots < index_build_.size() * 2) slots <<= 1;
+  slot_keys_.assign(slots, 0);
+  slot_spans_.assign(slots, {0, 0});
+  flat_index_.clear();
+  flat_index_.reserve(entries_.size());
+  const std::size_t mask = slots - 1;
+  for (const auto& [key, indices] : index_build_) {
+    std::size_t i = mac::mix_av_key(key) & mask;
+    while (slot_keys_[i] != 0) i = (i + 1) & mask;
+    slot_keys_[i] = key;
+    slot_spans_[i] = {static_cast<std::uint32_t>(flat_index_.size()),
+                      static_cast<std::uint32_t>(indices.size())};
+    flat_index_.insert(flat_index_.end(), indices.begin(), indices.end());
+  }
+  index_build_.clear();
+}
+
+// --------------------------------------------------------- from_policy_set
+
+CompiledPolicyImage CompiledPolicyImage::from_policy_set(
+    const PolicySet& set, std::shared_ptr<mac::SidTable> sids) {
+  Builder builder(set.name(), set.version(), std::move(sids));
+  builder.set_default_allow(set.default_allow());
+  for (const PolicyRule& rule : set.rules()) {
+    builder.add_rule(rule.id, rule.subject, rule.object, rule.permission,
+                     rule.modes, rule.priority, rule.to_string());
+  }
+  return builder.build();
+}
+
+// -------------------------------------------------------------- resolution
+
+SidRequest CompiledPolicyImage::resolve(
+    const AccessRequest& request) const noexcept {
+  SidRequest resolved;
+  resolved.subject = sids_->find(request.subject);
+  resolved.object = sids_->find(request.object);
+  resolved.access = request.access;
+  resolved.mode = mode_sid(request.mode);
+  return resolved;
+}
+
+mac::Sid CompiledPolicyImage::mode_sid(
+    const threat::ModeId& mode) const noexcept {
+  if (mode.value.empty()) return mac::kNullSid;
+  const mac::Sid sid = sids_->find(mode.value);
+  return sid == mac::kNullSid ? kUnresolvedSid : sid;
+}
+
+std::uint64_t CompiledPolicyImage::request_mode_bits(
+    mac::Sid mode) const noexcept {
+  if (mode == mac::kNullSid) return ~std::uint64_t{0};
+  for (std::size_t bit = 0; bit < mode_sids_.size(); ++bit) {
+    if (mode_sids_[bit] == mode) return std::uint64_t{1} << bit;
+  }
+  return 0;  // known request mode, but no rule ever names it
+}
+
+// -------------------------------------------------------------- evaluation
+
+const Decision& CompiledPolicyImage::evaluate_impl(
+    const SidRequest& request, std::uint64_t mode_bits) const noexcept {
+  // An entry is indexed under its literal (subject, object) SID pair, so
+  // the candidates for a request are exactly the four wildcard
+  // combinations. Revisiting an entry through two probes (a "*" request
+  // identity) is harmless: the index tie-break is idempotent.
+  const std::uint64_t probes[4] = {
+      pair_key(request.subject, request.object),
+      pair_key(request.subject, wildcard_sid_),
+      pair_key(wildcard_sid_, request.object),
+      pair_key(wildcard_sid_, wildcard_sid_),
+  };
+
+  const std::size_t mask = slot_keys_.size() - 1;
+  const Entry* best = nullptr;
+  std::uint32_t best_index = 0;
+  for (const std::uint64_t key : probes) {
+    std::size_t slot = mac::mix_av_key(key) & mask;
+    while (slot_keys_[slot] != key) {
+      if (slot_keys_[slot] == 0) break;
+      slot = (slot + 1) & mask;
+    }
+    if (slot_keys_[slot] != key) continue;
+    const auto [offset, count] = slot_spans_[slot];
+    for (std::uint32_t c = 0; c < count; ++c) {
+      const std::uint32_t i = flat_index_[offset + c];
+      const Entry& entry = entries_[i];
+      if (entry.subject != wildcard_sid_ && entry.subject != request.subject) {
+        continue;
+      }
+      if (entry.object != wildcard_sid_ && entry.object != request.object) {
+        continue;
+      }
+      if (entry.mode_mask != 0 && (entry.mode_mask & mode_bits) == 0) continue;
+      // Priority wins; ties break on specificity, then insertion order
+      // (lowest index = first added) — identical to the string path.
+      if (best == nullptr || entry.priority > best->priority ||
+          (entry.priority == best->priority &&
+           entry.specificity > best->specificity) ||
+          (entry.priority == best->priority &&
+           entry.specificity == best->specificity && i < best_index)) {
+        best = &entry;
+        best_index = i;
+      }
+    }
+  }
+  if (best == nullptr) {
+    return default_allow_ ? default_allow_decision_ : default_deny_decision_;
+  }
+  const Meta& meta = metas_[best->meta];
+  if (permits(best->permission, request.access)) return meta.allow;
+  return request.access == AccessType::kRead ? meta.deny_read
+                                             : meta.deny_write;
+}
+
+Decision CompiledPolicyImage::evaluate(const SidRequest& request) const {
+  return evaluate_impl(request, request_mode_bits(request.mode));
+}
+
+void CompiledPolicyImage::evaluate_batch(std::span<const SidRequest> requests,
+                                         std::span<Decision> out) const {
+  if (requests.size() != out.size()) {
+    throw std::invalid_argument(
+        "CompiledPolicyImage::evaluate_batch: span lengths differ");
+  }
+  // The assignment into `out` reuses each Decision's string capacity, so
+  // a warm reused buffer makes the whole sweep allocation-free. Fleet
+  // batches arrive vehicle-major, so the mode rarely changes between
+  // neighbours — resolve its bit pattern once per run, not per element.
+  mac::Sid run_mode = kUnresolvedSid;
+  std::uint64_t mode_bits = 0;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    if (requests[i].mode != run_mode || i == 0) {
+      run_mode = requests[i].mode;
+      mode_bits = request_mode_bits(run_mode);
+    }
+    out[i] = evaluate_impl(requests[i], mode_bits);
+  }
+}
+
+// ------------------------------------------------------------- fingerprint
+
+std::uint64_t CompiledPolicyImage::fingerprint() const noexcept {
+  std::uint64_t hash = mac::fnv1a(name_);
+  hash = mac::fnv1a_u64(version_, hash);
+  hash = mac::fnv1a_u64(default_allow_ ? 1 : 0, hash);
+  for (const Entry& entry : entries_) {
+    hash = mac::fnv1a_u64(
+        (static_cast<std::uint64_t>(entry.subject) << 32) | entry.object, hash);
+    hash = mac::fnv1a_u64(entry.mode_mask, hash);
+    hash = mac::fnv1a_u64((static_cast<std::uint64_t>(
+                               static_cast<std::uint32_t>(entry.priority))
+                           << 8) |
+                              static_cast<std::uint64_t>(entry.permission),
+                          hash);
+    hash = mac::fnv1a(metas_[entry.meta].allow.reason, hash);
+  }
+  return hash;
+}
+
+}  // namespace psme::core

@@ -1,0 +1,205 @@
+// psme::core — the SID-native compiled form of a policy set.
+//
+// A CompiledPolicyImage is what a fleet actually evaluates against: every
+// subject, object and mode name has been interned through a shared
+// mac::SidTable exactly once, rules are packed fixed-size entries indexed
+// by the (subject SID, object SID) pair, and the audit strings a Decision
+// carries (rule id, allow reason) are materialised at compile time as
+// prototype Decisions. Evaluation therefore never hashes, compares or
+// constructs a string — a batched evaluation is index probes plus
+// copy-assignments into caller-owned Decision storage (which reuses its
+// heap capacity across ticks).
+//
+// Images are immutable once built; millions of simulated vehicles share
+// one image and one interner (the paper's fleet-scale affordability
+// argument). PolicySet keeps its string-rule form as the editable source
+// of truth and lazily compiles itself to an image; PolicyCompiler can
+// skip the string stage entirely and emit an image straight from a
+// threat model (compile_to_image).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/policy.h"
+#include "mac/sid_table.h"
+
+namespace psme::core {
+
+/// Widest mode condition an image entry can carry: one bit per distinct
+/// operational mode named by any rule. Sixty-four is far beyond any real
+/// vehicle (the case study has three); the builder throws beyond it.
+inline constexpr std::size_t kMaxImageModes = 64;
+
+class CompiledPolicyImage {
+ public:
+  /// One packed rule. `subject`/`object` equal to wildcard_sid() encode
+  /// the "*" wildcard; `mode_mask` is a bitmask over the image's mode
+  /// table (0 = applies in every mode); `meta` indexes the audit-string
+  /// table. The matching, priority, specificity and first-wins tie-break
+  /// semantics are exactly PolicySet::evaluate's.
+  struct Entry {
+    mac::Sid subject = mac::kNullSid;
+    mac::Sid object = mac::kNullSid;
+    threat::Permission permission = threat::Permission::kNone;
+    std::uint8_t specificity = 0;  // 0 = both wildcards .. 2 = both exact
+    std::int32_t priority = 0;
+    std::uint64_t mode_mask = 0;
+    std::uint32_t meta = 0;
+  };
+
+  /// Accumulates entries, interning every name exactly once. Used by
+  /// PolicyCompiler::compile_to_image and by from_policy_set; not a
+  /// public extension point for ad-hoc rule soups — go through PolicySet
+  /// for that. (Defined after the class: it holds the image it grows.)
+  class Builder;
+
+  /// Compiles an existing string-rule set against `sids` (fresh table
+  /// when null). This is the shim path PolicySet uses for its lazy
+  /// index; decisions are byte-identical to the string evaluate.
+  [[nodiscard]] static CompiledPolicyImage from_policy_set(
+      const PolicySet& set, std::shared_ptr<mac::SidTable> sids = nullptr);
+
+  // -- evaluation (the hot path; no strings, no allocation) --------------
+
+  /// Adjudicates one pre-resolved request. The returned Decision is
+  /// byte-identical to PolicySet::evaluate on the equivalent string
+  /// request (same rule id, same reason text).
+  [[nodiscard]] Decision evaluate(const SidRequest& request) const;
+
+  /// Answers `requests[i]` into `out[i]` for every i: one pass, no
+  /// per-element function-call or Decision-construction overhead — the
+  /// copy-assignment into `out` reuses each Decision's existing string
+  /// capacity, so a warm caller-owned buffer makes the whole batch
+  /// allocation-free. Throws std::invalid_argument when the spans differ
+  /// in length.
+  void evaluate_batch(std::span<const SidRequest> requests,
+                      std::span<Decision> out) const;
+
+  // -- request resolution (the string edge) ------------------------------
+
+  /// Translates a string request into SID space without growing the
+  /// interner: unknown subjects/objects resolve to kNullSid (they can
+  /// still match wildcard rules — exactly the string semantics) and an
+  /// unknown mode resolves to kUnresolvedSid (matches only mode-free
+  /// rules, never "all modes").
+  [[nodiscard]] SidRequest resolve(const AccessRequest& request) const noexcept;
+
+  /// SID of an operational mode name; kUnresolvedSid when the image's
+  /// interner has never seen it, kNullSid for the empty (mode-less) id.
+  [[nodiscard]] mac::Sid mode_sid(const threat::ModeId& mode) const noexcept;
+
+  // -- observation -------------------------------------------------------
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] std::uint64_t version() const noexcept { return version_; }
+  [[nodiscard]] bool default_allow() const noexcept { return default_allow_; }
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+  [[nodiscard]] const std::vector<Entry>& entries() const noexcept {
+    return entries_;
+  }
+  [[nodiscard]] const std::string& rule_id(std::uint32_t meta) const {
+    return metas_.at(meta).id;
+  }
+  [[nodiscard]] mac::Sid wildcard_sid() const noexcept { return wildcard_sid_; }
+
+  /// The interner every name in this image resolved through. Shared so
+  /// fleet callers can pre-resolve their own identities into the same
+  /// SID space (growing the table never changes an issued SID).
+  [[nodiscard]] const std::shared_ptr<mac::SidTable>& sid_table() const noexcept {
+    return sids_;
+  }
+  [[nodiscard]] const mac::SidTable& sids() const noexcept { return *sids_; }
+
+  /// Stable 64-bit fingerprint over name, version, flags and the packed
+  /// entries (via their audit strings) — the integrity anchor the
+  /// persistent-image serialisation will reuse.
+  [[nodiscard]] std::uint64_t fingerprint() const noexcept;
+
+ private:
+  CompiledPolicyImage() = default;
+
+  /// Audit payload per rule, materialised once at build time.
+  struct Meta {
+    std::string id;
+    Decision allow;       // {true, id, rule.to_string()}
+    Decision deny_read;   // {false, id, "permission .. does not include read"}
+    Decision deny_write;
+  };
+
+  [[nodiscard]] static std::uint64_t pair_key(mac::Sid subject,
+                                              mac::Sid object) noexcept {
+    return (static_cast<std::uint64_t>(subject) << 32) |
+           static_cast<std::uint64_t>(object);
+  }
+
+  /// Request-side mode bits: all-ones for a mode-less request, the mode's
+  /// bit when the image knows it, 0 otherwise (matches only mask-0 rules).
+  [[nodiscard]] std::uint64_t request_mode_bits(mac::Sid mode) const noexcept;
+
+  /// evaluate() with the request's mode bits already resolved (the batch
+  /// path hoists the resolution across same-mode runs).
+  [[nodiscard]] const Decision& evaluate_impl(
+      const SidRequest& request, std::uint64_t mode_bits) const noexcept;
+
+  /// Freezes index_build_ into the flat open-addressing probe structure.
+  void seal_index();
+
+  std::string name_;
+  std::uint64_t version_ = 0;
+  bool default_allow_ = false;
+  std::shared_ptr<mac::SidTable> sids_;
+  mac::Sid wildcard_sid_ = mac::kNullSid;
+  std::vector<Entry> entries_;
+  std::vector<Meta> metas_;
+  /// Distinct mode SIDs in first-appearance order; position = mask bit.
+  std::vector<mac::Sid> mode_sids_;
+  /// Build-time grouping; sealed into the flat tables by build().
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> index_build_;
+  /// Sealed (subject SID, object SID) index: a power-of-two
+  /// open-addressing slot array (mac::mix_av_key probing, key 0 = empty —
+  /// interned SIDs are never null, so no rule key is 0) whose slots span
+  /// a flattened entry-indices array. Four probes (exact/wildcard
+  /// combinations) cover every candidate for a request, each one costing
+  /// a mixed hash and a linear scan — no node chasing, no allocation.
+  std::vector<std::uint64_t> slot_keys_;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> slot_spans_;
+  std::vector<std::uint32_t> flat_index_;
+  Decision default_allow_decision_;
+  Decision default_deny_decision_;
+};
+
+class CompiledPolicyImage::Builder {
+ public:
+  /// When `sids` is null a fresh interner is created; pass a shared one
+  /// so labels, policy databases and images agree on SID space.
+  Builder(std::string name, std::uint64_t version,
+          std::shared_ptr<mac::SidTable> sids = nullptr);
+
+  void set_default_allow(bool allow) noexcept { image_.default_allow_ = allow; }
+
+  /// Adds one rule. `subject`/`object` are names ("*" = wildcard);
+  /// `modes` are mode names in rule order (empty = all modes);
+  /// `allow_reason` is the exact audit text an allow Decision carries
+  /// (PolicyRule::to_string form). Throws std::length_error past
+  /// kMaxImageModes distinct modes.
+  void add_rule(std::string id, std::string_view subject,
+                std::string_view object, threat::Permission permission,
+                std::span<const threat::ModeId> modes, int priority,
+                std::string allow_reason);
+
+  [[nodiscard]] CompiledPolicyImage build();
+
+ private:
+  [[nodiscard]] std::uint64_t mode_mask_for(
+      std::span<const threat::ModeId> modes);
+
+  CompiledPolicyImage image_;
+};
+
+}  // namespace psme::core

@@ -73,15 +73,32 @@ void Avc::chain_remove(std::uint32_t bucket, std::uint32_t n) noexcept {
   }
 }
 
-AccessVector Avc::query(const PolicyDb& db, Sid source, Sid target, Sid cls) {
+void Avc::revalidate(const PolicyDb& db) noexcept {
   if (db.seqno() != db_seqno_) {
     // Policy reload invalidates cached vectors. The very first query merely
     // synchronises the seqno — an empty cache has nothing to flush.
     if (size_ != 0) flush();
     db_seqno_ = db.seqno();
   }
+}
 
-  const std::uint64_t key = pack_av_key(source, target, cls);
+AccessVector Avc::query(const PolicyDb& db, Sid source, Sid target, Sid cls) {
+  revalidate(db);
+  return lookup(db, pack_av_key(source, target, cls));
+}
+
+void Avc::query_batch(const PolicyDb& db, std::span<const std::uint64_t> keys,
+                      std::span<AccessVector> out) {
+  if (keys.size() != out.size()) {
+    throw std::invalid_argument("Avc::query_batch: span lengths differ");
+  }
+  revalidate(db);  // one seqno check for the whole batch
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    out[i] = lookup(db, keys[i]);
+  }
+}
+
+AccessVector Avc::lookup(const PolicyDb& db, std::uint64_t key) {
   const std::uint32_t bucket = bucket_of(key);
   for (std::uint32_t n = buckets_[bucket]; n != kNil; n = nodes_[n].hash_next) {
     if (nodes_[n].key == key) {
@@ -95,7 +112,12 @@ AccessVector Avc::query(const PolicyDb& db, Sid source, Sid target, Sid cls) {
   }
 
   ++stats_.misses;
-  const AccessVector av = db.lookup(source, target, cls);
+  // Unpack the triple for the database consultation; null components fall
+  // out of pack_av_key unchanged, so a null-SID query still answers 0.
+  const AccessVector av =
+      db.lookup(static_cast<Sid>(key >> 40),
+                static_cast<Sid>((key >> 16) & 0xFFFFFFu),
+                static_cast<Sid>(key & 0xFFFFu));
 
   std::uint32_t n;
   if (free_head_ != kNil) {

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string_view>
 #include <vector>
 
@@ -45,6 +46,15 @@ class Avc {
   /// SID-space hot path: zero heap allocations.
   [[nodiscard]] AccessVector query(const PolicyDb& db, Sid source, Sid target,
                                    Sid cls);
+
+  /// Batched lookup: answers `keys[i]` (a pack_av_key triple) into
+  /// `out[i]` for every i. The db seqno is validated once for the whole
+  /// span — the reload check, a per-call cost on the scalar path, is
+  /// amortised across the batch — and each element then costs exactly one
+  /// cached probe (or one db consultation on a miss). Throws
+  /// std::invalid_argument when the spans differ in length.
+  void query_batch(const PolicyDb& db, std::span<const std::uint64_t> keys,
+                   std::span<AccessVector> out);
 
   /// True when every bit of `required` is granted (one bit = one perm).
   [[nodiscard]] bool allowed(const PolicyDb& db, Sid source, Sid target,
@@ -87,6 +97,13 @@ class Avc {
   [[nodiscard]] std::uint32_t bucket_of(std::uint64_t key) const noexcept {
     return static_cast<std::uint32_t>(mix_av_key(key) & (buckets_.size() - 1));
   }
+
+  /// Flushes on a policy reload; both query paths call this exactly once
+  /// per entry point before probing.
+  void revalidate(const PolicyDb& db) noexcept;
+
+  /// One probe-or-fill against an already-revalidated database.
+  [[nodiscard]] AccessVector lookup(const PolicyDb& db, std::uint64_t key);
 
   void lru_unlink(std::uint32_t n) noexcept;
   void lru_push_front(std::uint32_t n) noexcept;

@@ -136,23 +136,25 @@ std::vector<std::string> MacEngine::loaded_modules() const {
   return names;
 }
 
-core::Decision MacEngine::evaluate(const core::AccessRequest& request) {
-  const Sid source = type_sid_of(request.subject);
-  const Sid target = type_sid_of(request.object);
+core::Decision MacEngine::decide(Sid source, Sid target, AccessVector av,
+                                 core::AccessType access) {
   const AccessVector need =
-      request.access == core::AccessType::kRead ? read_mask_ : write_mask_;
-
-  const bool ok = (avc_.query(db_, source, target, asset_class_sid_) & need) != 0;
-  if (ok) {
+      access == core::AccessType::kRead ? read_mask_ : write_mask_;
+  if ((av & need) != 0) {
     // Hot path: both literals fit the small-string buffer, so a cached
     // allow constructs no heap memory at all.
     return core::Decision::allow("te", "avc: granted");
   }
   // Denials reverse-map SIDs to names for the audit trail; this is where
-  // the interner's reverse table earns its keep.
-  const std::string& source_name = sids_->name_of(source);
-  const std::string& target_name = sids_->name_of(target);
-  const std::string_view perm = core::to_string(request.access);
+  // the interner's reverse table earns its keep. SIDs the interner never
+  // issued (possible only via hand-built batch requests) still deny with
+  // a placeholder name instead of throwing mid-batch.
+  static const std::string kInvalidSid = "<invalid-sid>";
+  const std::string& source_name =
+      sids_->contains(source) ? sids_->name_of(source) : kInvalidSid;
+  const std::string& target_name =
+      sids_->contains(target) ? sids_->name_of(target) : kInvalidSid;
+  const std::string_view perm = core::to_string(access);
   if (permissive_) {
     ++permissive_denials_;
     return core::Decision::allow(
@@ -162,6 +164,52 @@ core::Decision MacEngine::evaluate(const core::AccessRequest& request) {
   return core::Decision::deny(
       "te", "no allow rule " + source_name + " -> " + target_name +
                 " : asset { " + std::string(perm) + " }");
+}
+
+core::Decision MacEngine::evaluate(const core::AccessRequest& request) {
+  const Sid source = type_sid_of(request.subject);
+  const Sid target = type_sid_of(request.object);
+  const AccessVector av = avc_.query(db_, source, target, asset_class_sid_);
+  return decide(source, target, av, request.access);
+}
+
+core::SidRequest MacEngine::resolve(const core::AccessRequest& request) const {
+  core::SidRequest resolved;
+  resolved.subject = type_sid_of(request.subject);
+  resolved.object = type_sid_of(request.object);
+  resolved.access = request.access;
+  // MacEngine ignores request modes (mode gating lives in the policy
+  // layer above); keep the field null so equivalent requests compare equal.
+  resolved.mode = kNullSid;
+  return resolved;
+}
+
+void MacEngine::evaluate_batch(std::span<const core::SidRequest> requests,
+                               std::span<core::Decision> out) {
+  if (requests.size() != out.size()) {
+    throw std::invalid_argument("MacEngine::evaluate_batch: span lengths differ");
+  }
+  // One pass, three phases: pack keys, answer them all against the AVC
+  // (one seqno check for the span), then materialise Decisions. The
+  // scratch buffers and the caller's Decision storage are reused, so a
+  // warm batch over cached allows never touches the heap.
+  batch_keys_.resize(requests.size());
+  batch_avs_.resize(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    // SIDs beyond the packed 24-bit field (never issued by the interner;
+    // e.g. core::kUnresolvedSid from a hand-built request) would alias a
+    // real type — clamp them to the null SID, which can only deny.
+    const Sid source =
+        requests[i].subject <= kMaxTypeSid ? requests[i].subject : kNullSid;
+    const Sid target =
+        requests[i].object <= kMaxTypeSid ? requests[i].object : kNullSid;
+    batch_keys_[i] = pack_av_key(source, target, asset_class_sid_);
+  }
+  avc_.query_batch(db_, batch_keys_, batch_avs_);
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    out[i] = decide(requests[i].subject, requests[i].object, batch_avs_[i],
+                    requests[i].access);
+  }
 }
 
 bool MacEngine::allowed(const std::string& source_type,

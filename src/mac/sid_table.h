@@ -45,6 +45,31 @@ inline constexpr Sid kMaxClassSid = (Sid{1} << 16) - 1;
          static_cast<std::uint64_t>(cls);
 }
 
+/// FNV-1a 64-bit, the repo's one string-hash / fingerprint primitive
+/// (the interner, PolicySet fingerprints and the compiled-image
+/// fingerprint all share it — one implementation, no drift). `seed`
+/// chains multi-field hashes.
+inline constexpr std::uint64_t kFnv1aOffset = 0xCBF29CE484222325ULL;
+
+[[nodiscard]] constexpr std::uint64_t fnv1a(
+    std::string_view text, std::uint64_t seed = kFnv1aOffset) noexcept {
+  for (const char ch : text) {
+    seed ^= static_cast<unsigned char>(ch);
+    seed *= 0x100000001B3ULL;
+  }
+  return seed;
+}
+
+/// FNV-1a over the eight little-endian bytes of one 64-bit value.
+[[nodiscard]] constexpr std::uint64_t fnv1a_u64(
+    std::uint64_t value, std::uint64_t seed = kFnv1aOffset) noexcept {
+  for (int i = 0; i < 8; ++i) {
+    seed ^= static_cast<unsigned char>(value >> (i * 8));
+    seed *= 0x100000001B3ULL;
+  }
+  return seed;
+}
+
 /// splitmix64 finaliser: avalanches a packed key's bit fields so hash
 /// structures (the policy AV table, the AVC bucket index) see a uniform
 /// distribution. Shared so the two tables can never drift apart.
@@ -64,12 +89,7 @@ class SidTable {
   struct Hash {
     using is_transparent = void;
     [[nodiscard]] std::size_t operator()(std::string_view s) const noexcept {
-      std::uint64_t h = 0xCBF29CE484222325ULL;
-      for (const unsigned char ch : s) {
-        h ^= ch;
-        h *= 0x100000001B3ULL;
-      }
-      return static_cast<std::size_t>(h);
+      return static_cast<std::size_t>(fnv1a(s));
     }
   };
 
