@@ -1,0 +1,155 @@
+// Parallel fleet-sweep scaling: how close to linear does the sharded
+// tick_parallel(n) get once the sealed image is shared read-only across
+// a worker pool?
+//
+// On the acceptance workload (10^4 vehicles x the 192-question standard
+// per-vehicle set, deterministic mode scatter) the sweep runs through
+// the sequential tick() and through tick_parallel(n) for n in
+// {1, 2, 4, 8}. Tallies (and, test-pinned elsewhere, the byte-level
+// decision stream) must be identical at every thread count; the
+// speedup column is what the thread sweep exists to record.
+// Acceptance: tick_parallel(8) >= 4x over tick() — hardware permitting
+// (the JSON records hardware_concurrency so a single-core container's
+// numbers read as what they are).
+// A JSON record of the sweep is printed for BENCH_fleet_parallel.json.
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "car/base_policy.h"
+#include "car/fleet_evaluator.h"
+#include "car/table1.h"
+#include "sim/rng.h"
+
+using namespace psme;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct PathResult {
+  double ns_per_decision = 0.0;
+  std::uint64_t decisions = 0;
+  std::uint64_t allowed = 0;
+  std::uint64_t denied = 0;
+};
+
+template <typename Tick>
+PathResult measure(std::uint64_t target_decisions, Tick&& tick) {
+  PathResult result;
+  // One untimed warm-up tick fills caches and the per-worker buffers.
+  (void)tick();
+  const auto start = Clock::now();
+  double elapsed_ns = 0.0;
+  do {
+    const car::FleetTickStats stats = tick();
+    result.decisions += stats.decisions;
+    result.allowed += stats.allowed;
+    result.denied += stats.denied;
+    elapsed_ns = static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start)
+            .count());
+  } while (result.decisions < target_decisions);
+  result.ns_per_decision = elapsed_ns / static_cast<double>(result.decisions);
+  return result;
+}
+
+/// Deterministically spreads the fleet across operating modes
+/// (~80% normal, ~10% remote-diagnostic, ~10% fail-safe) — same scatter
+/// as bench_fleet_eval so rows are comparable.
+void scatter_modes(car::FleetEvaluator& fleet, std::uint64_t seed) {
+  sim::Rng rng(seed);
+  for (std::size_t v = 0; v < fleet.fleet_size(); ++v) {
+    const std::uint64_t draw = rng.uniform(0, 9);
+    if (draw == 8) {
+      fleet.set_mode(v, car::CarMode::kRemoteDiagnostic);
+    } else if (draw == 9) {
+      fleet.set_mode(v, car::CarMode::kFailSafe);
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Parallel fleet sweeps: sequential tick vs sharded "
+              "tick_parallel ===\n\n");
+
+  const auto model = car::connected_car_threat_model();
+  const core::PolicySet policy = car::full_policy(model);
+  const core::CompiledPolicyImage& image = policy.image();
+
+  car::FleetEvaluatorOptions options;
+  options.fleet_size = 10000;
+  car::FleetEvaluator fleet(image, car::default_fleet_checks(), options);
+  scatter_modes(fleet, 7);
+
+  const std::uint64_t per_tick = options.fleet_size * fleet.checks_per_vehicle();
+  const std::uint64_t target = per_tick * 4;
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::printf("workload: %zu vehicles x %zu checks = %llu decisions/tick; "
+              "hardware_concurrency=%u\n\n",
+              fleet.fleet_size(), fleet.checks_per_vehicle(),
+              static_cast<unsigned long long>(per_tick), hw);
+
+  const PathResult sequential = measure(target, [&] { return fleet.tick(); });
+  std::printf("tick()            %8.1f ns/decision  (baseline, %.1f%% "
+              "allowed)\n",
+              sequential.ns_per_decision,
+              100.0 * static_cast<double>(sequential.allowed) /
+                  static_cast<double>(sequential.decisions));
+
+  struct Row {
+    std::size_t threads;
+    PathResult result;
+    double speedup;
+  };
+  std::vector<Row> rows;
+  bool parity_ok = true;
+  double speedup_at_8 = 0.0;
+
+  for (const std::size_t threads : {1, 2, 4, 8}) {
+    const PathResult parallel =
+        measure(target, [&] { return fleet.tick_parallel(threads); });
+    const double speedup =
+        sequential.ns_per_decision / parallel.ns_per_decision;
+    if (threads == 8) speedup_at_8 = speedup;
+
+    // Tally parity per tick (byte-level decision parity is pinned by
+    // tests/test_fleet_parallel.cpp).
+    const auto rate = [](const PathResult& r) {
+      return static_cast<double>(r.allowed) / static_cast<double>(r.decisions);
+    };
+    if (rate(parallel) != rate(sequential)) {
+      std::printf("FAIL: allow-rate mismatch at %zu threads\n", threads);
+      parity_ok = false;
+    }
+
+    std::printf("tick_parallel(%zu) %8.1f ns/decision  (%.2fx vs tick)\n",
+                threads, parallel.ns_per_decision, speedup);
+    rows.push_back(Row{threads, parallel, speedup});
+  }
+
+  std::printf("\nspeedup at 8 threads: %.2fx (target >= 4x on >= 8 "
+              "hardware threads) — %s\n\n",
+              speedup_at_8,
+              speedup_at_8 >= 4.0       ? "met"
+              : hw < 8                  ? "hardware-limited (see JSON note)"
+                                        : "MISSED");
+
+  // Machine-readable record (BENCH_fleet_parallel.json).
+  std::printf("JSON: {\"bench\":\"fleet_parallel\",\"unit\":\"ns/decision\","
+              "\"hardware_concurrency\":%u,"
+              "\"sequential\":%.1f,\"rows\":[",
+              hw, sequential.ns_per_decision);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    std::printf("%s{\"threads\":%zu,\"parallel\":%.1f,\"speedup\":%.2f}",
+                i == 0 ? "" : ",", rows[i].threads,
+                rows[i].result.ns_per_decision, rows[i].speedup);
+  }
+  std::printf("]}\n");
+
+  return parity_ok ? 0 : 1;
+}

@@ -1,16 +1,25 @@
 // Fleet-scale enforcement driven by the discrete-event scheduler: ten
 // thousand simulated vehicles share ONE compiled policy image and ONE
 // SID interner; each simulation tick answers the whole fleet's policy
-// questions through the batched evaluator, while scheduled events move
-// individual vehicles between operating modes (one car crashes into
-// fail-safe, another enters remote diagnostics — the rest keep driving).
+// questions through the batched evaluator — sharded across a worker pool
+// (tick_parallel) with byte-identical decisions to the sequential sweep —
+// while scheduled events move individual vehicles between operating
+// modes (one car crashes into fail-safe, another enters remote
+// diagnostics — the rest keep driving).
+//
+// The sweep also feeds fleet telemetry: per-vehicle deny counts go to
+// monitor::DenyStreakMonitor, which flags vehicles whose denials persist
+// across consecutive sweeps (compromised-vehicle candidates) instead of
+// merely tallying fleet-wide allow/deny totals.
 //
 // Build & run:  ./build/examples/example_fleet_scale
 #include <cstdio>
+#include <thread>
 
 #include "car/base_policy.h"
 #include "car/fleet_evaluator.h"
 #include "car/table1.h"
+#include "monitor/anomaly.h"
 #include "sim/event_queue.h"
 #include "sim/rng.h"
 
@@ -33,13 +42,33 @@ int main() {
   options.fleet_size = 10000;
   car::FleetEvaluator fleet(image, car::default_fleet_checks(), options);
 
+  const std::size_t hw = std::thread::hardware_concurrency();
+  const std::size_t n_threads = hw == 0 ? 1 : hw;
+
+  // Calibrate the telemetry threshold from one baseline sweep: a normal-
+  // mode vehicle's denials are policy background, anything above it is a
+  // vehicle behaving outside its mode's envelope.
+  const car::FleetTickStats baseline = fleet.tick_parallel(n_threads);
+  monitor::DenyStreakOptions streak_options;
+  streak_options.deny_threshold = baseline.vehicle_denied[0] + 1;
+  streak_options.streak_ticks = 3;
+  monitor::DenyStreakMonitor streaks(options.fleet_size, streak_options);
+
+  // Three vehicles are "compromised": wedged in fail-safe, denied above
+  // the normal-mode background on every sweep.
+  const std::size_t wedged[] = {17, 4242, 9001};
+  for (const std::size_t vehicle : wedged) {
+    fleet.set_mode(vehicle, car::CarMode::kFailSafe);
+  }
+
   sim::Scheduler sched;
   sim::Rng rng(2026);
   car::FleetTickStats totals;
   std::uint64_t ticks = 0;
 
   // Every 100 ms of simulated time: a handful of vehicles change mode,
-  // then the whole fleet is policed in one batched sweep.
+  // then the whole fleet is policed in one sharded batched sweep and the
+  // per-vehicle deny counts feed the streak monitor.
   sim::PeriodicTask ticker(
       sched, sched.now(), 100ms,
       [&] {
@@ -52,7 +81,8 @@ int main() {
                          : draw == 8 ? car::CarMode::kRemoteDiagnostic
                                      : car::CarMode::kFailSafe);
         }
-        const car::FleetTickStats stats = fleet.tick();
+        const car::FleetTickStats stats = fleet.tick_parallel(n_threads);
+        streaks.observe_tick(stats.vehicle_denied);
         totals.decisions += stats.decisions;
         totals.allowed += stats.allowed;
         totals.denied += stats.denied;
@@ -64,14 +94,24 @@ int main() {
   ticker.stop();
 
   std::printf("simulated 1 s: %llu ticks, %llu decisions "
-              "(%llu allowed, %llu denied)\n",
+              "(%llu allowed, %llu denied), swept on %zu threads\n",
               static_cast<unsigned long long>(ticks),
               static_cast<unsigned long long>(totals.decisions),
               static_cast<unsigned long long>(totals.allowed),
-              static_cast<unsigned long long>(totals.denied));
+              static_cast<unsigned long long>(totals.denied), n_threads);
   std::printf("per tick: %zu vehicles x %zu checks = %zu decisions, "
-              "zero strings touched, zero allocations after warm-up\n",
+              "zero strings touched, zero allocations after warm-up\n\n",
               fleet.fleet_size(), fleet.checks_per_vehicle(),
               fleet.fleet_size() * fleet.checks_per_vehicle());
+
+  std::printf("deny-streak telemetry (threshold %u denies/tick, streak %u "
+              "ticks): %zu vehicle(s) flagged\n",
+              streak_options.deny_threshold, streak_options.streak_ticks,
+              streaks.flagged().size());
+  for (const std::uint32_t vehicle : streaks.flagged()) {
+    std::printf("  vehicle %5u — compromised-vehicle candidate "
+                "(streak %u ticks)\n",
+                vehicle, streaks.streak(vehicle));
+  }
   return 0;
 }

@@ -1,6 +1,9 @@
 #include "car/fleet_evaluator.h"
 
+#include <algorithm>
+#include <exception>
 #include <stdexcept>
+#include <thread>
 
 #include "car/ids.h"
 
@@ -10,7 +13,7 @@ std::vector<FleetCheck> default_fleet_checks() {
   // Every question the binding layer asks when policing one vehicle:
   // each hosted entry point against each asset, read and write. The
   // deterministic (node-binding, asset-binding) order matters — fleet
-  // sweeps must replay identically across runs (DESIGN.md §3).
+  // sweeps must replay identically across runs (DESIGN.md §4).
   std::vector<FleetCheck> checks;
   for (const NodeBinding& node : node_bindings()) {
     for (const std::string& entry_point : node.entry_points) {
@@ -63,6 +66,7 @@ FleetEvaluator::FleetEvaluator(const core::CompiledPolicyImage& image,
 
   vehicle_modes_.assign(options.fleet_size,
                         static_cast<std::uint8_t>(options.initial_mode));
+  vehicle_denied_.assign(options.fleet_size, 0);
   batch_.reserve(batch_chunk_);
   decisions_.reserve(batch_chunk_);
 }
@@ -79,10 +83,19 @@ void FleetEvaluator::flush(FleetTickStats& stats, const ChunkSink& sink) {
   if (batch_.empty()) return;
   decisions_.resize(batch_.size());
   image_.evaluate_batch(batch_, decisions_);
-  for (const core::Decision& decision : decisions_) {
-    decision.allowed ? ++stats.allowed : ++stats.denied;
+  const std::size_t checks = checks_.size();
+  for (std::size_t j = 0; j < decisions_.size(); ++j) {
+    if (decisions_[j].allowed) {
+      ++stats.allowed;
+    } else {
+      ++stats.denied;
+      // Deny-path only: one division attributes the decision back to its
+      // vehicle for the per-vehicle telemetry.
+      ++vehicle_denied_[(tick_offset_ + j) / checks];
+    }
   }
   stats.decisions += batch_.size();
+  tick_offset_ += batch_.size();
   if (sink) {
     try {
       sink(batch_, decisions_);
@@ -99,6 +112,8 @@ void FleetEvaluator::flush(FleetTickStats& stats, const ChunkSink& sink) {
 
 FleetTickStats FleetEvaluator::tick(const ChunkSink& sink) {
   FleetTickStats stats;
+  vehicle_denied_.assign(vehicle_denied_.size(), 0);
+  tick_offset_ = 0;
   for (const std::uint8_t mode : vehicle_modes_) {
     const mac::Sid mode_sid = mode_sids_[mode];
     for (const core::SidRequest& request : resolved_) {
@@ -108,6 +123,144 @@ FleetTickStats FleetEvaluator::tick(const ChunkSink& sink) {
     }
   }
   flush(stats, sink);
+  stats.vehicle_denied = vehicle_denied_;
+  return stats;
+}
+
+void FleetEvaluator::sweep_range(Worker& worker, std::size_t begin,
+                                 std::size_t end, bool capture) {
+  const std::size_t checks = checks_.size();
+  if (capture) {
+    // Sink mode: materialise the shard's whole request stream once, then
+    // evaluate it in place chunk by chunk. resize() is a no-op after the
+    // first tick at this shard size; Decision assignments reuse string
+    // capacity, so a warm capture sweep allocates nothing either.
+    const std::size_t total = (end - begin) * checks;
+    worker.captured_requests.resize(total);
+    worker.captured_decisions.resize(total);
+    std::size_t w = 0;
+    for (std::size_t v = begin; v < end; ++v) {
+      const mac::Sid mode_sid = mode_sids_[vehicle_modes_[v]];
+      for (const core::SidRequest& request : resolved_) {
+        core::SidRequest& queued = worker.captured_requests[w++];
+        queued = request;
+        queued.mode = mode_sid;
+      }
+    }
+    for (std::size_t off = 0; off < total; off += batch_chunk_) {
+      const std::size_t n = std::min(batch_chunk_, total - off);
+      image_.evaluate_batch(
+          std::span<const core::SidRequest>(&worker.captured_requests[off], n),
+          std::span<core::Decision>(&worker.captured_decisions[off], n));
+    }
+    for (std::size_t j = 0; j < total; ++j) {
+      if (worker.captured_decisions[j].allowed) {
+        ++worker.allowed;
+      } else {
+        ++worker.denied;
+        ++vehicle_denied_[begin + j / checks];
+      }
+    }
+    return;
+  }
+
+  // Counting mode: fixed-size chunk buffers, exactly like tick()'s.
+  worker.batch.clear();
+  worker.batch.reserve(batch_chunk_);
+  std::size_t flushed_offset = begin * checks;  // global decision index
+  auto drain = [&] {
+    if (worker.batch.empty()) return;
+    worker.decisions.resize(worker.batch.size());
+    image_.evaluate_batch(worker.batch, worker.decisions);
+    for (std::size_t j = 0; j < worker.decisions.size(); ++j) {
+      if (worker.decisions[j].allowed) {
+        ++worker.allowed;
+      } else {
+        ++worker.denied;
+        ++vehicle_denied_[(flushed_offset + j) / checks];
+      }
+    }
+    flushed_offset += worker.batch.size();
+    worker.batch.clear();
+  };
+  for (std::size_t v = begin; v < end; ++v) {
+    const mac::Sid mode_sid = mode_sids_[vehicle_modes_[v]];
+    for (const core::SidRequest& request : resolved_) {
+      core::SidRequest& queued = worker.batch.emplace_back(request);
+      queued.mode = mode_sid;
+      if (worker.batch.size() == batch_chunk_) drain();
+    }
+  }
+  drain();
+}
+
+FleetTickStats FleetEvaluator::tick_parallel(std::size_t n_threads,
+                                             const ChunkSink& sink) {
+  if (n_threads == 0) {
+    throw std::invalid_argument("FleetEvaluator::tick_parallel: zero threads");
+  }
+  const std::size_t fleet = vehicle_modes_.size();
+  const std::size_t k = std::min(n_threads, fleet);
+  if (workers_.size() != k) {
+    // Thread-count change: rebuild the pool (the only post-first-tick
+    // allocation path; a constant k reuses every buffer).
+    workers_ = std::vector<Worker>(k);
+  }
+  vehicle_denied_.assign(fleet, 0);
+  for (Worker& worker : workers_) {
+    worker.allowed = 0;
+    worker.denied = 0;
+  }
+
+  const bool capture = static_cast<bool>(sink);
+  // Contiguous shards: worker w sweeps [w*fleet/k, (w+1)*fleet/k). The
+  // shared image is sealed (immutable), vehicle_denied_ writes are
+  // range-disjoint, and each worker owns its padded Worker slot — the
+  // sweep runs without any synchronisation beyond the final join.
+  std::vector<std::exception_ptr> errors(k);
+  auto run = [&](std::size_t w) {
+    try {
+      sweep_range(workers_[w], (w * fleet) / k, ((w + 1) * fleet) / k,
+                  capture);
+    } catch (...) {
+      errors[w] = std::current_exception();
+    }
+  };
+  {
+    std::vector<std::thread> pool;
+    pool.reserve(k > 0 ? k - 1 : 0);
+    for (std::size_t w = 1; w < k; ++w) pool.emplace_back(run, w);
+    run(0);  // the calling thread is worker 0
+    for (std::thread& t : pool) t.join();
+  }
+  for (std::size_t w = 0; w < k; ++w) {
+    if (errors[w]) std::rethrow_exception(errors[w]);
+  }
+
+  // Deterministic merge, shard order (== fleet order).
+  FleetTickStats stats;
+  for (const Worker& worker : workers_) {
+    stats.allowed += worker.allowed;
+    stats.denied += worker.denied;
+  }
+  stats.decisions = stats.allowed + stats.denied;
+  stats.vehicle_denied = vehicle_denied_;
+
+  if (capture) {
+    // Replay the captured streams to the sink in fleet order, sliced to
+    // the same nominal chunk size as tick() (boundaries may differ when a
+    // shard size is not a chunk multiple; the concatenation never does).
+    for (const Worker& worker : workers_) {
+      const std::size_t total = worker.captured_requests.size();
+      for (std::size_t off = 0; off < total; off += batch_chunk_) {
+        const std::size_t n = std::min(batch_chunk_, total - off);
+        sink(std::span<const core::SidRequest>(&worker.captured_requests[off],
+                                               n),
+             std::span<const core::Decision>(&worker.captured_decisions[off],
+                                             n));
+      }
+    }
+  }
   return stats;
 }
 

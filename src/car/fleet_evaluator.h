@@ -10,12 +10,20 @@
 // fixed-size chunks whose request/decision buffers are reused — after
 // the first tick, a fleet sweep performs no heap allocation.
 //
-// Three evaluation paths exist so benches can price the pipeline stages:
-//   tick()         — batched SID path (the product);
-//   tick_scalar()  — same pre-resolved requests, per-element evaluate;
-//   tick_strings() — the legacy shim: string requests built and hashed
-//                    per element against a PolicySet.
-// All three produce byte-identical Decisions for the same fleet state.
+// Fleet sweeps are embarrassingly parallel: a sealed image is immutable
+// and its evaluation pure, so tick_parallel(n) shards the fleet into
+// contiguous vehicle ranges and sweeps them on a worker pool — per-worker
+// capacity-warm buffers, cache-line-padded per-worker tallies, and a
+// deterministic merge that makes the decision stream byte-identical to
+// the sequential tick() for ANY thread count (test-pinned).
+//
+// Evaluation paths, so benches can price the pipeline stages:
+//   tick()          — batched SID path (the product);
+//   tick_parallel() — the same sweep sharded across n worker threads;
+//   tick_scalar()   — same pre-resolved requests, per-element evaluate;
+//   tick_strings()  — the legacy shim: string requests built and hashed
+//                     per element against a PolicySet.
+// All paths produce byte-identical Decisions for the same fleet state.
 #pragma once
 
 #include <array>
@@ -55,6 +63,13 @@ struct FleetTickStats {
   std::uint64_t decisions = 0;
   std::uint64_t allowed = 0;
   std::uint64_t denied = 0;
+  /// Per-vehicle deny counts for this tick (index = vehicle), the
+  /// fleet-scale telemetry feed: monitor::DenyStreakMonitor consumes it
+  /// to flag per-vehicle deny streaks (compromised-vehicle candidates).
+  /// Views evaluator-owned storage — valid until the evaluator's next
+  /// tick or destruction. Populated by tick() and tick_parallel(); the
+  /// comparison paths (tick_scalar, tick_strings) leave it empty.
+  std::span<const std::uint32_t> vehicle_denied{};
 };
 
 class FleetEvaluator {
@@ -91,6 +106,21 @@ class FleetEvaluator {
   /// chunk is surfaced after evaluation (parity checking, auditing).
   FleetTickStats tick(const ChunkSink& sink = {});
 
+  /// One fleet sweep sharded across `n_threads` workers, each sweeping a
+  /// contiguous vehicle range with its own capacity-warm buffers against
+  /// the shared sealed image (safe: see CompiledPolicyImage's concurrency
+  /// contract). Per-worker tallies are cache-line padded and merged
+  /// deterministically in shard order, so for any thread count the
+  /// returned stats — per-vehicle deny counts included — and the
+  /// concatenated decision stream are byte-identical to tick()'s
+  /// (chunk BOUNDARIES seen by a sink may differ; the concatenation never
+  /// does). With a sink, workers record their shard's requests/decisions
+  /// and the calling thread replays them in fleet order after the join.
+  /// Thread counts above the fleet size are clamped; n_threads == 1 runs
+  /// entirely on the calling thread. Throws std::invalid_argument on 0.
+  FleetTickStats tick_parallel(std::size_t n_threads,
+                               const ChunkSink& sink = {});
+
   /// Same requests, per-element image evaluation — what batching saves.
   [[nodiscard]] FleetTickStats tick_scalar() const;
 
@@ -100,9 +130,29 @@ class FleetEvaluator {
   [[nodiscard]] FleetTickStats tick_strings(const core::PolicySet& policy) const;
 
  private:
+  /// Per-worker state for tick_parallel, cache-line aligned so one
+  /// worker's hot tallies and buffer headers never share a line with a
+  /// neighbour's (no false sharing). Buffers are capacity-warm: reused
+  /// across ticks while the thread count stays the same.
+  struct alignas(64) Worker {
+    std::vector<core::SidRequest> batch;
+    std::vector<core::Decision> decisions;
+    /// Sink mode only: the shard's full request/decision stream, replayed
+    /// to the sink in fleet order by the calling thread after the join.
+    std::vector<core::SidRequest> captured_requests;
+    std::vector<core::Decision> captured_decisions;
+    std::uint64_t allowed = 0;
+    std::uint64_t denied = 0;
+  };
+
   /// Appends vehicle `v`'s requests; flushes full chunks through the
   /// batched evaluator.
   void flush(FleetTickStats& stats, const ChunkSink& sink);
+
+  /// Sweeps vehicles [begin, end) into `worker`'s buffers/tallies.
+  /// Writes vehicle_denied_[begin, end) — disjoint across workers.
+  void sweep_range(Worker& worker, std::size_t begin, std::size_t end,
+                   bool capture);
 
   const core::CompiledPolicyImage& image_;
   std::vector<FleetCheck> checks_;             // string form (tick_strings)
@@ -114,6 +164,15 @@ class FleetEvaluator {
   /// Chunk buffers, reused across flushes and ticks (capacity-warm).
   std::vector<core::SidRequest> batch_;
   std::vector<core::Decision> decisions_;
+  /// Per-vehicle deny counts of the most recent tick()/tick_parallel()
+  /// (the storage FleetTickStats::vehicle_denied views); reused.
+  std::vector<std::uint32_t> vehicle_denied_;
+  /// Global decision offset of the chunk being flushed (tick() only);
+  /// maps a chunk-local index back to its vehicle for deny attribution.
+  std::size_t tick_offset_ = 0;
+  /// Worker pool state, persistent across ticks (recreated only when the
+  /// requested thread count changes).
+  std::vector<Worker> workers_;
 };
 
 }  // namespace psme::car

@@ -105,18 +105,22 @@ void PolicySet::assert_single_thread() const noexcept {
     eval_pin_.id = std::this_thread::get_id();
   }
   assert(eval_pin_.id == std::this_thread::get_id() &&
-         "PolicySet evaluation is single-threaded by design (DESIGN.md §3): "
-         "the lazy image compile writes through mutable members");
+         "PolicySet lazy-compile paths are single-threaded by design "
+         "(DESIGN.md §3): they write through mutable members");
 #endif
 }
 
 const CompiledPolicyImage& PolicySet::ensure_image() const {
+  // Fast path: once the image exists it is immutable and evaluation is a
+  // pure const read — safe from any number of threads, provided the
+  // compile happened-before they started (DESIGN.md "Concurrency model").
+  // Only the lazy COMPILE writes through the mutable members, so only it
+  // carries the debug single-thread pin.
+  if (image_ != nullptr) return *image_;
   assert_single_thread();
-  if (image_ == nullptr) {
-    if (sids_ == nullptr) sids_ = std::make_shared<mac::SidTable>();
-    image_ = std::make_shared<const CompiledPolicyImage>(
-        CompiledPolicyImage::from_policy_set(*this, sids_));
-  }
+  if (sids_ == nullptr) sids_ = std::make_shared<mac::SidTable>();
+  image_ = std::make_shared<const CompiledPolicyImage>(
+      CompiledPolicyImage::from_policy_set(*this, sids_));
   return *image_;
 }
 

@@ -137,9 +137,12 @@ class PolicySet {
   /// SID-native path: the set lazily compiles itself to a
   /// CompiledPolicyImage after any mutation, the request's names are
   /// resolved to SIDs once (non-allocating transparent lookups), and the
-  /// image answers. Not thread-safe: the lazy compile writes through a
-  /// mutable member — debug builds pin the first evaluating thread and
-  /// assert on any other (DESIGN.md §3).
+  /// image answers. Concurrency: once the image is compiled (call image()
+  /// or evaluate once before sharing), const evaluation is safe from any
+  /// number of threads; the lazy COMPILE itself writes through mutable
+  /// members and stays single-threaded — debug builds pin the compiling
+  /// thread (DESIGN.md "Concurrency model"). Mutations always require
+  /// exclusive access.
   [[nodiscard]] Decision evaluate(const AccessRequest& request) const;
 
   /// SID-native overload: adjudicates a request pre-resolved against
@@ -186,8 +189,10 @@ class PolicySet {
   /// holds exclusive access again.
   void invalidate() noexcept;
   /// Debug builds: pins the first calling thread and asserts on any
-  /// other. Guards every entry point that writes through the mutable
-  /// lazy-compile members. No-op in release builds.
+  /// other. Guards the entry points that WRITE through the mutable
+  /// lazy-compile members (compiling the image, creating the interner);
+  /// const evaluation over an existing image bypasses it. No-op in
+  /// release builds.
   void assert_single_thread() const noexcept;
   /// Compiles the image if absent (thread-pinned, see above).
   const CompiledPolicyImage& ensure_image() const;
@@ -203,11 +208,13 @@ class PolicySet {
   /// this set may share it; reset by any mutation.
   mutable std::shared_ptr<const CompiledPolicyImage> image_;
 #ifndef NDEBUG
-  /// DESIGN.md §3: nothing in the enforcement core is thread-safe. The
-  /// first evaluation pins the thread; concurrent misuse fails loudly
-  /// instead of corrupting the lazy compile. Copies and moves start
-  /// unpinned — a copy is a distinct object with its own (possibly
-  /// different) owning thread.
+  /// DESIGN.md "Concurrency model": the lazy image compile writes
+  /// through mutable members and is single-threaded; the first COMPILING
+  /// evaluation pins the thread so concurrent compile misuse fails loudly
+  /// instead of corrupting the image (const evaluation over a built image
+  /// is thread-safe and skips the pin). Copies and moves start unpinned —
+  /// a copy is a distinct object with its own (possibly different)
+  /// owning thread.
   struct ThreadPin {
     std::thread::id id{};
     ThreadPin() noexcept = default;

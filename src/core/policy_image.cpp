@@ -1,5 +1,6 @@
 #include "core/policy_image.h"
 
+#include <cassert>
 #include <stdexcept>
 
 namespace psme::core {
@@ -150,6 +151,11 @@ std::uint64_t CompiledPolicyImage::request_mode_bits(
 
 const Decision& CompiledPolicyImage::evaluate_impl(
     const SidRequest& request, std::uint64_t mode_bits) const noexcept {
+  // Sealed-image invariant (debug): build() froze the grouping into the
+  // flat probe tables; concurrent const evaluation relies on nothing
+  // being left to mutate lazily.
+  assert(index_build_.empty() && !slot_keys_.empty() &&
+         "CompiledPolicyImage: evaluate on an unsealed image");
   // An entry is indexed under its literal (subject, object) SID pair, so
   // the candidates for a request are exactly the four wildcard
   // combinations. Revisiting an entry through two probes (a "*" request

@@ -16,6 +16,17 @@
 // of truth and lazily compiles itself to an image; PolicyCompiler can
 // skip the string stage entirely and emit an image straight from a
 // threat model (compile_to_image).
+//
+// Concurrency (DESIGN.md "Concurrency model"): a sealed image is an
+// immutable value — Builder::build() is the only producer, there are no
+// mutators, and every observer is const. Share it BY REFERENCE across
+// any number of threads and call evaluate / evaluate_batch / resolve
+// concurrently without synchronisation, provided build() happened-before
+// the readers started (thread creation, or a published snapshot, gives
+// that for free). Debug builds assert sealed-ness on the evaluate paths.
+// car::FleetEvaluator::tick_parallel leans on exactly this guarantee.
+// The one shared MUTABLE neighbour is the SidTable behind sid_table():
+// interning a NEW name grows it, so the single-writer rule applies there.
 #pragma once
 
 #include <cstdint>

@@ -20,10 +20,27 @@
 // hit, and a Decision whose strings fit in the small-string buffer.
 // Denials (never the hot path) reverse-map SIDs to names for the audit
 // reason text.
+//
+// Concurrency (DESIGN.md "Concurrency model"): MacEngine follows the
+// single-writer/many-readers split. ONE owner thread drives labelling,
+// module lifecycle and the mutating evaluate paths; any number of OTHER
+// threads may call evaluate_batch_shared concurrently, including while
+// the owner reloads policy. Each rebuild publishes an immutable snapshot
+// (database + derived class/permission coordinates) behind a shared_ptr;
+// readers pin a snapshot for the duration of a batch, probe the AVC
+// through its seqlock read path, and fall through to the snapshot's
+// sealed flat table on a miss. The one caveat: the shared SidTable grows
+// on intern, so the owner must not introduce NEW names (labels, types,
+// string-shim queries for unseen strings) while readers are active —
+// reloading existing modules and toggling booleans re-interns nothing
+// and is safe.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
@@ -66,7 +83,7 @@ class MacEngine final : public core::PolicyEngine {
 
   explicit MacEngine(std::size_t avc_capacity = 512);
 
-  // -- labelling -------------------------------------------------------
+  // -- labelling (owner thread only) -------------------------------------
 
   /// Associates an entity id (entry point, node, asset) with a context.
   /// The context's type is interned immediately; evaluate() never touches
@@ -76,7 +93,7 @@ class MacEngine final : public core::PolicyEngine {
   [[nodiscard]] const SecurityContext& context_of(const std::string& entity) const;
   void set_default_context(SecurityContext context);
 
-  // -- module lifecycle --------------------------------------------------
+  // -- module lifecycle (owner thread only) ------------------------------
 
   /// Loads a module and rebuilds the policy database. Throws on validation
   /// failure (unknown types, neverallow violations) without changing the
@@ -95,7 +112,7 @@ class MacEngine final : public core::PolicyEngine {
 
   [[nodiscard]] std::vector<std::string> loaded_modules() const;
   [[nodiscard]] std::uint64_t policy_seqno() const noexcept {
-    return db_.seqno();
+    return active_->db.seqno();
   }
 
   // -- enforcement -------------------------------------------------------
@@ -118,8 +135,21 @@ class MacEngine final : public core::PolicyEngine {
   /// performs zero heap allocations. Decisions are byte-identical to
   /// scalar evaluate on the equivalent requests. Throws
   /// std::invalid_argument when the spans differ in length.
+  /// Owner thread only: fills the AVC and uses member scratch buffers.
   void evaluate_batch(std::span<const core::SidRequest> requests,
                       std::span<core::Decision> out);
+
+  /// Concurrent-reader form of evaluate_batch: any number of threads may
+  /// call it simultaneously, including while the owner reloads policy.
+  /// Pins the engine's current immutable snapshot for the span, answers
+  /// each element through the AVC's lock-free seqlock probe (falling
+  /// through to the snapshot's sealed table on a miss — readers never
+  /// fill the cache), and materialises the same Decisions as the owner
+  /// path would against that snapshot. Decisions adjudicated mid-reload
+  /// reflect either the old or the new policy, never a mix. Throws
+  /// std::invalid_argument when the spans differ in length.
+  void evaluate_batch_shared(std::span<const core::SidRequest> requests,
+                             std::span<core::Decision> out) const;
 
   /// Direct TE query (bypasses the request translation; used by tests).
   [[nodiscard]] bool allowed(const std::string& source_type,
@@ -129,7 +159,17 @@ class MacEngine final : public core::PolicyEngine {
   [[nodiscard]] const AvcStats& avc_stats() const noexcept {
     return avc_.stats();
   }
-  [[nodiscard]] const PolicyDb& db() const noexcept { return db_; }
+  /// Merged counters of the concurrent read path (see Avc::shared_stats).
+  [[nodiscard]] AvcStats avc_shared_stats() const noexcept {
+    return avc_.shared_stats();
+  }
+  /// The active database (owner-thread view; readers inside
+  /// evaluate_batch_shared pin their own snapshot instead). The
+  /// reference is valid only until the next policy mutation
+  /// (load_module / unload_module / set_boolean) — each rebuild
+  /// publishes a fresh database and retires the old one. Re-call after
+  /// a reload instead of holding the reference across it.
+  [[nodiscard]] const PolicyDb& db() const noexcept { return active_->db; }
 
   /// The engine's interner (stable across reloads; for tests and audit).
   [[nodiscard]] const SidTable& sids() const noexcept { return *sids_; }
@@ -139,19 +179,45 @@ class MacEngine final : public core::PolicyEngine {
 
   /// Permissive mode logs would-be denials but allows them (SELinux's
   /// permissive mode; useful when introducing policies to a live fleet).
-  void set_permissive(bool permissive) noexcept { permissive_ = permissive; }
-  [[nodiscard]] bool permissive() const noexcept { return permissive_; }
+  void set_permissive(bool permissive) noexcept {
+    permissive_.store(permissive, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool permissive() const noexcept {
+    return permissive_.load(std::memory_order_relaxed);
+  }
   [[nodiscard]] std::uint64_t permissive_denials() const noexcept {
-    return permissive_denials_;
+    return permissive_denials_.load(std::memory_order_relaxed);
   }
 
  private:
+  /// One policy generation, immutable once published: the compiled
+  /// database plus the SID-space coordinates of the asset class derived
+  /// from it. Shared readers pin a whole generation at once, so the
+  /// database and its masks can never be observed torn across a reload.
+  struct DbSnapshot {
+    PolicyDb db;
+    Sid asset_class_sid = kNullSid;
+    AccessVector read_mask = 0;
+    AccessVector write_mask = 0;
+  };
+
   void rebuild();
 
-  /// Maps an answered access vector to the Decision both evaluate paths
-  /// share (factored so batch and scalar stay byte-identical).
-  [[nodiscard]] core::Decision decide(Sid source, Sid target, AccessVector av,
-                                      core::AccessType access);
+  /// Current snapshot, pinned for shared readers.
+  [[nodiscard]] std::shared_ptr<const DbSnapshot> snapshot() const {
+    std::scoped_lock lock(publish_mutex_);
+    return active_;
+  }
+
+  /// Maps an answered access vector to the Decision all evaluate paths
+  /// share (factored so batch, shared-batch and scalar stay
+  /// byte-identical). `permissive` is loaded ONCE per entry point and
+  /// passed in, so a whole batch adjudicates in one enforcement mode
+  /// even if set_permissive races it.
+  [[nodiscard]] core::Decision decide(const DbSnapshot& snap, Sid source,
+                                      Sid target, AccessVector av,
+                                      core::AccessType access,
+                                      bool permissive) const;
 
   std::shared_ptr<SidTable> sids_;
   std::map<std::string, SecurityContext> labels_;
@@ -161,16 +227,16 @@ class MacEngine final : public core::PolicyEngine {
       label_type_sids_;
   SecurityContext default_context_{"system", "object", "unlabeled_t"};
   Sid default_type_sid_ = kNullSid;
-  Sid asset_class_sid_ = kNullSid;
-  AccessVector read_mask_ = 0;
-  AccessVector write_mask_ = 0;
   std::vector<PolicyModule> modules_;
   std::map<std::string, bool> booleans_;
-  PolicyDb db_;
+  /// Published by rebuild() under publish_mutex_; the owner may read it
+  /// directly (it is the only writer), readers go through snapshot().
+  std::shared_ptr<const DbSnapshot> active_;
+  mutable std::mutex publish_mutex_;
   Avc avc_;
   std::uint64_t next_seqno_ = 1;
-  bool permissive_ = false;
-  std::uint64_t permissive_denials_ = 0;
+  std::atomic<bool> permissive_{false};
+  mutable std::atomic<std::uint64_t> permissive_denials_{0};
   /// Scratch for evaluate_batch, reused across calls so a warm batch
   /// allocates nothing.
   std::vector<std::uint64_t> batch_keys_;

@@ -45,6 +45,20 @@ inline constexpr Sid kMaxClassSid = (Sid{1} << 16) - 1;
          static_cast<std::uint64_t>(cls);
 }
 
+/// Inverse of pack_av_key — the one place the field layout is decoded,
+/// so the cache's db-fallthrough paths can never drift from the packing.
+struct AvKeyParts {
+  Sid source = kNullSid;
+  Sid target = kNullSid;
+  Sid cls = kNullSid;
+};
+
+[[nodiscard]] constexpr AvKeyParts unpack_av_key(std::uint64_t key) noexcept {
+  return {static_cast<Sid>(key >> 40),
+          static_cast<Sid>((key >> 16) & 0xFFFFFFu),
+          static_cast<Sid>(key & 0xFFFFu)};
+}
+
 /// FNV-1a 64-bit, the repo's one string-hash / fingerprint primitive
 /// (the interner, PolicySet fingerprints and the compiled-image
 /// fingerprint all share it — one implementation, no drift). `seed`
@@ -83,6 +97,16 @@ inline constexpr std::uint64_t kFnv1aOffset = 0xCBF29CE484222325ULL;
 }
 
 /// String -> dense u32 interner with reverse lookup.
+///
+/// Concurrency (DESIGN.md "Concurrency model"): the const observers
+/// (find, name_of, contains, size) are safe to call from any number of
+/// threads concurrently — they read, never write. intern() MUTATES when
+/// it meets a new name and therefore requires exclusive access: the
+/// single-writer rule says no thread may intern a name the table has not
+/// seen while readers are active (re-interning an existing name performs
+/// only a lookup and is read-equivalent, which is what lets MacEngine
+/// rebuild an unchanged module set under concurrent readers). Issued SIDs
+/// never change, so data published before readers start is immutable.
 class SidTable {
  public:
   /// Transparent FNV-1a string hash so string_view lookups never allocate.

@@ -113,4 +113,54 @@ void FrameRateMonitor::on_frame(const can::Frame& frame, sim::SimTime at) {
   }
 }
 
+DenyStreakMonitor::DenyStreakMonitor(std::size_t fleet_size,
+                                     DenyStreakOptions options)
+    : options_(options) {
+  if (fleet_size == 0) {
+    throw std::invalid_argument("DenyStreakMonitor: empty fleet");
+  }
+  if (options_.deny_threshold == 0) {
+    throw std::invalid_argument(
+        "DenyStreakMonitor: deny threshold must be positive");
+  }
+  if (options_.streak_ticks == 0) {
+    throw std::invalid_argument(
+        "DenyStreakMonitor: streak length must be positive");
+  }
+  streaks_.assign(fleet_size, 0);
+  already_flagged_.assign(fleet_size, 0);
+}
+
+void DenyStreakMonitor::observe_tick(
+    std::span<const std::uint32_t> vehicle_denied) {
+  if (vehicle_denied.size() != streaks_.size()) {
+    throw std::invalid_argument(
+        "DenyStreakMonitor::observe_tick: fleet size mismatch");
+  }
+  ++ticks_;
+  for (std::size_t v = 0; v < vehicle_denied.size(); ++v) {
+    if (vehicle_denied[v] >= options_.deny_threshold) {
+      if (++streaks_[v] >= options_.streak_ticks &&
+          already_flagged_[v] == 0) {
+        already_flagged_[v] = 1;
+        flagged_.push_back(static_cast<std::uint32_t>(v));
+      }
+    } else {
+      streaks_[v] = 0;
+    }
+  }
+}
+
+std::uint32_t DenyStreakMonitor::streak(std::size_t vehicle) const {
+  return streaks_.at(vehicle);
+}
+
+void DenyStreakMonitor::reset() {
+  std::fill(streaks_.begin(), streaks_.end(), 0u);
+  std::fill(already_flagged_.begin(), already_flagged_.end(),
+            static_cast<std::uint8_t>(0));
+  flagged_.clear();
+  ticks_ = 0;
+}
+
 }  // namespace psme::monitor

@@ -13,10 +13,17 @@
 // The monitor is deliberately *detection only*: it cannot block (it is a
 // tap, not a shim), which is exactly the division of labour the paper
 // draws between monitoring software and the enforcing HPE.
+//
+// Alongside the bus tap, DenyStreakMonitor consumes the fleet-scale
+// telemetry feed (car::FleetTickStats::vehicle_denied): a vehicle whose
+// policy denials persist across consecutive sweeps is behaving outside
+// its threat-model envelope tick after tick — a compromised-vehicle
+// candidate, not traffic noise.
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -116,6 +123,55 @@ class FrameRateMonitor final : public can::FrameSink {
   bool detecting_ = false;
   std::uint64_t observed_ = 0;
   std::vector<Alert> alerts_;
+};
+
+struct DenyStreakOptions {
+  /// A tick extends a vehicle's streak when its deny count reaches this.
+  std::uint32_t deny_threshold = 1;
+  /// Consecutive qualifying ticks before the vehicle is flagged.
+  std::uint32_t streak_ticks = 3;
+};
+
+/// Fleet-scale deny-streak detector. Feed it each fleet sweep's
+/// per-vehicle deny counts (car::FleetTickStats::vehicle_denied); a
+/// vehicle denied on `streak_ticks` CONSECUTIVE sweeps is flagged once as
+/// a compromised-vehicle candidate. One below-threshold tick resets the
+/// vehicle's streak (denial bursts are normal during mode transitions;
+/// persistence is the signal). Detection only, like everything in this
+/// module: flagging feeds an operator console, it does not block.
+class DenyStreakMonitor {
+ public:
+  /// Throws std::invalid_argument on a zero fleet, zero threshold or
+  /// zero streak length.
+  explicit DenyStreakMonitor(std::size_t fleet_size,
+                             DenyStreakOptions options = {});
+
+  /// Accounts one fleet sweep. `vehicle_denied` must have exactly
+  /// fleet-size entries (throws std::invalid_argument otherwise).
+  void observe_tick(std::span<const std::uint32_t> vehicle_denied);
+
+  /// Vehicles flagged so far, in first-flag order (each appears once).
+  [[nodiscard]] const std::vector<std::uint32_t>& flagged() const noexcept {
+    return flagged_;
+  }
+  /// Current consecutive-deny-tick streak of one vehicle.
+  [[nodiscard]] std::uint32_t streak(std::size_t vehicle) const;
+  [[nodiscard]] std::uint64_t ticks_observed() const noexcept {
+    return ticks_;
+  }
+  [[nodiscard]] std::size_t fleet_size() const noexcept {
+    return streaks_.size();
+  }
+
+  /// Clears streaks and flags (e.g. after a fleet-wide policy rollout).
+  void reset();
+
+ private:
+  DenyStreakOptions options_;
+  std::vector<std::uint32_t> streaks_;       // per vehicle
+  std::vector<std::uint8_t> already_flagged_;  // per vehicle, sticky
+  std::vector<std::uint32_t> flagged_;       // first-flag order
+  std::uint64_t ticks_ = 0;
 };
 
 }  // namespace psme::monitor
