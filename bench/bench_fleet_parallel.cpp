@@ -20,6 +20,7 @@
 #include "car/base_policy.h"
 #include "car/fleet_evaluator.h"
 #include "car/table1.h"
+#include "host_note.h"
 #include "sim/rng.h"
 
 using namespace psme;
@@ -139,11 +140,13 @@ int main() {
               : hw < 8                  ? "hardware-limited (see JSON note)"
                                         : "MISSED");
 
-  // Machine-readable record (BENCH_fleet_parallel.json).
-  std::printf("JSON: {\"bench\":\"fleet_parallel\",\"unit\":\"ns/decision\","
-              "\"hardware_concurrency\":%u,"
-              "\"sequential\":%.1f,\"rows\":[",
-              hw, sequential.ns_per_decision);
+  // Machine-readable record (BENCH_fleet_parallel.json); the host fields
+  // make the rows self-describing about the hardware they were measured
+  // on (a 1-core container's speedup column means something different
+  // from a 32-thread workstation's).
+  std::printf("JSON: {\"bench\":\"fleet_parallel\",\"unit\":\"ns/decision\",");
+  benchhost::print_host_json();
+  std::printf(",\"sequential\":%.1f,\"rows\":[", sequential.ns_per_decision);
   for (std::size_t i = 0; i < rows.size(); ++i) {
     std::printf("%s{\"threads\":%zu,\"parallel\":%.1f,\"speedup\":%.2f}",
                 i == 0 ? "" : ",", rows[i].threads,

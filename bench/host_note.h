@@ -1,0 +1,41 @@
+// Shared bench helper: every BENCH_*.json row must be self-describing
+// about the hardware it was measured on — a single-core container's
+// parallel rows and a 32-thread workstation's mean different things.
+// print_host_json() emits the two fields the JSON schema carries:
+// "hardware_concurrency" (std::thread::hardware_concurrency at run time)
+// and "host_note" (compiler + OS, compile-time).
+#pragma once
+
+#include <cstdio>
+#include <thread>
+
+namespace psme::benchhost {
+
+#if defined(__clang__)
+#define PSME_BENCH_COMPILER "clang " __clang_version__
+#elif defined(__GNUC__)
+#define PSME_BENCH_COMPILER "gcc " __VERSION__
+#else
+#define PSME_BENCH_COMPILER "unknown compiler"
+#endif
+
+#if defined(__linux__)
+#define PSME_BENCH_OS "linux"
+#elif defined(__APPLE__)
+#define PSME_BENCH_OS "darwin"
+#else
+#define PSME_BENCH_OS "unknown os"
+#endif
+
+[[nodiscard]] inline unsigned hardware_concurrency() noexcept {
+  return std::thread::hardware_concurrency();
+}
+
+/// Prints `"hardware_concurrency":N,"host_note":"..."` (no braces, no
+/// trailing comma) so callers can splice it into their JSON object.
+inline void print_host_json() {
+  std::printf("\"hardware_concurrency\":%u,\"host_note\":\"%s, %s\"",
+              hardware_concurrency(), PSME_BENCH_OS, PSME_BENCH_COMPILER);
+}
+
+}  // namespace psme::benchhost

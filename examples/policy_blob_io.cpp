@@ -1,0 +1,120 @@
+// Provisioning / interoperability tool for persistent policy blobs.
+//
+// The blob format's claim is compiler- and toolchain-independence: a
+// blob written by the gcc build must load byte-for-byte in the clang
+// build and vice versa (CI's blob-interop job drives exactly that with
+// this tool). It is also the command-line face of the subsystem for
+// provisioning workflows.
+//
+// Usage:
+//   example_policy_blob_io write <path>   compile the default connected-
+//                                         car policy, write its blob
+//   example_policy_blob_io check <path>   validated load + recompile the
+//                                         same policy locally + prove the
+//                                         fingerprints and the full
+//                                         workload decision stream match
+//                                         byte for byte (exit 1 on any
+//                                         difference or rejection)
+//   example_policy_blob_io info <path>    print the validated header
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "car/base_policy.h"
+#include "car/fleet_evaluator.h"
+#include "car/table1.h"
+#include "core/policy.h"
+#include "core/policy_blob.h"
+#include "core/policy_image.h"
+
+using namespace psme;
+
+namespace {
+
+core::PolicySet default_policy() {
+  return car::full_policy(car::connected_car_threat_model());
+}
+
+/// Every (check, mode) question of the standard per-vehicle workload.
+int compare_workloads(const core::CompiledPolicyImage& a,
+                      const core::CompiledPolicyImage& b) {
+  int mismatches = 0;
+  for (const car::FleetCheck& check : car::default_fleet_checks()) {
+    for (const char* mode :
+         {"", "normal", "remote-diagnostic", "fail-safe"}) {
+      const core::AccessRequest request{check.subject, check.object,
+                                        check.access, threat::ModeId{mode}};
+      const core::Decision da = a.evaluate(a.resolve(request));
+      const core::Decision db = b.evaluate(b.resolve(request));
+      if (da.allowed != db.allowed || da.rule_id != db.rule_id ||
+          da.reason != db.reason) {
+        std::fprintf(stderr, "DECISION MISMATCH: %s\n",
+                     request.to_string().c_str());
+        ++mismatches;
+      }
+    }
+  }
+  return mismatches;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 3) {
+    std::fprintf(stderr,
+                 "usage: %s write|check|info <blob-path>\n", argv[0]);
+    return 2;
+  }
+  const std::string command = argv[1];
+  const std::string path = argv[2];
+
+  try {
+    if (command == "write") {
+      const core::PolicySet policy = default_policy();
+      core::PolicyBlobWriter::write_file(policy.image(), path);
+      std::printf("wrote %s: %zu rules, fingerprint %016llx\n", path.c_str(),
+                  policy.image().size(),
+                  static_cast<unsigned long long>(policy.image().fingerprint()));
+      return 0;
+    }
+    if (command == "info") {
+      const core::CompiledPolicyImage image =
+          core::PolicyBlobReader::load_file(path);
+      std::printf("%s: image '%s' v%llu, %zu rules, %zu names, "
+                  "fingerprint %016llx\n",
+                  path.c_str(), image.name().c_str(),
+                  static_cast<unsigned long long>(image.version()),
+                  image.size(), image.sids().size(),
+                  static_cast<unsigned long long>(image.fingerprint()));
+      return 0;
+    }
+    if (command == "check") {
+      const core::CompiledPolicyImage loaded =
+          core::PolicyBlobReader::load_file(path);
+      const core::PolicySet local = default_policy();
+      const core::CompiledPolicyImage& compiled = local.image();
+      if (loaded.fingerprint() != compiled.fingerprint()) {
+        std::fprintf(stderr,
+                     "FINGERPRINT MISMATCH: blob %016llx, local %016llx\n",
+                     static_cast<unsigned long long>(loaded.fingerprint()),
+                     static_cast<unsigned long long>(compiled.fingerprint()));
+        return 1;
+      }
+      const int mismatches = compare_workloads(loaded, compiled);
+      if (mismatches != 0) {
+        std::fprintf(stderr, "%d decision mismatches\n", mismatches);
+        return 1;
+      }
+      std::printf("%s: fingerprint %016llx verified, full workload "
+                  "byte-identical to the local compile\n",
+                  path.c_str(),
+                  static_cast<unsigned long long>(loaded.fingerprint()));
+      return 0;
+    }
+  } catch (const core::PolicyBlobError& error) {
+    std::fprintf(stderr, "REJECTED: %s\n", error.what());
+    return 1;
+  }
+  std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
+  return 2;
+}

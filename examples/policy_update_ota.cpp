@@ -2,13 +2,26 @@
 // OEM derives a countermeasure *policy* from the updated threat model and
 // distributes it over the air — no redesign, no recall (paper Sec. V-A).
 //
-// Build & run:  ./build/examples/policy_update_ota
+// The update travels in production form: the OEM compiles the threat
+// model ONCE, serialises the sealed image as a versioned binary policy
+// blob (core::PolicyBlobWriter), and every vehicle stages it with a
+// validated zero-recompile load — write -> validate -> load -> flush
+// stale cached decisions. Corrupted or replayed blobs are rejected at
+// the trust boundary; the keyed signature still guards authenticity at
+// the bundle layer.
+//
+// Build & run:  ./build/examples/example_policy_update_ota
 #include <cstdio>
 #include <iostream>
+#include <vector>
 
 #include "attack/attacker.h"
+#include "car/base_policy.h"
+#include "car/fleet_boot.h"
+#include "car/table1.h"
 #include "car/vehicle.h"
 #include "core/lifecycle.h"
+#include "core/policy_blob.h"
 #include "core/update.h"
 
 using namespace psme;
@@ -55,7 +68,74 @@ int main() {
   std::printf("[oem]   policy v2 compiled (%zu rules), signed, publishing "
               "OTA...\n", v2.size());
 
-  // OTA distribution with realistic latency and loss.
+  // -- the production transport: a persistent policy blob ----------------
+  // The OEM serialises the SEALED image once; vehicles never re-run the
+  // compiler. write -> (channel) -> validate -> load -> flush. Alongside
+  // the HPE content rules, v2 quarantines the aftermarket-facing
+  // infotainment entry point (the dongle's beachhead) at top priority
+  // until the interface is revalidated — the rule the fleet sweep below
+  // makes visible.
+  const core::PolicySet v1 = car::full_policy(car::connected_car_threat_model(), 1);
+  core::PolicySet v2_fleet = car::full_policy(car::connected_car_threat_model(), 2);
+  core::PolicyRule quarantine;
+  quarantine.id = "T15.quarantine";
+  quarantine.subject = "ep.infotainment";
+  quarantine.object = "*";
+  quarantine.permission = threat::Permission::kNone;
+  quarantine.priority = 1000;
+  quarantine.rationale = "T15: aftermarket surface quarantined pending revalidation";
+  v2_fleet.add_rule(std::move(quarantine));
+  const std::vector<std::byte> blob_v1 = core::PolicyBlobWriter::write(v1.image());
+  const std::vector<std::byte> blob_v2 = core::PolicyBlobWriter::write(v2_fleet.image());
+  const core::PolicyBlobInfo info = core::PolicyBlobReader::probe(blob_v2);
+  std::printf("[oem]   v2 staged as policy blob: %llu bytes, format v%u, "
+              "%u rules, %u names, fingerprint %016llx\n",
+              static_cast<unsigned long long>(info.total_size),
+              info.format_version, info.entry_count, info.sid_count,
+              static_cast<unsigned long long>(info.fingerprint));
+
+  // Fleet side: vehicles booted the v1 blob (zero recompile — the blob IS
+  // the policy; no threat model, no derivation on the vehicle).
+  car::FleetEvaluatorOptions fleet_options;
+  fleet_options.fleet_size = 100;
+  car::FleetBoot fleet_boot(blob_v1, car::default_fleet_checks(), fleet_options);
+  const car::FleetTickStats before = fleet_boot.fleet().tick();
+  std::printf("[fleet] %zu vehicles booted from the v1 blob (policy v%llu): "
+              "%llu decisions/sweep, %llu denied\n",
+              fleet_boot.fleet().fleet_size(),
+              static_cast<unsigned long long>(fleet_boot.policy_version()),
+              static_cast<unsigned long long>(before.decisions),
+              static_cast<unsigned long long>(before.denied));
+
+  // A corrupted copy arrives first (bit error in transit / tampering):
+  // the validated load rejects it and the running policy is untouched.
+  std::vector<std::byte> corrupted = blob_v2;
+  corrupted[corrupted.size() / 2] ^= std::byte{0x20};
+  try {
+    (void)fleet_boot.apply_update(corrupted);
+    std::printf("[fleet] corrupted blob accepted (BUG!)\n");
+  } catch (const core::PolicyBlobError& error) {
+    std::printf("[fleet] corrupted blob rejected: %s\n", error.what());
+  }
+
+  // The intact v2 blob: validate -> load -> swap -> stale decisions
+  // flushed (the evaluator re-resolves everything against the new image).
+  if (fleet_boot.apply_update(blob_v2)) {
+    const car::FleetTickStats after = fleet_boot.fleet().tick();
+    std::printf("[fleet] v2 blob applied (policy v%llu), caches flushed: "
+                "%llu denied/sweep (was %llu — the quarantine rule "
+                "bites)\n",
+                static_cast<unsigned long long>(fleet_boot.policy_version()),
+                static_cast<unsigned long long>(after.denied),
+                static_cast<unsigned long long>(before.denied));
+  }
+
+  // A replayed v1 blob must not downgrade the fleet.
+  std::printf("[fleet] replayed v1 blob accepted: %s\n",
+              fleet_boot.apply_update(blob_v1) ? "YES (BUG!)" : "no (version rollback)");
+
+  // OTA distribution with realistic latency and loss (the signed-bundle
+  // layer: authenticity comes from the OEM key, not the blob checksum).
   core::UpdateChannel channel(sched, 50ms, /*loss_rate=*/0.3, /*seed=*/11);
   channel.subscribe([&](const core::PolicyBundle& b) {
     const bool ok = vehicle.apply_policy_update(b, oem_key);
@@ -94,7 +174,8 @@ int main() {
 
   std::printf("\nResponse completed as a policy update: %.1fx faster than the "
               "guideline-redesign cycle\n(see bench_policy_update for the "
-              "full timeline model).\n",
+              "full timeline model, bench_policy_blob for the\nzero-recompile "
+              "boot numbers).\n",
               core::ResponseModel::exposure_ratio());
   return 0;
 }

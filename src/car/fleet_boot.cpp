@@ -1,0 +1,59 @@
+#include "car/fleet_boot.h"
+
+#include <utility>
+
+namespace psme::car {
+
+FleetBoot::FleetBoot(std::span<const std::byte> blob,
+                     std::vector<FleetCheck> checks,
+                     FleetEvaluatorOptions options) {
+  boot(core::PolicyBlobReader::load(blob), std::move(checks), options);
+}
+
+FleetBoot::FleetBoot(const std::string& blob_path,
+                     std::vector<FleetCheck> checks,
+                     FleetEvaluatorOptions options) {
+  boot(core::PolicyBlobReader::load_file(blob_path), std::move(checks),
+       options);
+}
+
+void FleetBoot::boot(core::CompiledPolicyImage image,
+                     std::vector<FleetCheck> checks,
+                     FleetEvaluatorOptions options) {
+  image_ = std::make_unique<core::CompiledPolicyImage>(std::move(image));
+  checks_ = std::move(checks);
+  options_ = options;
+  fleet_ = std::make_unique<FleetEvaluator>(*image_, checks_, options_);
+}
+
+bool FleetBoot::apply_update(std::span<const std::byte> blob) {
+  // Validate BEFORE touching live state: a malformed blob throws here and
+  // the running policy keeps answering. The update loads into a fresh SID
+  // space — the blob is self-contained, so the old and new interners need
+  // not agree (the evaluator re-resolves its workload below).
+  auto updated_image =
+      std::make_unique<core::CompiledPolicyImage>(core::PolicyBlobReader::load(blob));
+  if (updated_image->version() <= image_->version()) {
+    return false;  // rollback refused; a replayed old blob changes nothing
+  }
+
+  // Build the COMPLETE replacement — evaluator re-interning the workload
+  // into the new SID space, per-vehicle modes carried over — before
+  // releasing anything: a throw anywhere in here (strong guarantee)
+  // leaves the incumbent image and evaluator untouched and answering.
+  auto updated_fleet =
+      std::make_unique<FleetEvaluator>(*updated_image, checks_, options_);
+  for (std::size_t v = 0; v < fleet_->fleet_size(); ++v) {
+    updated_fleet->set_mode(v, fleet_->mode(v));
+  }
+
+  // The commit: pointer swaps only, nothing can throw. Dropping the old
+  // evaluator discards every pre-resolved request and cached decision
+  // buffer — the fleet-layer equivalent of the AVC flush a MacEngine
+  // policy reload performs.
+  fleet_ = std::move(updated_fleet);
+  image_ = std::move(updated_image);
+  return true;
+}
+
+}  // namespace psme::car

@@ -1,0 +1,83 @@
+// psme::car — zero-recompile vehicle bring-up from a persistent policy
+// blob.
+//
+// Production vehicles never see the threat model: the OEM runs the
+// derivation once, serialises the sealed CompiledPolicyImage (+ its
+// SidTable) with core::PolicyBlobWriter, and every vehicle boots by
+// loading the blob — validation, one reconstruction pass, fingerprint
+// cross-check — then drives its FleetEvaluator against the loaded image.
+// FleetBoot is that bring-up path: it owns the loaded image (and its SID
+// space) and the evaluator over it, so callers hold one object instead
+// of wiring image lifetime by hand.
+//
+// OTA updates ride the same format: apply_update() validates and loads
+// the staged blob, refuses version rollbacks, swaps the image in, and
+// rebuilds the evaluator — every cached SID resolution and prototype
+// decision from the old policy is flushed; per-vehicle operating modes
+// survive the swap (a fail-safe car stays in fail-safe through an
+// update).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "car/fleet_evaluator.h"
+#include "core/policy_blob.h"
+#include "core/policy_image.h"
+
+namespace psme::car {
+
+class FleetBoot {
+ public:
+  /// Boots from a serialized policy blob: validated load into a fresh
+  /// SID space, then a FleetEvaluator over `checks`. Throws
+  /// core::PolicyBlobError on a malformed blob and whatever
+  /// FleetEvaluator throws on a bad workload/options.
+  FleetBoot(std::span<const std::byte> blob, std::vector<FleetCheck> checks,
+            FleetEvaluatorOptions options = {});
+
+  /// As above, loading the blob from a file.
+  FleetBoot(const std::string& blob_path, std::vector<FleetCheck> checks,
+            FleetEvaluatorOptions options = {});
+
+  /// The blob came from the OTA channel; the image it loads into and the
+  /// evaluator over it are this object's — neither reference outlives it.
+  [[nodiscard]] FleetEvaluator& fleet() noexcept { return *fleet_; }
+  [[nodiscard]] const FleetEvaluator& fleet() const noexcept {
+    return *fleet_;
+  }
+  [[nodiscard]] const core::CompiledPolicyImage& image() const noexcept {
+    return *image_;
+  }
+  [[nodiscard]] std::uint64_t policy_version() const noexcept {
+    return image_->version();
+  }
+
+  /// Stages an OTA policy update delivered as a blob: validated load
+  /// (malformed blobs throw core::PolicyBlobError and change nothing),
+  /// version-rollback refusal (returns false and changes nothing — a
+  /// replayed old blob must not downgrade the fleet), then the swap: the
+  /// new image replaces the old and the evaluator is rebuilt against it,
+  /// flushing every cached resolution and prototype decision. Vehicle
+  /// modes carry over. Returns true when the update is live. Strong
+  /// guarantee: the replacement image AND evaluator are fully built
+  /// before the old ones are released, so a throw at any point (bad
+  /// blob, allocation failure at the OTA moment of peak memory) leaves
+  /// the running policy answering exactly as before.
+  [[nodiscard]] bool apply_update(std::span<const std::byte> blob);
+
+ private:
+  void boot(core::CompiledPolicyImage image, std::vector<FleetCheck> checks,
+            FleetEvaluatorOptions options);
+
+  std::unique_ptr<core::CompiledPolicyImage> image_;
+  std::vector<FleetCheck> checks_;  // kept to rebuild on update
+  FleetEvaluatorOptions options_;
+  /// References *image_; unique_ptr (FleetEvaluator pins itself) so an
+  /// update can build the replacement before releasing the incumbent.
+  std::unique_ptr<FleetEvaluator> fleet_;
+};
+
+}  // namespace psme::car

@@ -1,7 +1,10 @@
 #include "car/fleet_evaluator.h"
 
 #include <algorithm>
+#include <condition_variable>
+#include <cstdint>
 #include <exception>
+#include <mutex>
 #include <stdexcept>
 #include <thread>
 
@@ -9,11 +12,30 @@
 
 namespace psme::car {
 
+/// The persistent pool: k-1 threads parked on `work_cv` between sweeps.
+/// The owner publishes a sweep by writing the job fields and bumping
+/// `epoch` under `m`, then notifying; each worker runs its shard and the
+/// last one to finish signals `done_cv`. `stop` parks the pool for good
+/// (destructor / thread-count change). The mutex is held only around the
+/// hand-offs — the sweeps themselves run lock-free on disjoint state.
+struct FleetEvaluator::Pool {
+  std::mutex m;
+  std::condition_variable work_cv;
+  std::condition_variable done_cv;
+  std::uint64_t epoch = 0;     // bumped once per sweep
+  std::size_t pending = 0;     // pool workers still in the current sweep
+  bool stop = false;
+  bool capture = false;        // job: sink mode?
+  std::size_t fleet = 0;       // job: fleet size to shard
+  std::size_t k = 0;           // job: total worker count (incl. caller)
+  std::vector<std::thread> threads;  // workers 1..k-1
+};
+
 std::vector<FleetCheck> default_fleet_checks() {
   // Every question the binding layer asks when policing one vehicle:
   // each hosted entry point against each asset, read and write. The
   // deterministic (node-binding, asset-binding) order matters — fleet
-  // sweeps must replay identically across runs (DESIGN.md §4).
+  // sweeps must replay identically across runs (DESIGN.md §5).
   std::vector<FleetCheck> checks;
   for (const NodeBinding& node : node_bindings()) {
     for (const std::string& entry_point : node.entry_points) {
@@ -70,6 +92,8 @@ FleetEvaluator::FleetEvaluator(const core::CompiledPolicyImage& image,
   batch_.reserve(batch_chunk_);
   decisions_.reserve(batch_chunk_);
 }
+
+FleetEvaluator::~FleetEvaluator() { stop_pool(); }
 
 void FleetEvaluator::set_mode(std::size_t vehicle, CarMode mode) {
   vehicle_modes_.at(vehicle) = static_cast<std::uint8_t>(mode);
@@ -194,6 +218,58 @@ void FleetEvaluator::sweep_range(Worker& worker, std::size_t begin,
   drain();
 }
 
+void FleetEvaluator::worker_loop(std::size_t w) {
+  Pool& pool = *pool_;
+  std::uint64_t seen = 0;
+  for (;;) {
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    bool capture = false;
+    {
+      std::unique_lock lock(pool.m);
+      pool.work_cv.wait(lock, [&] { return pool.stop || pool.epoch != seen; });
+      if (pool.stop) return;
+      seen = pool.epoch;
+      begin = (w * pool.fleet) / pool.k;
+      end = ((w + 1) * pool.fleet) / pool.k;
+      capture = pool.capture;
+    }
+    // Outside the lock: the shard touches only this worker's padded slot,
+    // its disjoint vehicle_denied_ range, and owner state the epoch
+    // hand-off ordered before us.
+    try {
+      sweep_range(workers_[w], begin, end, capture);
+    } catch (...) {
+      errors_[w] = std::current_exception();
+    }
+    {
+      std::lock_guard lock(pool.m);
+      if (--pool.pending == 0) pool.done_cv.notify_one();
+    }
+  }
+}
+
+void FleetEvaluator::ensure_pool(std::size_t k) {
+  if (pool_ != nullptr && pool_->threads.size() == k - 1) return;
+  stop_pool();
+  pool_ = std::make_unique<Pool>();
+  pool_->threads.reserve(k - 1);
+  for (std::size_t w = 1; w < k; ++w) {
+    pool_->threads.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+void FleetEvaluator::stop_pool() noexcept {
+  if (pool_ == nullptr) return;
+  {
+    std::lock_guard lock(pool_->m);
+    pool_->stop = true;
+  }
+  pool_->work_cv.notify_all();
+  for (std::thread& thread : pool_->threads) thread.join();
+  pool_.reset();
+}
+
 FleetTickStats FleetEvaluator::tick_parallel(std::size_t n_threads,
                                              const ChunkSink& sink) {
   if (n_threads == 0) {
@@ -202,8 +278,8 @@ FleetTickStats FleetEvaluator::tick_parallel(std::size_t n_threads,
   const std::size_t fleet = vehicle_modes_.size();
   const std::size_t k = std::min(n_threads, fleet);
   if (workers_.size() != k) {
-    // Thread-count change: rebuild the pool (the only post-first-tick
-    // allocation path; a constant k reuses every buffer).
+    // Thread-count change: rebuild the per-worker buffers (the only
+    // post-first-tick allocation path; a constant k reuses everything).
     workers_ = std::vector<Worker>(k);
   }
   vehicle_denied_.assign(fleet, 0);
@@ -211,30 +287,46 @@ FleetTickStats FleetEvaluator::tick_parallel(std::size_t n_threads,
     worker.allowed = 0;
     worker.denied = 0;
   }
+  errors_.assign(k, nullptr);
 
   const bool capture = static_cast<bool>(sink);
   // Contiguous shards: worker w sweeps [w*fleet/k, (w+1)*fleet/k). The
   // shared image is sealed (immutable), vehicle_denied_ writes are
   // range-disjoint, and each worker owns its padded Worker slot — the
-  // sweep runs without any synchronisation beyond the final join.
-  std::vector<std::exception_ptr> errors(k);
-  auto run = [&](std::size_t w) {
-    try {
-      sweep_range(workers_[w], (w * fleet) / k, ((w + 1) * fleet) / k,
-                  capture);
-    } catch (...) {
-      errors[w] = std::current_exception();
+  // sweep needs no synchronisation beyond the epoch/done hand-offs.
+  if (k > 1) {
+    // Wake the parked pool (started on the first multi-threaded sweep;
+    // reused for every tick at the same k). Everything the workers read
+    // this tick was written above, sequenced before the epoch bump.
+    ensure_pool(k);
+    Pool& pool = *pool_;
+    {
+      std::lock_guard lock(pool.m);
+      pool.capture = capture;
+      pool.fleet = fleet;
+      pool.k = k;
+      pool.pending = k - 1;
+      ++pool.epoch;
     }
-  };
-  {
-    std::vector<std::thread> pool;
-    pool.reserve(k > 0 ? k - 1 : 0);
-    for (std::size_t w = 1; w < k; ++w) pool.emplace_back(run, w);
-    run(0);  // the calling thread is worker 0
-    for (std::thread& t : pool) t.join();
+    pool.work_cv.notify_all();
+    try {
+      sweep_range(workers_[0], 0, fleet / k, capture);  // caller = worker 0
+    } catch (...) {
+      errors_[0] = std::current_exception();
+    }
+    {
+      std::unique_lock lock(pool.m);
+      pool.done_cv.wait(lock, [&] { return pool.pending == 0; });
+    }
+  } else {
+    try {
+      sweep_range(workers_[0], 0, fleet, capture);
+    } catch (...) {
+      errors_[0] = std::current_exception();
+    }
   }
   for (std::size_t w = 0; w < k; ++w) {
-    if (errors[w]) std::rethrow_exception(errors[w]);
+    if (errors_[w]) std::rethrow_exception(errors_[w]);
   }
 
   // Deterministic merge, shard order (== fleet order).

@@ -1,0 +1,599 @@
+#include "core/policy_blob.h"
+
+#include <array>
+#include <cstring>
+#include <fstream>
+#include <string_view>
+#include <utility>
+
+namespace psme::core {
+
+namespace {
+
+// ---------------------------------------------------------------- layout
+//
+// All multi-byte fields are little-endian, written and read through
+// shift-based byte stores so the encoding is identical on any host.
+// Fixed header (kHeaderSize bytes), then the payload sections in order:
+// image name, SID names, packed entries, metas, mode table, index slots,
+// index spans, flat entry indices. DESIGN.md "Persistent image format"
+// is the normative description.
+
+constexpr std::array<std::byte, kPolicyBlobMagicSize> kMagic = {
+    std::byte{'P'}, std::byte{'S'}, std::byte{'M'}, std::byte{'E'},
+    std::byte{'P'}, std::byte{'I'}, std::byte{'M'}, std::byte{'G'}};
+
+constexpr std::uint32_t kEndianTag = 0x01020304u;
+constexpr std::size_t kHeaderSize = 80;
+/// One packed entry on the wire: subject u32, object u32, permission u8,
+/// specificity u8, 2 reserved bytes, priority i32, mode_mask u64, meta
+/// u32.
+constexpr std::size_t kEntryRecordSize = 28;
+
+// Header field offsets (bytes from blob start).
+constexpr std::size_t kOffMagic = 0;
+constexpr std::size_t kOffFormatVersion = 8;
+constexpr std::size_t kOffEndianTag = 12;
+constexpr std::size_t kOffTotalSize = 16;
+constexpr std::size_t kOffPayloadHash = 24;
+constexpr std::size_t kOffFingerprint = 32;
+constexpr std::size_t kOffImageVersion = 40;
+constexpr std::size_t kOffSidCount = 48;
+constexpr std::size_t kOffEntryCount = 52;
+constexpr std::size_t kOffModeCount = 56;
+constexpr std::size_t kOffSlotCount = 60;
+constexpr std::size_t kOffFlatCount = 64;
+constexpr std::size_t kOffNameLen = 68;
+constexpr std::size_t kOffWildcardSid = 72;
+constexpr std::size_t kOffDefaultAllow = 76;  // u8; bytes 77..79 reserved 0
+
+[[noreturn]] void reject(const std::string& what) {
+  throw PolicyBlobError("policy blob: " + what);
+}
+
+void put_u32(std::vector<std::byte>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(std::byte(static_cast<unsigned char>(v >> (i * 8))));
+  }
+}
+
+void put_u64(std::vector<std::byte>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(std::byte(static_cast<unsigned char>(v >> (i * 8))));
+  }
+}
+
+void put_str(std::vector<std::byte>& out, std::string_view s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  for (const char ch : s) {
+    out.push_back(std::byte(static_cast<unsigned char>(ch)));
+  }
+}
+
+void store_u32(std::byte* at, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    at[i] = std::byte(static_cast<unsigned char>(v >> (i * 8)));
+  }
+}
+
+void store_u64(std::byte* at, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    at[i] = std::byte(static_cast<unsigned char>(v >> (i * 8)));
+  }
+}
+
+[[nodiscard]] std::uint32_t load_u32(const std::byte* at) noexcept {
+  return mac::load_le_u32(at);
+}
+
+[[nodiscard]] std::uint64_t load_u64(const std::byte* at) noexcept {
+  return mac::load_le_u64(at);
+}
+
+/// Payload checksum: the repo's bulk hash (mac::hash_chain_bytes) over
+/// the raw payload. Word-at-a-time instead of the byte-wise FNV because
+/// this runs on the boot hot path over the whole payload — the
+/// blob-load-vs-compile speedup lives or dies on it — and corruption
+/// detection (not collision resistance) is all the field promises. The
+/// keyed PolicySigner remains the integrity tag; this is the transport
+/// canary.
+[[nodiscard]] std::uint64_t hash_bytes(
+    std::span<const std::byte> bytes) noexcept {
+  if (bytes.empty()) return mac::hash_chain_u64(0, mac::kFnv1aOffset);
+  return mac::hash_chain_bytes(
+      std::string_view(reinterpret_cast<const char*>(bytes.data()),
+                       bytes.size()),
+      mac::kFnv1aOffset);
+}
+
+/// Bounds-checked reader over the payload: every length and count coming
+/// off the wire is validated against the remaining bytes BEFORE any
+/// access, so a hostile blob can at worst earn a PolicyBlobError.
+class Cursor {
+ public:
+  explicit Cursor(std::span<const std::byte> bytes) : bytes_(bytes) {}
+
+  [[nodiscard]] std::uint32_t u32() {
+    need(4, "u32 field");
+    const std::uint32_t v = load_u32(bytes_.data() + pos_);
+    pos_ += 4;
+    return v;
+  }
+
+  [[nodiscard]] std::uint64_t u64() {
+    need(8, "u64 field");
+    const std::uint64_t v = load_u64(bytes_.data() + pos_);
+    pos_ += 8;
+    return v;
+  }
+
+  [[nodiscard]] std::uint8_t u8() {
+    need(1, "u8 field");
+    return std::to_integer<std::uint8_t>(bytes_[pos_++]);
+  }
+
+  [[nodiscard]] std::string str() { return raw(u32()); }
+
+  /// `len` bytes as a string — bounds-checked BEFORE any allocation, so
+  /// a hostile length cannot trigger a multi-gigabyte zeroed buffer.
+  [[nodiscard]] std::string raw(std::size_t len) {
+    need(len, "string bytes");
+    std::string s(reinterpret_cast<const char*>(bytes_.data() + pos_), len);
+    pos_ += len;
+    return s;
+  }
+
+  /// Bounds-checks and consumes `n` bytes, returning their start: the
+  /// fixed-size record sections (entries, index arrays) pay ONE check
+  /// per block and decode with direct loads.
+  [[nodiscard]] const std::byte* take(std::size_t n) {
+    need(n, "fixed-size section");
+    const std::byte* at = bytes_.data() + pos_;
+    pos_ += n;
+    return at;
+  }
+
+  /// A length-prefixed string as a VIEW into the blob (no copy; valid
+  /// while the blob buffer lives). The SID-replay loop hands these to
+  /// intern(), which copies into its own arena — no temporary string.
+  [[nodiscard]] std::string_view view() {
+    const std::uint32_t len = u32();
+    need(len, "string bytes");
+    const std::string_view s(
+        reinterpret_cast<const char*>(bytes_.data() + pos_), len);
+    pos_ += len;
+    return s;
+  }
+
+  [[nodiscard]] bool exhausted() const noexcept {
+    return pos_ == bytes_.size();
+  }
+
+ private:
+  void need(std::size_t n, const char* what) const {
+    if (bytes_.size() - pos_ < n) {
+      reject(std::string("truncated payload (") + what +
+             " overruns the blob)");
+    }
+  }
+
+  std::span<const std::byte> bytes_;
+  std::size_t pos_ = 0;
+};
+
+struct Header {
+  std::uint32_t format_version = 0;
+  std::uint64_t total_size = 0;
+  std::uint64_t payload_hash = 0;
+  std::uint64_t fingerprint = 0;
+  std::uint64_t image_version = 0;
+  std::uint32_t sid_count = 0;
+  std::uint32_t entry_count = 0;
+  std::uint32_t mode_count = 0;
+  std::uint32_t slot_count = 0;
+  std::uint32_t flat_count = 0;
+  std::uint32_t name_len = 0;
+  mac::Sid wildcard_sid = mac::kNullSid;
+  bool default_allow = false;
+};
+
+/// Validates everything the fixed header can prove on its own: magic,
+/// endianness, format version, exact size, payload checksum.
+[[nodiscard]] Header validate_header(std::span<const std::byte> blob) {
+  if (blob.size() < kHeaderSize) {
+    reject("truncated (smaller than the fixed header)");
+  }
+  if (std::memcmp(blob.data() + kOffMagic, kMagic.data(), kMagic.size()) !=
+      0) {
+    reject("bad magic (not a policy image blob)");
+  }
+  Header h;
+  h.format_version = load_u32(blob.data() + kOffFormatVersion);
+  if (h.format_version != kPolicyBlobFormatVersion) {
+    reject("unsupported format version " + std::to_string(h.format_version) +
+           " (reader speaks version " +
+           std::to_string(kPolicyBlobFormatVersion) + ")");
+  }
+  const std::uint32_t endian = load_u32(blob.data() + kOffEndianTag);
+  if (endian != kEndianTag) {
+    reject("endianness tag mismatch (corrupt or foreign byte order)");
+  }
+  h.total_size = load_u64(blob.data() + kOffTotalSize);
+  if (h.total_size != blob.size()) {
+    reject("size mismatch (header claims " + std::to_string(h.total_size) +
+           " bytes, got " + std::to_string(blob.size()) + " — truncated?)");
+  }
+  h.payload_hash = load_u64(blob.data() + kOffPayloadHash);
+  if (hash_bytes(blob.subspan(kHeaderSize)) != h.payload_hash) {
+    reject("payload checksum mismatch (corrupted in transit)");
+  }
+  h.fingerprint = load_u64(blob.data() + kOffFingerprint);
+  h.image_version = load_u64(blob.data() + kOffImageVersion);
+  h.sid_count = load_u32(blob.data() + kOffSidCount);
+  h.entry_count = load_u32(blob.data() + kOffEntryCount);
+  h.mode_count = load_u32(blob.data() + kOffModeCount);
+  h.slot_count = load_u32(blob.data() + kOffSlotCount);
+  h.flat_count = load_u32(blob.data() + kOffFlatCount);
+  h.name_len = load_u32(blob.data() + kOffNameLen);
+  h.wildcard_sid = load_u32(blob.data() + kOffWildcardSid);
+  const std::uint8_t allow = std::to_integer<std::uint8_t>(
+      blob[kOffDefaultAllow]);
+  if (allow > 1) reject("default-allow flag is neither 0 nor 1");
+  h.default_allow = allow == 1;
+  // Reserved header bytes must be zero: with every other header byte
+  // validated and the whole payload checksummed, this closes the last
+  // gap — ANY single corrupted byte in a blob is rejected (test-pinned).
+  for (std::size_t i = 1; i < 4; ++i) {
+    if (blob[kOffDefaultAllow + i] != std::byte{0}) {
+      reject("reserved header bytes not zero");
+    }
+  }
+  return h;
+}
+
+}  // namespace
+
+std::span<const std::byte, kPolicyBlobMagicSize> policy_blob_magic() noexcept {
+  return kMagic;
+}
+
+// ------------------------------------------------------------------ writer
+
+std::vector<std::byte> PolicyBlobWriter::write(
+    const CompiledPolicyImage& image) {
+  const mac::SidTable& sids = image.sids();
+
+  std::vector<std::byte> payload;
+  // Generous reservation: fixed-size sections plus a guess for strings.
+  payload.reserve(128 + sids.size() * 24 + image.entries_.size() * 128 +
+                  image.slot_keys_.size() * 16);
+
+  // Image name, then every interned name in SID order (SID i == position
+  // i-1): replaying intern() over this list reconstructs the exact table.
+  for (const char ch : image.name_) {
+    payload.push_back(std::byte(static_cast<unsigned char>(ch)));
+  }
+  for (mac::Sid sid = 1; sid <= sids.size(); ++sid) {
+    put_str(payload, sids.name_of(sid));
+  }
+
+  // Packed entries, field by field (no struct memcpy: padding bytes and
+  // compiler layout never reach the wire — the interop guarantee).
+  for (const CompiledPolicyImage::Entry& entry : image.entries_) {
+    put_u32(payload, entry.subject);
+    put_u32(payload, entry.object);
+    payload.push_back(std::byte(static_cast<unsigned char>(entry.permission)));
+    payload.push_back(std::byte(entry.specificity));
+    payload.push_back(std::byte{0});  // reserved
+    payload.push_back(std::byte{0});
+    put_u32(payload, static_cast<std::uint32_t>(entry.priority));
+    put_u64(payload, entry.mode_mask);
+    put_u32(payload, entry.meta);
+  }
+
+  // Audit metas: rule id + the allow reason. The two permission-mismatch
+  // deny texts are derived (make_meta) — identical bytes, never stored.
+  for (const CompiledPolicyImage::Meta& meta : image.metas_) {
+    put_str(payload, meta.id);
+    put_str(payload, meta.allow.reason);
+  }
+
+  for (const mac::Sid mode : image.mode_sids_) put_u32(payload, mode);
+
+  // The sealed open-addressing index, verbatim: the loader validates it
+  // (bounds, reachability, exact correspondence to the entries) instead
+  // of rebuilding it.
+  for (const std::uint64_t key : image.slot_keys_) put_u64(payload, key);
+  for (const auto& [offset, count] : image.slot_spans_) {
+    put_u32(payload, offset);
+    put_u32(payload, count);
+  }
+  for (const std::uint32_t i : image.flat_index_) put_u32(payload, i);
+
+  std::vector<std::byte> blob(kHeaderSize);
+  std::memcpy(blob.data() + kOffMagic, kMagic.data(), kMagic.size());
+  store_u32(blob.data() + kOffFormatVersion, kPolicyBlobFormatVersion);
+  store_u32(blob.data() + kOffEndianTag, kEndianTag);
+  store_u64(blob.data() + kOffTotalSize, kHeaderSize + payload.size());
+  store_u64(blob.data() + kOffPayloadHash, hash_bytes(payload));
+  store_u64(blob.data() + kOffFingerprint, image.fingerprint());
+  store_u64(blob.data() + kOffImageVersion, image.version_);
+  store_u32(blob.data() + kOffSidCount,
+            static_cast<std::uint32_t>(sids.size()));
+  store_u32(blob.data() + kOffEntryCount,
+            static_cast<std::uint32_t>(image.entries_.size()));
+  store_u32(blob.data() + kOffModeCount,
+            static_cast<std::uint32_t>(image.mode_sids_.size()));
+  store_u32(blob.data() + kOffSlotCount,
+            static_cast<std::uint32_t>(image.slot_keys_.size()));
+  store_u32(blob.data() + kOffFlatCount,
+            static_cast<std::uint32_t>(image.flat_index_.size()));
+  store_u32(blob.data() + kOffNameLen,
+            static_cast<std::uint32_t>(image.name_.size()));
+  store_u32(blob.data() + kOffWildcardSid, image.wildcard_sid_);
+  blob[kOffDefaultAllow] = std::byte(image.default_allow_ ? 1 : 0);
+  blob[kOffDefaultAllow + 1] = std::byte{0};
+  blob[kOffDefaultAllow + 2] = std::byte{0};
+  blob[kOffDefaultAllow + 3] = std::byte{0};
+
+  blob.insert(blob.end(), payload.begin(), payload.end());
+  return blob;
+}
+
+void PolicyBlobWriter::write_file(const CompiledPolicyImage& image,
+                                  const std::string& path) {
+  const std::vector<std::byte> blob = write(image);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) reject("cannot open '" + path + "' for writing");
+  out.write(reinterpret_cast<const char*>(blob.data()),
+            static_cast<std::streamsize>(blob.size()));
+  if (!out) reject("short write to '" + path + "'");
+}
+
+// ------------------------------------------------------------------ reader
+
+PolicyBlobInfo PolicyBlobReader::probe(std::span<const std::byte> blob) {
+  const Header h = validate_header(blob);
+  PolicyBlobInfo info;
+  info.format_version = h.format_version;
+  info.fingerprint = h.fingerprint;
+  info.image_version = h.image_version;
+  info.sid_count = h.sid_count;
+  info.entry_count = h.entry_count;
+  info.total_size = h.total_size;
+  return info;
+}
+
+CompiledPolicyImage PolicyBlobReader::load(
+    std::span<const std::byte> blob, std::shared_ptr<mac::SidTable> sids) {
+  const Header h = validate_header(blob);
+  if (h.mode_count > kMaxImageModes) {
+    reject("mode table larger than the 64-bit mask allows");
+  }
+  if (h.slot_count == 0 || (h.slot_count & (h.slot_count - 1)) != 0) {
+    reject("index slot count is not a power of two");
+  }
+  if (h.flat_count != h.entry_count) {
+    reject("index covers " + std::to_string(h.flat_count) +
+           " entries, image has " + std::to_string(h.entry_count));
+  }
+  // Every count must be payable in payload bytes BEFORE anything is
+  // reserved: a crafted header must earn a rejection, not a
+  // multi-gigabyte allocation (memory-exhaustion DoS on the OTA path).
+  const std::size_t payload_size = blob.size() - kHeaderSize;
+  if (h.name_len > payload_size || h.sid_count > payload_size / 4 ||
+      h.entry_count > payload_size / kEntryRecordSize ||
+      h.slot_count > payload_size / 16 || h.flat_count > payload_size / 4) {
+    reject("section counts exceed the blob's own size");
+  }
+
+  Cursor cursor(blob.subspan(kHeaderSize));
+
+  CompiledPolicyImage image;
+  // Image name: length lives in the header, bytes open the payload.
+  image.name_ = cursor.raw(h.name_len);
+  image.version_ = h.image_version;
+  image.default_allow_ = h.default_allow;
+
+  // SID space: replay every carried name through the interner and demand
+  // the historical SID back. A fresh table trivially satisfies this; a
+  // caller-provided table must be interning-prefix-compatible, anything
+  // else means the packed entries would denote different identities.
+  image.sids_ = sids != nullptr ? std::move(sids)
+                                : std::make_shared<mac::SidTable>();
+  image.sids_->reserve(h.sid_count);
+  for (std::uint32_t i = 0; i < h.sid_count; ++i) {
+    const std::string_view name = cursor.view();
+    const mac::Sid sid = image.sids_->intern(name);
+    if (sid != i + 1) {
+      reject("SID space mismatch: '" + std::string(name) + "' interned to " +
+             std::to_string(sid) + ", blob carries " + std::to_string(i + 1));
+    }
+  }
+  if (h.wildcard_sid == mac::kNullSid || h.wildcard_sid > h.sid_count ||
+      image.sids_->name_of(h.wildcard_sid) != "*") {
+    reject("wildcard SID does not name '*'");
+  }
+  image.wildcard_sid_ = h.wildcard_sid;
+
+  const auto check_sid = [&](mac::Sid sid, const char* what) {
+    if (sid == mac::kNullSid || sid > h.sid_count) {
+      reject(std::string(what) + " SID outside the carried table");
+    }
+  };
+
+  image.entries_.reserve(h.entry_count);
+  const std::byte* entry_bytes =
+      cursor.take(std::size_t{h.entry_count} * kEntryRecordSize);
+  for (std::uint32_t i = 0; i < h.entry_count; ++i) {
+    const std::byte* at = entry_bytes + std::size_t{i} * kEntryRecordSize;
+    CompiledPolicyImage::Entry entry;
+    entry.subject = load_u32(at);
+    entry.object = load_u32(at + 4);
+    const auto permission = std::to_integer<std::uint8_t>(at[8]);
+    entry.specificity = std::to_integer<std::uint8_t>(at[9]);
+    entry.priority = static_cast<std::int32_t>(load_u32(at + 12));
+    entry.mode_mask = load_u64(at + 16);
+    entry.meta = load_u32(at + 24);
+    entry.permission = static_cast<threat::Permission>(permission);
+
+    // Per-entry validation, folded into one predicate so the accept path
+    // is a single branch ((sid - 1) < count is the unsigned both-ends
+    // check: kNullSid wraps). Rejection re-runs the parts for a precise
+    // message — the cold path can afford it.
+    const std::uint8_t specificity = static_cast<std::uint8_t>(
+        (entry.subject != image.wildcard_sid_ ? 1 : 0) +
+        (entry.object != image.wildcard_sid_ ? 1 : 0));
+    const bool mode_bits_ok =
+        h.mode_count >= 64 || (entry.mode_mask >> h.mode_count) == 0;
+    if ((entry.subject - 1) >= h.sid_count || (entry.object - 1) >= h.sid_count ||
+        permission > static_cast<std::uint8_t>(threat::Permission::kReadWrite) ||
+        entry.specificity != specificity || !mode_bits_ok || entry.meta != i) {
+      check_sid(entry.subject, "entry subject");
+      check_sid(entry.object, "entry object");
+      if (permission >
+          static_cast<std::uint8_t>(threat::Permission::kReadWrite)) {
+        reject("entry permission byte out of range");
+      }
+      if (entry.specificity != specificity) {
+        reject("entry specificity inconsistent with its SIDs");
+      }
+      if (!mode_bits_ok) {
+        reject("entry mode mask names bits beyond the mode table");
+      }
+      reject("entry/meta correspondence broken");
+    }
+    image.entries_.push_back(entry);
+  }
+
+  image.metas_.reserve(h.entry_count);
+  for (std::uint32_t i = 0; i < h.entry_count; ++i) {
+    std::string id = cursor.str();
+    std::string reason = cursor.str();
+    CompiledPolicyImage::emplace_meta(image.metas_, std::move(id),
+                                      image.entries_[i].permission,
+                                      std::move(reason));
+  }
+
+  image.mode_sids_.reserve(h.mode_count);
+  for (std::uint32_t i = 0; i < h.mode_count; ++i) {
+    const mac::Sid mode = cursor.u32();
+    check_sid(mode, "mode");
+    for (const mac::Sid seen : image.mode_sids_) {
+      if (seen == mode) reject("duplicate mode SID in the mode table");
+    }
+    image.mode_sids_.push_back(mode);
+  }
+
+  image.slot_keys_.reserve(h.slot_count);
+  const std::byte* key_bytes = cursor.take(std::size_t{h.slot_count} * 8);
+  for (std::uint32_t i = 0; i < h.slot_count; ++i) {
+    image.slot_keys_.push_back(load_u64(key_bytes + std::size_t{i} * 8));
+  }
+  image.slot_spans_.reserve(h.slot_count);
+  const std::byte* span_bytes = cursor.take(std::size_t{h.slot_count} * 8);
+  for (std::uint32_t i = 0; i < h.slot_count; ++i) {
+    image.slot_spans_.emplace_back(load_u32(span_bytes + std::size_t{i} * 8),
+                                   load_u32(span_bytes + std::size_t{i} * 8 + 4));
+  }
+  image.flat_index_.reserve(h.flat_count);
+  const std::byte* flat_bytes = cursor.take(std::size_t{h.flat_count} * 4);
+  for (std::uint32_t i = 0; i < h.flat_count; ++i) {
+    image.flat_index_.push_back(load_u32(flat_bytes + std::size_t{i} * 4));
+  }
+  if (!cursor.exhausted()) {
+    reject("trailing bytes after the last section");
+  }
+
+  // Semantic index validation: the loaded open-addressing table must be
+  // EXACTLY a sealed index over the loaded entries — every slot key
+  // reachable by its own probe sequence, every span in bounds and keyed
+  // consistently, every entry indexed exactly once in insertion order.
+  // (The fingerprint does not cover the index — it is derived data — so
+  // this check is what keeps a corrupted index from silently serving
+  // wrong decisions or walking out of bounds.)
+  {
+    const std::size_t mask = image.slot_keys_.size() - 1;
+    std::size_t occupied = 0;
+    std::vector<bool> indexed(h.entry_count, false);
+    for (std::size_t s = 0; s < image.slot_keys_.size(); ++s) {
+      const std::uint64_t key = image.slot_keys_[s];
+      if (key == 0) {
+        if (image.slot_spans_[s] != std::pair<std::uint32_t, std::uint32_t>{
+                                        0, 0}) {
+          reject("empty index slot carries a non-empty span");
+        }
+        continue;
+      }
+      ++occupied;
+      // The probe sequence for `key` must land on this slot before any
+      // empty slot, or evaluation could never reach it.
+      std::size_t probe = mac::mix_av_key(key) & mask;
+      std::size_t steps = 0;
+      while (probe != s) {
+        if (image.slot_keys_[probe] == 0 ||
+            image.slot_keys_[probe] == key ||
+            ++steps > image.slot_keys_.size()) {
+          reject("index slot unreachable by its probe sequence");
+        }
+        probe = (probe + 1) & mask;
+      }
+      const auto [offset, count] = image.slot_spans_[s];
+      if (count == 0) reject("occupied index slot with an empty span");
+      if (offset > h.flat_count || count > h.flat_count - offset) {
+        reject("index span overruns the flat entry list");
+      }
+      std::uint32_t previous = 0;
+      for (std::uint32_t c = 0; c < count; ++c) {
+        const std::uint32_t e = image.flat_index_[offset + c];
+        if (e >= h.entry_count) reject("index names a nonexistent entry");
+        const CompiledPolicyImage::Entry& entry = image.entries_[e];
+        if (CompiledPolicyImage::pair_key(entry.subject, entry.object) !=
+            key) {
+          reject("index slot groups an entry under the wrong key");
+        }
+        if (indexed[e]) reject("entry indexed twice");
+        if (c > 0 && e <= previous) {
+          reject("index span out of insertion order");
+        }
+        indexed[e] = true;
+        previous = e;
+      }
+    }
+    if (occupied == image.slot_keys_.size()) {
+      reject("index has no empty slot (probe termination impossible)");
+    }
+    for (std::uint32_t e = 0; e < h.entry_count; ++e) {
+      if (!indexed[e]) reject("entry missing from the index");
+    }
+  }
+
+  image.default_allow_decision_ =
+      Decision::allow("", "no matching rule; default allow");
+  image.default_deny_decision_ =
+      Decision::deny("", "no matching rule; default deny");
+
+  // The final gate: the reconstructed image must fingerprint to exactly
+  // what the writer recorded — the same integrity anchor the compiled
+  // pipeline uses, now guarding the OTA trust boundary.
+  if (image.fingerprint() != h.fingerprint) {
+    reject("fingerprint mismatch (content does not match manifest)");
+  }
+  return image;
+}
+
+CompiledPolicyImage PolicyBlobReader::load_file(
+    const std::string& path, std::shared_ptr<mac::SidTable> sids) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) reject("cannot open '" + path + "' for reading");
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  std::vector<std::byte> blob(static_cast<std::size_t>(size));
+  if (!blob.empty()) {
+    in.read(reinterpret_cast<char*>(blob.data()), size);
+    if (!in) reject("short read from '" + path + "'");
+  }
+  return load(blob, std::move(sids));
+}
+
+}  // namespace psme::core

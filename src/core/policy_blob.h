@@ -1,0 +1,125 @@
+// psme::core — the persistent policy image: versioned binary blobs.
+//
+// The paper's affordability argument assumes the hot path is served from
+// a compiled cache — but a vehicle that must re-run the threat-model →
+// derivation → CompiledPolicyImage compile at every boot (and for every
+// OTA policy update) pays the whole compiler before it can answer its
+// first access request. This module is the same move SELinux makes with
+// its binary policydb: the sealed image — packed SID-space entries, the
+// open-addressing index, the mode table, the prototype-decision audit
+// strings — and its backing mac::SidTable are serialised once at the OEM,
+// and every vehicle boots by loading the blob: one contiguous buffer
+// read, header validation, a single linear reconstruction pass, a
+// fingerprint cross-check. No derivation, no string-rule parsing, no
+// index build. The loaded image produces byte-identical Decisions to the
+// freshly compiled original (test-pinned).
+//
+// Trust boundary: blobs arrive over the air. A malformed blob — truncated,
+// bit-flipped, wrong version, wrong endianness, inconsistent internal
+// structure, or carrying a fingerprint that does not match its content —
+// must be REJECTED with a PolicyBlobError, never dereferenced into UB.
+// Every offset and count read from the wire is bounds-checked before use;
+// the payload checksum and the image fingerprint are both verified. (The
+// integrity tag is still the keyed PolicySigner at the bundle layer —
+// this layer guarantees a hostile byte stream cannot corrupt memory or
+// smuggle in an image that disagrees with its own manifest.)
+//
+// Format stability: the encoding is explicitly little-endian (serialised
+// through shift-based byte stores, so any host can read or write it) and
+// carries a format version plus an endianness tag. It is independent of
+// compiler, struct padding and standard-library layout: CI round-trips a
+// gcc-written blob through a clang reader and vice versa. See DESIGN.md
+// "Persistent image format" for the layout diagram and evolution rules.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/policy_image.h"
+#include "mac/sid_table.h"
+
+namespace psme::core {
+
+/// Rejection of a malformed, truncated, tampered or incompatible blob.
+/// The message names the failed check (magic, version, checksum,
+/// fingerprint, a specific structural bound) — OTA tooling logs it.
+class PolicyBlobError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Current on-wire format version. Bump on any layout change; readers
+/// reject versions they do not speak (no silent best-effort parsing at a
+/// trust boundary).
+inline constexpr std::uint32_t kPolicyBlobFormatVersion = 1;
+
+/// The 8 magic bytes every blob starts with ("PSMEPIMG").
+inline constexpr std::size_t kPolicyBlobMagicSize = 8;
+[[nodiscard]] std::span<const std::byte, kPolicyBlobMagicSize>
+policy_blob_magic() noexcept;
+
+/// Header fields surfaced without a full load (OTA tooling: log what
+/// arrived before deciding to stage it). probe() validates the fixed
+/// header — magic, version, endianness, size, payload checksum — but not
+/// the payload structure; only load() proves a blob usable.
+struct PolicyBlobInfo {
+  std::uint32_t format_version = 0;
+  std::uint64_t fingerprint = 0;      // the sealed image's fingerprint()
+  std::uint64_t image_version = 0;    // PolicySet/image version stamp
+  std::uint32_t sid_count = 0;        // interned names carried
+  std::uint32_t entry_count = 0;      // packed rules carried
+  std::uint64_t total_size = 0;       // whole blob, header included
+};
+
+/// Serialises a sealed CompiledPolicyImage together with its backing
+/// SidTable. The writer runs at the OEM (or in a provisioning tool) —
+/// never on the vehicle's hot path.
+class PolicyBlobWriter {
+ public:
+  /// The blob for `image`: header + payload, checksummed and carrying
+  /// image.fingerprint(). The ENTIRE backing SidTable is serialised (in
+  /// SID order), so identities interned beyond the policy's own names —
+  /// fleet workload labels, say — survive the round trip with their SIDs
+  /// intact.
+  [[nodiscard]] static std::vector<std::byte> write(
+      const CompiledPolicyImage& image);
+
+  /// write() to a file. Throws PolicyBlobError when the file cannot be
+  /// created or fully written.
+  static void write_file(const CompiledPolicyImage& image,
+                         const std::string& path);
+};
+
+/// Validates and loads a blob back into a sealed CompiledPolicyImage.
+class PolicyBlobReader {
+ public:
+  /// Header-only inspection; throws PolicyBlobError on a blob whose
+  /// fixed header fails validation (see PolicyBlobInfo).
+  [[nodiscard]] static PolicyBlobInfo probe(std::span<const std::byte> blob);
+
+  /// Full validated load. When `sids` is null a fresh SidTable is
+  /// created and populated in SID order (the boot path: the blob IS the
+  /// vehicle's SID space). When a table is provided, every carried name
+  /// must intern to exactly its carried SID — an empty table, or one
+  /// whose interning history is a prefix of the blob's, qualifies;
+  /// anything else is a SID-space mismatch and is rejected (packed
+  /// entries would silently mean different identities otherwise).
+  /// Throws PolicyBlobError on any validation failure; on success the
+  /// returned image is sealed and decision-for-decision identical to the
+  /// image the blob was written from (fingerprint cross-checked).
+  [[nodiscard]] static CompiledPolicyImage load(
+      std::span<const std::byte> blob,
+      std::shared_ptr<mac::SidTable> sids = nullptr);
+
+  /// load() from a file. Throws PolicyBlobError when the file cannot be
+  /// read.
+  [[nodiscard]] static CompiledPolicyImage load_file(
+      const std::string& path, std::shared_ptr<mac::SidTable> sids = nullptr);
+};
+
+}  // namespace psme::core

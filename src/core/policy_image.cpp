@@ -1,5 +1,6 @@
 #include "core/policy_image.h"
 
+#include <array>
 #include <cassert>
 #include <stdexcept>
 
@@ -10,9 +11,25 @@ namespace {
 [[nodiscard]] Decision make_perm_deny(const std::string& id,
                                       threat::Permission permission,
                                       AccessType access) {
+  // Only eight distinct deny texts exist (4 permissions x 2 accesses);
+  // build each once and copy from the table — this runs per rule on the
+  // compile path AND per loaded rule on the blob-boot path.
+  static const auto reasons = [] {
+    std::array<std::string, 8> table;
+    for (std::size_t p = 0; p < 4; ++p) {
+      for (std::size_t a = 0; a < 2; ++a) {
+        table[p * 2 + a] =
+            "permission " +
+            std::string(threat::to_string(static_cast<Permission>(p))) +
+            " does not include " +
+            std::string(core::to_string(static_cast<AccessType>(a)));
+      }
+    }
+    return table;
+  }();
   return Decision::deny(
-      id, "permission " + std::string(threat::to_string(permission)) +
-              " does not include " + std::string(core::to_string(access)));
+      id, reasons[static_cast<std::size_t>(permission) * 2 +
+                  static_cast<std::size_t>(access)]);
 }
 
 }  // namespace
@@ -49,6 +66,26 @@ std::uint64_t CompiledPolicyImage::Builder::mode_mask_for(
   return mask;
 }
 
+void CompiledPolicyImage::emplace_meta(std::vector<Meta>& into, std::string id,
+                                       threat::Permission permission,
+                                       std::string allow_reason) {
+  Meta& meta = into.emplace_back();
+  meta.allow.allowed = true;
+  meta.allow.rule_id = id;
+  meta.allow.reason = std::move(allow_reason);
+  // Only the REACHABLE deny prototypes are materialised: evaluate hands
+  // out deny_read exactly when the permission lacks read (and likewise
+  // write), so e.g. a kReadWrite rule never needs either. Skipping them
+  // trims compile and — more importantly — blob-boot reconstruction.
+  if (!threat::allows_read(permission)) {
+    meta.deny_read = make_perm_deny(id, permission, AccessType::kRead);
+  }
+  if (!threat::allows_write(permission)) {
+    meta.deny_write = make_perm_deny(id, permission, AccessType::kWrite);
+  }
+  meta.id = std::move(id);
+}
+
 void CompiledPolicyImage::Builder::add_rule(
     std::string id, std::string_view subject, std::string_view object,
     threat::Permission permission, std::span<const threat::ModeId> modes,
@@ -66,12 +103,8 @@ void CompiledPolicyImage::Builder::add_rule(
   entry.mode_mask = mode_mask_for(modes);
   entry.meta = static_cast<std::uint32_t>(image_.metas_.size());
 
-  Meta meta;
-  meta.allow = Decision::allow(id, std::move(allow_reason));
-  meta.deny_read = make_perm_deny(id, permission, AccessType::kRead);
-  meta.deny_write = make_perm_deny(id, permission, AccessType::kWrite);
-  meta.id = std::move(id);
-  image_.metas_.push_back(std::move(meta));
+  emplace_meta(image_.metas_, std::move(id), permission,
+               std::move(allow_reason));
 
   image_.index_build_[pair_key(entry.subject, entry.object)].push_back(
       static_cast<std::uint32_t>(image_.entries_.size()));
@@ -237,21 +270,41 @@ void CompiledPolicyImage::evaluate_batch(std::span<const SidRequest> requests,
 // ------------------------------------------------------------- fingerprint
 
 std::uint64_t CompiledPolicyImage::fingerprint() const noexcept {
-  std::uint64_t hash = mac::fnv1a(name_);
-  hash = mac::fnv1a_u64(version_, hash);
-  hash = mac::fnv1a_u64(default_allow_ ? 1 : 0, hash);
-  for (const Entry& entry : entries_) {
-    hash = mac::fnv1a_u64(
-        (static_cast<std::uint64_t>(entry.subject) << 32) | entry.object, hash);
-    hash = mac::fnv1a_u64(entry.mode_mask, hash);
-    hash = mac::fnv1a_u64((static_cast<std::uint64_t>(
-                               static_cast<std::uint32_t>(entry.priority))
-                           << 8) |
-                              static_cast<std::uint64_t>(entry.permission),
-                          hash);
-    hash = mac::fnv1a(metas_[entry.meta].allow.reason, hash);
+  // Built on the bulk hash_chain primitives, not byte-wise FNV: the blob
+  // loader recomputes this over every reconstructed image as its final
+  // cross-check, so the fingerprint is on the vehicle's boot path. The
+  // value is endian-stable (little-endian chunking) and may be embedded
+  // in persistent blobs.
+  std::uint64_t hash = mac::hash_chain_bytes(name_, mac::kFnv1aOffset);
+  hash = mac::hash_chain_u64(version_, hash);
+  hash = mac::hash_chain_u64(default_allow_ ? 1 : 0, hash);
+  // The mode table and wildcard SID shape decision outcomes (mask bit
+  // positions, wildcard matching), so the persistent-blob cross-check
+  // must cover them too. Compile() and compile_to_image() intern in the
+  // same order, so equal derivations still fingerprint equal.
+  hash = mac::hash_chain_u64(wildcard_sid_, hash);
+  for (const mac::Sid mode : mode_sids_) hash = mac::hash_chain_u64(mode, hash);
+  // Entries feed four rotating lanes (entry i -> lane i mod 4), folded
+  // deterministically at the end: the mix chain is latency-bound, and the
+  // entry section is the bulk of the hash — four independent chains keep
+  // the blob loader's cross-check off the boot path's critical path.
+  // (Seed derivation and fold order are mac::HashLanes — the one
+  // definition shared with hash_chain_bytes.)
+  mac::HashLanes lanes(hash);
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const Entry& entry = entries_[i];
+    std::uint64_t& lane = lanes.lane[i & 3];
+    lane = mac::hash_chain_u64(
+        (static_cast<std::uint64_t>(entry.subject) << 32) | entry.object, lane);
+    lane = mac::hash_chain_u64(entry.mode_mask, lane);
+    lane = mac::hash_chain_u64((static_cast<std::uint64_t>(
+                                    static_cast<std::uint32_t>(entry.priority))
+                                << 8) |
+                                   static_cast<std::uint64_t>(entry.permission),
+                               lane);
+    lane = mac::hash_chain_bytes(metas_[entry.meta].allow.reason, lane);
   }
-  return hash;
+  return mac::hash_chain_u64(entries_.size(), lanes.fold());
 }
 
 }  // namespace psme::core

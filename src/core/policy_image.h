@@ -135,6 +135,13 @@ class CompiledPolicyImage {
  private:
   CompiledPolicyImage() = default;
 
+  /// The persistent-blob subsystem (core/policy_blob.h) serialises the
+  /// sealed representation verbatim and reconstructs it without
+  /// recompiling; it is the only code besides Builder allowed behind the
+  /// immutability boundary.
+  friend class PolicyBlobWriter;
+  friend class PolicyBlobReader;
+
   /// Audit payload per rule, materialised once at build time.
   struct Meta {
     std::string id;
@@ -142,6 +149,15 @@ class CompiledPolicyImage {
     Decision deny_read;   // {false, id, "permission .. does not include read"}
     Decision deny_write;
   };
+
+  /// Materialises one rule's audit payload (the allow Decision plus the
+  /// REACHABLE permission-mismatch deny texts) in place at the back of
+  /// `into`. Shared by Builder::add_rule and the blob reader so a loaded
+  /// Meta can never drift from a compiled one; fills fields directly
+  /// (this runs per rule on the blob-boot path).
+  static void emplace_meta(std::vector<Meta>& into, std::string id,
+                           threat::Permission permission,
+                           std::string allow_reason);
 
   [[nodiscard]] static std::uint64_t pair_key(mac::Sid subject,
                                               mac::Sid object) noexcept {

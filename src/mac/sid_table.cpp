@@ -4,28 +4,67 @@
 
 namespace psme::mac {
 
+namespace {
+/// Grow when names_.size() * 3 >= slots * 2 (load factor 2/3).
+[[nodiscard]] constexpr bool over_loaded(std::size_t names,
+                                         std::size_t slots) noexcept {
+  return names * 3 >= slots * 2;
+}
+}  // namespace
+
+void SidTable::rehash(std::size_t slot_count) {
+  slots_.assign(slot_count, kNullSid);
+  const std::size_t mask = slot_count - 1;
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    std::size_t slot = probe_origin(names_[i], mask);
+    while (slots_[slot] != kNullSid) slot = (slot + 1) & mask;
+    slots_[slot] = static_cast<Sid>(i + 1);
+  }
+}
+
+void SidTable::reserve(std::size_t names) {
+  std::size_t slots = slots_.empty() ? 16 : slots_.size();
+  while (over_loaded(names, slots)) slots <<= 1;
+  if (slots != slots_.size()) rehash(slots);
+}
+
 Sid SidTable::intern(std::string_view name) {
-  const auto it = ids_.find(name);
-  if (it != ids_.end()) return it->second;
+  if (slots_.empty()) rehash(16);
+  const std::size_t mask = slots_.size() - 1;
+  std::size_t slot = probe_origin(name, mask);
+  while (slots_[slot] != kNullSid) {
+    if (names_[slots_[slot] - 1] == name) return slots_[slot];
+    slot = (slot + 1) & mask;
+  }
   if (names_.size() >= kMaxTypeSid) {
     throw std::length_error("SidTable::intern: table full (2^24 - 1 names)");
   }
   const Sid sid = static_cast<Sid>(names_.size() + 1);
-  const auto [pos, inserted] = ids_.emplace(std::string(name), sid);
-  names_.push_back(&pos->first);
+  names_.emplace_back(name);
+  if (over_loaded(names_.size(), slots_.size())) {
+    rehash(slots_.size() * 2);  // re-probes the new name too
+  } else {
+    slots_[slot] = sid;
+  }
   return sid;
 }
 
 Sid SidTable::find(std::string_view name) const noexcept {
-  const auto it = ids_.find(name);
-  return it == ids_.end() ? kNullSid : it->second;
+  if (slots_.empty()) return kNullSid;
+  const std::size_t mask = slots_.size() - 1;
+  std::size_t slot = probe_origin(name, mask);
+  while (slots_[slot] != kNullSid) {
+    if (names_[slots_[slot] - 1] == name) return slots_[slot];
+    slot = (slot + 1) & mask;
+  }
+  return kNullSid;
 }
 
 const std::string& SidTable::name_of(Sid sid) const {
   if (!contains(sid)) {
     throw std::out_of_range("SidTable::name_of: unknown SID");
   }
-  return *names_[sid - 1];
+  return names_[sid - 1];
 }
 
 }  // namespace psme::mac

@@ -10,10 +10,12 @@
 // string).
 #pragma once
 
+#include <bit>
 #include <cstdint>
+#include <cstring>
+#include <deque>
 #include <string>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
 
 namespace psme::mac {
@@ -84,6 +86,29 @@ inline constexpr std::uint64_t kFnv1aOffset = 0xCBF29CE484222325ULL;
   return seed;
 }
 
+/// One 64-bit little-endian word from unaligned bytes. The single
+/// decode primitive of the persistent-blob format and the bulk hashes
+/// below: memcpy compiles to one load on every supported target, and the
+/// byte-swap branch keeps the VALUE identical on a big-endian host (the
+/// wire stays little-endian everywhere).
+[[nodiscard]] inline std::uint64_t load_le_u64(const void* at) noexcept {
+  std::uint64_t v;
+  std::memcpy(&v, at, sizeof v);
+  if constexpr (std::endian::native == std::endian::big) {
+    v = __builtin_bswap64(v);
+  }
+  return v;
+}
+
+[[nodiscard]] inline std::uint32_t load_le_u32(const void* at) noexcept {
+  std::uint32_t v;
+  std::memcpy(&v, at, sizeof v);
+  if constexpr (std::endian::native == std::endian::big) {
+    v = __builtin_bswap32(v);
+  }
+  return v;
+}
+
 /// splitmix64 finaliser: avalanches a packed key's bit fields so hash
 /// structures (the policy AV table, the AVC bucket index) see a uniform
 /// distribution. Shared so the two tables can never drift apart.
@@ -96,7 +121,79 @@ inline constexpr std::uint64_t kFnv1aOffset = 0xCBF29CE484222325ULL;
   return key;
 }
 
+/// Chains one 64-bit value into a mix_av_key-based hash. The bulk
+/// companion to fnv1a: where fnv1a pays eight sequential multiplies per
+/// word (fine for short interner keys), this pays one splitmix round —
+/// the difference between a 4 µs and a sub-µs fingerprint on the blob
+/// boot path. Not a drop-in for fnv1a: values differ; pick one per
+/// hash domain and stay there.
+[[nodiscard]] constexpr std::uint64_t hash_chain_u64(
+    std::uint64_t value, std::uint64_t seed) noexcept {
+  return mix_av_key(seed ^ value);
+}
+
+/// The four-lane protocol the bulk hashes run: splitmix chains are
+/// latency-bound, so long inputs stream through four independent lanes,
+/// folded deterministically at the end. ONE definition of the seed
+/// derivation and fold order — hash_chain_bytes and the image
+/// fingerprint (both embedded in persistent blobs) use this and can
+/// never drift apart.
+struct HashLanes {
+  static constexpr std::uint64_t kGamma = 0x9E3779B97F4A7C15ULL;  // splitmix64
+
+  explicit constexpr HashLanes(std::uint64_t seed) noexcept
+      : lane{seed, seed ^ kGamma, seed + kGamma, seed ^ (kGamma << 1)} {}
+
+  /// Folds the lanes back into one chained value.
+  [[nodiscard]] constexpr std::uint64_t fold() const noexcept {
+    std::uint64_t hash = hash_chain_u64(lane[1], lane[0]);
+    hash = hash_chain_u64(lane[2], hash);
+    return hash_chain_u64(lane[3], hash);
+  }
+
+  std::uint64_t lane[4];
+};
+
+/// Bulk string hash over little-endian 64-bit chunks (tail bytes folded
+/// with the length), seed-chained like fnv1a. Endian-stable: the chunks
+/// are decoded as little-endian words, so the value is identical on any
+/// host — it may be embedded in persistent blobs. Long inputs run four
+/// independent lanes (splitmix is latency-bound; one serial chain caps a
+/// blob checksum at ~2.5 ns/word while four lanes stream) folded together
+/// deterministically at the end.
+[[nodiscard]] inline std::uint64_t hash_chain_bytes(
+    std::string_view text, std::uint64_t seed) noexcept {
+  HashLanes lanes(seed);
+  std::size_t i = 0;
+  for (; i + 32 <= text.size(); i += 32) {
+    lanes.lane[0] = hash_chain_u64(load_le_u64(text.data() + i), lanes.lane[0]);
+    lanes.lane[1] =
+        hash_chain_u64(load_le_u64(text.data() + i + 8), lanes.lane[1]);
+    lanes.lane[2] =
+        hash_chain_u64(load_le_u64(text.data() + i + 16), lanes.lane[2]);
+    lanes.lane[3] =
+        hash_chain_u64(load_le_u64(text.data() + i + 24), lanes.lane[3]);
+  }
+  std::uint64_t hash = lanes.fold();
+  for (; i + 8 <= text.size(); i += 8) {
+    hash = hash_chain_u64(load_le_u64(text.data() + i), hash);
+  }
+  std::uint64_t tail = 0;
+  for (; i < text.size(); ++i) {
+    tail = (tail << 8) | static_cast<unsigned char>(text[i]);
+  }
+  return hash_chain_u64(tail ^ (std::uint64_t{text.size()} << 32), hash);
+}
+
 /// String -> dense u32 interner with reverse lookup.
+///
+/// Storage is a flat open-addressing slot array over an append-only name
+/// arena — the same "no node chasing" shape as the policy AV table and
+/// the AVC (DESIGN.md §2): a probe is a hash, a masked index walk and an
+/// inline string compare; interning a new name is one arena append and
+/// one slot store, no per-name node allocation. The arena is a deque, so
+/// a reference returned by name_of stays valid forever (readers may hold
+/// audit strings while the owner interns).
 ///
 /// Concurrency (DESIGN.md "Concurrency model"): the const observers
 /// (find, name_of, contains, size) are safe to call from any number of
@@ -109,7 +206,9 @@ inline constexpr std::uint64_t kFnv1aOffset = 0xCBF29CE484222325ULL;
 /// never change, so data published before readers start is immutable.
 class SidTable {
  public:
-  /// Transparent FNV-1a string hash so string_view lookups never allocate.
+  /// Transparent FNV-1a string hash so string_view lookups never
+  /// allocate. (Used by neighbours' string-keyed maps, e.g. MacEngine's
+  /// label table; the interner itself probes a flat slot array.)
   struct Hash {
     using is_transparent = void;
     [[nodiscard]] std::size_t operator()(std::string_view s) const noexcept {
@@ -122,11 +221,17 @@ class SidTable {
   /// std::length_error once kMaxTypeSid names exist.
   Sid intern(std::string_view name);
 
+  /// Pre-sizes the table for `names` total entries (owner-only, like
+  /// intern). The blob loader knows the exact count up front; reserving
+  /// avoids mid-replay rehashes on the boot path.
+  void reserve(std::size_t names);
+
   /// SID of an already-interned name; kNullSid when never seen.
   [[nodiscard]] Sid find(std::string_view name) const noexcept;
 
   /// Reverse lookup, for audit/trace messages. Throws std::out_of_range
-  /// for kNullSid or a SID this table never issued.
+  /// for kNullSid or a SID this table never issued. The reference stays
+  /// valid for the table's lifetime (the arena never moves a name).
   [[nodiscard]] const std::string& name_of(Sid sid) const;
 
   [[nodiscard]] bool contains(Sid sid) const noexcept {
@@ -136,10 +241,22 @@ class SidTable {
   [[nodiscard]] std::size_t size() const noexcept { return names_.size(); }
 
  private:
-  std::unordered_map<std::string, Sid, Hash, std::equal_to<>> ids_;
-  // names_[sid - 1] points at the key stored in ids_; unordered_map keys
-  // are node-based, so the pointers survive rehashing.
-  std::vector<const std::string*> names_;
+  /// Doubles (or first sizes) the slot array and re-probes every interned
+  /// name into it.
+  void rehash(std::size_t slot_count);
+
+  /// Probe start for a name in a `mask`-sized table.
+  [[nodiscard]] static std::size_t probe_origin(std::string_view name,
+                                                std::size_t mask) noexcept {
+    return static_cast<std::size_t>(mix_av_key(fnv1a(name))) & mask;
+  }
+
+  /// Open-addressing slots holding SIDs (kNullSid = empty); the key of a
+  /// slot is names_[sid - 1]. Power-of-two sized, grown at 2/3 load.
+  std::vector<Sid> slots_;
+  /// SID i names names_[i - 1]. Deque: growth never moves a name, so
+  /// name_of references and probe compares stay stable across interning.
+  std::deque<std::string> names_;
 };
 
 }  // namespace psme::mac

@@ -120,6 +120,29 @@ TEST(TickParallel, ByteIdenticalToSequentialTickAcrossThreadCounts) {
   }
 }
 
+TEST(TickParallel, PersistentPoolSurvivesRepeatedTicksAndCountChanges) {
+  // The worker pool is persistent: ticks at a constant k reuse the same
+  // parked threads (no spawn per tick), a k change rebuilds the pool, and
+  // every configuration stays byte-identical to the sequential sweep.
+  // Destruction with a live parked pool (end of scope) must join cleanly.
+  FleetFixture fixture;
+  car::FleetEvaluatorOptions options;
+  options.fleet_size = 61;
+  car::FleetEvaluator fleet(fixture.image, car::default_fleet_checks(),
+                            options);
+  scatter_modes(fleet, 11);
+
+  const CapturedSweep sequential = capture(fleet, 0);
+  for (const std::size_t k :
+       {std::size_t{2}, std::size_t{2}, std::size_t{2},  // pool reused
+        std::size_t{8},                                  // pool rebuilt
+        std::size_t{1},                                  // pool parked, inline
+        std::size_t{2}}) {                               // pool rebuilt again
+    const CapturedSweep parallel = capture(fleet, k);
+    expect_byte_identical(sequential, parallel, k);
+  }
+}
+
 TEST(TickParallel, ParityHoldsAcrossMidSweepModeChanges) {
   FleetFixture fixture;
   car::FleetEvaluatorOptions options;

@@ -1,0 +1,369 @@
+// Tests for the persistent policy image (core/policy_blob.h): round-trip
+// byte-identical decision parity against the freshly compiled image
+// (modes included, scalar and shuffled-batch), SID-space compatibility
+// rules, the car::FleetBoot bring-up/OTA path — and the trust boundary:
+// truncated, bit-flipped, version-mismatched, structurally inconsistent
+// and wrong-fingerprint blobs are rejected with PolicyBlobError, never
+// undefined behaviour (the ASan/UBSan CI job runs this file).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "car/base_policy.h"
+#include "car/fleet_boot.h"
+#include "car/fleet_evaluator.h"
+#include "car/table1.h"
+#include "core/policy.h"
+#include "core/policy_blob.h"
+#include "core/policy_image.h"
+#include "sim/rng.h"
+
+namespace psme {
+namespace {
+
+using core::AccessRequest;
+using core::AccessType;
+using core::CompiledPolicyImage;
+using core::Decision;
+using core::PolicyBlobError;
+using core::PolicyBlobReader;
+using core::PolicyBlobWriter;
+using core::PolicySet;
+
+void expect_same_decision(const Decision& got, const Decision& want,
+                          const std::string& context) {
+  EXPECT_EQ(got.allowed, want.allowed) << context;
+  EXPECT_EQ(got.rule_id, want.rule_id) << context;
+  EXPECT_EQ(got.reason, want.reason) << context;
+}
+
+/// The deployed connected-car policy (22 Table-I rules + base grants),
+/// compiled to its image — the acceptance workload's policy.
+const PolicySet& car_policy() {
+  static const PolicySet policy =
+      car::full_policy(car::connected_car_threat_model());
+  return policy;
+}
+
+PolicySet fuzz_policy_set(sim::Rng& rng, std::size_t rules,
+                          bool default_allow) {
+  const std::vector<std::string> subjects = {"*", "a", "b", "c", "d"};
+  const std::vector<std::string> objects = {"*", "x", "y", "z"};
+  const std::vector<std::string> modes = {"m1", "m2", "m3"};
+  PolicySet set("fuzz", 1);
+  set.set_default_allow(default_allow);
+  for (std::size_t i = 0; i < rules; ++i) {
+    core::PolicyRule rule;
+    rule.id = "r" + std::to_string(i);
+    rule.subject = subjects[rng.uniform(0, subjects.size() - 1)];
+    rule.object = objects[rng.uniform(0, objects.size() - 1)];
+    rule.permission = static_cast<threat::Permission>(rng.uniform(0, 3));
+    rule.priority = static_cast<int>(rng.uniform(0, 6)) - 3;
+    for (const auto& mode : modes) {
+      if (rng.chance(0.3)) rule.modes.push_back(threat::ModeId{mode});
+    }
+    set.add_rule(std::move(rule));
+  }
+  return set;
+}
+
+std::vector<AccessRequest> fuzz_requests(sim::Rng& rng, std::size_t count) {
+  const std::vector<std::string> subjects = {"a", "b", "c", "d", "zzz"};
+  const std::vector<std::string> objects = {"x", "y", "z", "zzz"};
+  const std::vector<std::string> modes = {"", "m1", "m2", "m3", "zzz"};
+  std::vector<AccessRequest> requests;
+  requests.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    AccessRequest request;
+    request.subject = subjects[rng.uniform(0, subjects.size() - 1)];
+    request.object = objects[rng.uniform(0, objects.size() - 1)];
+    request.access = rng.chance(0.5) ? AccessType::kRead : AccessType::kWrite;
+    request.mode = threat::ModeId{modes[rng.uniform(0, modes.size() - 1)]};
+    requests.push_back(std::move(request));
+  }
+  return requests;
+}
+
+/// Every (check, mode) question of the standard per-vehicle workload,
+/// including a mode no rule names and the mode-free form.
+std::vector<AccessRequest> workload_requests() {
+  const std::vector<std::string> modes = {"", "normal", "remote-diagnostic",
+                                          "fail-safe", "never-seen-mode"};
+  std::vector<AccessRequest> requests;
+  for (const car::FleetCheck& check : car::default_fleet_checks()) {
+    for (const std::string& mode : modes) {
+      requests.push_back(AccessRequest{check.subject, check.object,
+                                       check.access, threat::ModeId{mode}});
+    }
+  }
+  return requests;
+}
+
+// ------------------------------------------------------- round-trip parity
+
+TEST(PolicyBlob, RoundTripIsByteIdenticalOnTheCarPolicy) {
+  const CompiledPolicyImage& original = car_policy().image();
+  const std::vector<std::byte> blob = PolicyBlobWriter::write(original);
+  const CompiledPolicyImage loaded = PolicyBlobReader::load(blob);
+
+  EXPECT_EQ(loaded.fingerprint(), original.fingerprint());
+  EXPECT_EQ(loaded.name(), original.name());
+  EXPECT_EQ(loaded.version(), original.version());
+  EXPECT_EQ(loaded.size(), original.size());
+  EXPECT_EQ(loaded.default_allow(), original.default_allow());
+
+  for (const AccessRequest& request : workload_requests()) {
+    // Each image resolves through its own interner — the loaded one was
+    // rebuilt from the wire — and the Decisions must match byte for byte.
+    expect_same_decision(loaded.evaluate(loaded.resolve(request)),
+                         original.evaluate(original.resolve(request)),
+                         request.to_string());
+  }
+}
+
+TEST(PolicyBlob, RoundTripShuffledBatchParityUnderFuzz) {
+  sim::Rng rng(20260731);
+  for (int round = 0; round < 4; ++round) {
+    const PolicySet set = fuzz_policy_set(rng, 25, round % 2 == 1);
+    const CompiledPolicyImage& original = set.image();
+    const CompiledPolicyImage loaded =
+        PolicyBlobReader::load(PolicyBlobWriter::write(original));
+
+    std::vector<AccessRequest> requests = fuzz_requests(rng, 400);
+    // Shuffle deterministically so batch order differs from build order.
+    for (std::size_t i = requests.size(); i > 1; --i) {
+      std::swap(requests[i - 1], requests[rng.uniform(0, i - 1)]);
+    }
+    std::vector<core::SidRequest> resolved;
+    resolved.reserve(requests.size());
+    for (const AccessRequest& request : requests) {
+      resolved.push_back(loaded.resolve(request));
+    }
+    std::vector<Decision> batch(resolved.size());
+    loaded.evaluate_batch(resolved, batch);
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      expect_same_decision(batch[i],
+                           original.evaluate(original.resolve(requests[i])),
+                           requests[i].to_string());
+    }
+  }
+}
+
+TEST(PolicyBlob, FileRoundTripMatches) {
+  const CompiledPolicyImage& original = car_policy().image();
+  const std::string path = ::testing::TempDir() + "psme_policy.img";
+  PolicyBlobWriter::write_file(original, path);
+  const CompiledPolicyImage loaded = PolicyBlobReader::load_file(path);
+  EXPECT_EQ(loaded.fingerprint(), original.fingerprint());
+  std::remove(path.c_str());
+}
+
+TEST(PolicyBlob, ProbeSurfacesTheHeader) {
+  const CompiledPolicyImage& original = car_policy().image();
+  const std::vector<std::byte> blob = PolicyBlobWriter::write(original);
+  const core::PolicyBlobInfo info = PolicyBlobReader::probe(blob);
+  EXPECT_EQ(info.format_version, core::kPolicyBlobFormatVersion);
+  EXPECT_EQ(info.fingerprint, original.fingerprint());
+  EXPECT_EQ(info.image_version, original.version());
+  EXPECT_EQ(info.entry_count, original.size());
+  EXPECT_EQ(info.sid_count, original.sids().size());
+  EXPECT_EQ(info.total_size, blob.size());
+}
+
+// ------------------------------------------------------- SID-space rules
+
+TEST(PolicyBlob, LoadsIntoAPrefixCompatibleTable) {
+  const CompiledPolicyImage& original = car_policy().image();
+  const std::vector<std::byte> blob = PolicyBlobWriter::write(original);
+  // The original image's own table IS the blob's interning history —
+  // re-loading against it must succeed and preserve every SID.
+  const CompiledPolicyImage loaded =
+      PolicyBlobReader::load(blob, original.sid_table());
+  EXPECT_EQ(loaded.fingerprint(), original.fingerprint());
+  EXPECT_EQ(loaded.sid_table().get(), original.sid_table().get());
+}
+
+TEST(PolicyBlob, RejectsAConflictingSidTable) {
+  const CompiledPolicyImage& original = car_policy().image();
+  const std::vector<std::byte> blob = PolicyBlobWriter::write(original);
+  auto conflicting = std::make_shared<mac::SidTable>();
+  conflicting->intern("an-identity-the-blob-does-not-start-with");
+  EXPECT_THROW((void)PolicyBlobReader::load(blob, conflicting),
+               PolicyBlobError);
+}
+
+// ------------------------------------------------------- trust boundary
+
+std::vector<std::byte> car_blob() {
+  return PolicyBlobWriter::write(car_policy().image());
+}
+
+TEST(PolicyBlobRejection, Truncation) {
+  const std::vector<std::byte> blob = car_blob();
+  for (const std::size_t keep :
+       {std::size_t{0}, std::size_t{7}, std::size_t{63}, std::size_t{80},
+        blob.size() / 2, blob.size() - 1}) {
+    const std::vector<std::byte> cut(blob.begin(),
+                                     blob.begin() + static_cast<long>(keep));
+    EXPECT_THROW((void)PolicyBlobReader::load(cut), PolicyBlobError)
+        << "kept " << keep << " bytes";
+    EXPECT_THROW((void)PolicyBlobReader::probe(cut), PolicyBlobError)
+        << "kept " << keep << " bytes";
+  }
+}
+
+TEST(PolicyBlobRejection, FlippedMagic) {
+  std::vector<std::byte> blob = car_blob();
+  blob[0] ^= std::byte{0x01};
+  EXPECT_THROW((void)PolicyBlobReader::load(blob), PolicyBlobError);
+}
+
+TEST(PolicyBlobRejection, UnsupportedFormatVersion) {
+  std::vector<std::byte> blob = car_blob();
+  blob[8] = std::byte{99};  // format-version field (little-endian u32 at 8)
+  try {
+    (void)PolicyBlobReader::load(blob);
+    FAIL() << "version 99 accepted";
+  } catch (const PolicyBlobError& e) {
+    EXPECT_NE(std::string(e.what()).find("format version"), std::string::npos);
+  }
+}
+
+TEST(PolicyBlobRejection, FingerprintMismatch) {
+  std::vector<std::byte> blob = car_blob();
+  blob[32] ^= std::byte{0x01};  // fingerprint field (u64 at 32)
+  try {
+    (void)PolicyBlobReader::load(blob);
+    FAIL() << "tampered fingerprint accepted";
+  } catch (const PolicyBlobError& e) {
+    EXPECT_NE(std::string(e.what()).find("fingerprint"), std::string::npos);
+  }
+}
+
+TEST(PolicyBlobRejection, PayloadCorruption) {
+  std::vector<std::byte> blob = car_blob();
+  blob[blob.size() - 5] ^= std::byte{0x40};
+  try {
+    (void)PolicyBlobReader::load(blob);
+    FAIL() << "corrupted payload accepted";
+  } catch (const PolicyBlobError& e) {
+    EXPECT_NE(std::string(e.what()).find("checksum"), std::string::npos);
+  }
+}
+
+TEST(PolicyBlobRejection, EverySingleByteCorruptionIsDetected) {
+  // The strongest form of the trust-boundary claim: flip ANY byte of the
+  // blob and the loader must reject — the payload is checksummed and
+  // every header byte is individually validated (magic, version, tags,
+  // sizes, flags, reserved-zero, and the two hashes). Running this under
+  // ASan/UBSan (CI) also proves no corruption reaches undefined
+  // behaviour before the rejection fires.
+  const std::vector<std::byte> blob = car_blob();
+  for (std::size_t i = 0; i < blob.size(); ++i) {
+    std::vector<std::byte> bad = blob;
+    bad[i] ^= std::byte{0xFF};
+    EXPECT_THROW((void)PolicyBlobReader::load(bad), PolicyBlobError)
+        << "flip at byte " << i << " was accepted";
+  }
+}
+
+TEST(PolicyBlobRejection, TrailingBytes) {
+  std::vector<std::byte> blob = car_blob();
+  blob.push_back(std::byte{0});  // size field no longer matches
+  EXPECT_THROW((void)PolicyBlobReader::load(blob), PolicyBlobError);
+}
+
+TEST(PolicyBlobRejection, MissingFile) {
+  EXPECT_THROW((void)PolicyBlobReader::load_file("/nonexistent/policy.img"),
+               PolicyBlobError);
+}
+
+// ------------------------------------------------------- FleetBoot path
+
+TEST(FleetBoot, BootsFromBlobWithByteIdenticalSweeps) {
+  const CompiledPolicyImage& compiled = car_policy().image();
+  const std::vector<std::byte> blob = PolicyBlobWriter::write(compiled);
+
+  car::FleetEvaluatorOptions options;
+  options.fleet_size = 40;
+  car::FleetEvaluator reference(compiled, car::default_fleet_checks(),
+                                options);
+  car::FleetBoot boot(blob, car::default_fleet_checks(), options);
+
+  // Scatter modes identically on both fleets.
+  sim::Rng rng(99);
+  for (std::size_t v = 0; v < options.fleet_size; ++v) {
+    const auto mode = static_cast<car::CarMode>(rng.uniform(0, 2));
+    reference.set_mode(v, mode);
+    boot.fleet().set_mode(v, mode);
+  }
+
+  std::vector<Decision> reference_stream;
+  std::vector<Decision> boot_stream;
+  const auto collect = [](std::vector<Decision>& into) {
+    return [&into](std::span<const core::SidRequest>,
+                   std::span<const Decision> decisions) {
+      into.insert(into.end(), decisions.begin(), decisions.end());
+    };
+  };
+  const car::FleetTickStats want = reference.tick(collect(reference_stream));
+  const car::FleetTickStats got = boot.fleet().tick(collect(boot_stream));
+
+  EXPECT_EQ(got.decisions, want.decisions);
+  EXPECT_EQ(got.allowed, want.allowed);
+  EXPECT_EQ(got.denied, want.denied);
+  ASSERT_EQ(boot_stream.size(), reference_stream.size());
+  for (std::size_t i = 0; i < boot_stream.size(); ++i) {
+    expect_same_decision(boot_stream[i], reference_stream[i],
+                         "decision " + std::to_string(i));
+  }
+}
+
+TEST(FleetBoot, OtaUpdateSwapsPolicyAndRefusesRollback) {
+  const auto model = car::connected_car_threat_model();
+  const PolicySet v1 = car::full_policy(model, 1);
+  PolicySet v2 = car::full_policy(model, 2);
+  // v2 adds a top-priority global deny for one entry point — visibly
+  // different decisions after the update.
+  core::PolicyRule lockdown;
+  lockdown.id = "lockdown";
+  lockdown.subject = "ep.infotainment";
+  lockdown.object = "*";
+  lockdown.permission = threat::Permission::kNone;
+  lockdown.priority = 1000;
+  v2.add_rule(std::move(lockdown));
+
+  const std::vector<std::byte> blob_v1 = PolicyBlobWriter::write(v1.image());
+  const std::vector<std::byte> blob_v2 = PolicyBlobWriter::write(v2.image());
+
+  car::FleetEvaluatorOptions options;
+  options.fleet_size = 8;
+  car::FleetBoot boot(blob_v1, car::default_fleet_checks(), options);
+  boot.fleet().set_mode(3, car::CarMode::kFailSafe);
+  const std::uint64_t denied_v1 = boot.fleet().tick().denied;
+  EXPECT_EQ(boot.policy_version(), 1u);
+
+  // Malformed staging blob: rejected, live policy untouched.
+  std::vector<std::byte> corrupt = blob_v2;
+  corrupt[corrupt.size() - 1] ^= std::byte{0xFF};
+  EXPECT_THROW((void)boot.apply_update(corrupt), PolicyBlobError);
+  EXPECT_EQ(boot.policy_version(), 1u);
+
+  // The real update: applied, modes preserved, decisions now v2's.
+  EXPECT_TRUE(boot.apply_update(blob_v2));
+  EXPECT_EQ(boot.policy_version(), 2u);
+  EXPECT_EQ(boot.fleet().mode(3), car::CarMode::kFailSafe);
+  const std::uint64_t denied_v2 = boot.fleet().tick().denied;
+  EXPECT_GT(denied_v2, denied_v1);
+
+  // Replaying the old blob must not downgrade.
+  EXPECT_FALSE(boot.apply_update(blob_v1));
+  EXPECT_EQ(boot.policy_version(), 2u);
+}
+
+}  // namespace
+}  // namespace psme
