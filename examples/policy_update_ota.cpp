@@ -3,12 +3,14 @@
 // distributes it over the air — no redesign, no recall (paper Sec. V-A).
 //
 // The update travels in production form: the OEM compiles the threat
-// model ONCE, serialises the sealed image as a versioned binary policy
-// blob (core::PolicyBlobWriter), and every vehicle stages it with a
-// validated zero-recompile load — write -> validate -> load -> flush
-// stale cached decisions. Corrupted or replayed blobs are rejected at
-// the trust boundary; the keyed signature still guards authenticity at
-// the bundle layer.
+// model ONCE, reviews the structural diff (core::diff_policies), and
+// ships the reviewed change as a fingerprint-anchored binary DELTA
+// (core::PolicyDeltaWriter) — a fraction of the full blob's bytes for a
+// one-rule change. Every vehicle stages it with a validated apply:
+// check the base anchor -> replay the edit script -> swap -> flush
+// stale cached decisions. Corrupted, replayed or wrong-base deltas are
+// rejected at the trust boundary; the keyed signature still guards
+// authenticity at the bundle layer.
 //
 // Build & run:  ./build/examples/example_policy_update_ota
 #include <cstdio>
@@ -22,6 +24,8 @@
 #include "car/vehicle.h"
 #include "core/lifecycle.h"
 #include "core/policy_blob.h"
+#include "core/policy_delta.h"
+#include "core/policy_diff.h"
 #include "core/update.h"
 
 using namespace psme;
@@ -77,14 +81,7 @@ int main() {
   // makes visible.
   const core::PolicySet v1 = car::full_policy(car::connected_car_threat_model(), 1);
   core::PolicySet v2_fleet = car::full_policy(car::connected_car_threat_model(), 2);
-  core::PolicyRule quarantine;
-  quarantine.id = "T15.quarantine";
-  quarantine.subject = "ep.infotainment";
-  quarantine.object = "*";
-  quarantine.permission = threat::Permission::kNone;
-  quarantine.priority = 1000;
-  quarantine.rationale = "T15: aftermarket surface quarantined pending revalidation";
-  v2_fleet.add_rule(std::move(quarantine));
+  v2_fleet.add_rule(car::quarantine_rule());
   const std::vector<std::byte> blob_v1 = core::PolicyBlobWriter::write(v1.image());
   const std::vector<std::byte> blob_v2 = core::PolicyBlobWriter::write(v2_fleet.image());
   const core::PolicyBlobInfo info = core::PolicyBlobReader::probe(blob_v2);
@@ -93,6 +90,34 @@ int main() {
               static_cast<unsigned long long>(info.total_size),
               info.format_version, info.entry_count, info.sid_count,
               static_cast<unsigned long long>(info.fingerprint));
+
+  // -- the delta channel: ship (base fingerprint, edit script) -----------
+  // The release gate reviews the structural diff first (widening grants
+  // are the dangerous direction), then the SAME reviewed change goes on
+  // the wire as a binary delta anchored to v1's fingerprint — a fraction
+  // of the full blob for a one-rule change, which is what an OTA channel
+  // serving millions of vehicles actually pays for.
+  const core::PolicyDiff review = core::diff_policies(v1, v2_fleet);
+  std::printf("[oem]   release-gate diff (%zu change(s)%s):\n%s",
+              review.changes.size(),
+              review.widens_access() ? ", widens access — sign-off required"
+                                     : ", no widening",
+              review.render().c_str());
+  const core::CompiledPolicyImage delta_target =
+      core::CompiledPolicyImage::from_policy_set(
+          v2_fleet, core::replicate_sid_prefix(v1.image().sids(),
+                                               v1.image().sids().size()));
+  core::PolicyDeltaStats delta_stats;
+  const std::vector<std::byte> delta =
+      core::PolicyDeltaWriter::write(v1.image(), delta_target, &delta_stats);
+  std::printf("[oem]   v1->v2 staged as policy delta: %zu bytes vs %zu "
+              "(%.1f%% of the full blob; %u copied / %u added / %u removed "
+              "/ %u changed)\n",
+              delta.size(), blob_v2.size(),
+              100.0 * static_cast<double>(delta.size()) /
+                  static_cast<double>(blob_v2.size()),
+              delta_stats.copied, delta_stats.added, delta_stats.removed,
+              delta_stats.changed);
 
   // Fleet side: vehicles booted the v1 blob (zero recompile — the blob IS
   // the policy; no threat model, no derivation on the vehicle).
@@ -107,30 +132,41 @@ int main() {
               static_cast<unsigned long long>(before.decisions),
               static_cast<unsigned long long>(before.denied));
 
-  // A corrupted copy arrives first (bit error in transit / tampering):
-  // the validated load rejects it and the running policy is untouched.
-  std::vector<std::byte> corrupted = blob_v2;
+  // A corrupted delta arrives first (bit error in transit / tampering):
+  // the validated apply rejects it and the running policy is untouched.
+  std::vector<std::byte> corrupted = delta;
   corrupted[corrupted.size() / 2] ^= std::byte{0x20};
   try {
-    (void)fleet_boot.apply_update(corrupted);
-    std::printf("[fleet] corrupted blob accepted (BUG!)\n");
-  } catch (const core::PolicyBlobError& error) {
-    std::printf("[fleet] corrupted blob rejected: %s\n", error.what());
+    (void)fleet_boot.apply_delta_update(corrupted);
+    std::printf("[fleet] corrupted delta accepted (BUG!)\n");
+  } catch (const core::PolicyDeltaError& error) {
+    std::printf("[fleet] corrupted delta rejected: %s\n", error.what());
   }
 
-  // The intact v2 blob: validate -> load -> swap -> stale decisions
-  // flushed (the evaluator re-resolves everything against the new image).
-  if (fleet_boot.apply_update(blob_v2)) {
+  // The intact delta: validate the base anchor -> apply the edit script
+  // -> swap -> stale decisions flushed (the evaluator re-resolves
+  // everything against the applied image).
+  if (fleet_boot.apply_delta_update(delta)) {
     const car::FleetTickStats after = fleet_boot.fleet().tick();
-    std::printf("[fleet] v2 blob applied (policy v%llu), caches flushed: "
-                "%llu denied/sweep (was %llu — the quarantine rule "
-                "bites)\n",
+    std::printf("[fleet] v1->v2 delta applied (policy v%llu), caches "
+                "flushed: %llu denied/sweep (was %llu — the quarantine "
+                "rule bites)\n",
                 static_cast<unsigned long long>(fleet_boot.policy_version()),
                 static_cast<unsigned long long>(after.denied),
                 static_cast<unsigned long long>(before.denied));
   }
 
-  // A replayed v1 blob must not downgrade the fleet.
+  // Replaying the same delta cannot touch the fleet: it is anchored to
+  // v1's fingerprint and the fleet now runs v2.
+  try {
+    (void)fleet_boot.apply_delta_update(delta);
+    std::printf("[fleet] replayed delta accepted (BUG!)\n");
+  } catch (const core::PolicyDeltaError&) {
+    std::printf("[fleet] replayed v1->v2 delta rejected: base fingerprint "
+                "no longer matches\n");
+  }
+
+  // A replayed v1 blob must not downgrade the fleet either.
   std::printf("[fleet] replayed v1 blob accepted: %s\n",
               fleet_boot.apply_update(blob_v1) ? "YES (BUG!)" : "no (version rollback)");
 

@@ -102,4 +102,18 @@ core::PolicySet full_policy(const threat::ThreatModel& model,
   return full;
 }
 
+core::PolicyRule quarantine_rule() {
+  // Aggregate-constructed (not field-assigned): gcc 12's -O3 restrict
+  // pass false-positives on assigning a long literal into an empty
+  // std::string member, and the library builds with -Werror.
+  return core::PolicyRule{
+      "T15.quarantine",
+      "ep.infotainment",
+      "*",
+      threat::Permission::kNone,
+      {},
+      1000,
+      "T15: aftermarket surface quarantined pending revalidation"};
+}
+
 }  // namespace psme::car

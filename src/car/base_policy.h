@@ -22,4 +22,12 @@ namespace psme::car {
 [[nodiscard]] core::PolicySet full_policy(const threat::ThreatModel& model,
                                           std::uint64_t version = 1);
 
+/// The canonical post-deployment 1-rule OTA change (paper Sec. V-A, the
+/// T15 response): quarantine the aftermarket-facing infotainment entry
+/// point at top priority pending revalidation. ONE definition shared by
+/// the OTA example, the provisioning CLI, the delta tests and
+/// bench_policy_delta, so the "1-rule update" they all stage, measure
+/// and interop-compare is the same rule.
+[[nodiscard]] core::PolicyRule quarantine_rule();
+
 }  // namespace psme::car

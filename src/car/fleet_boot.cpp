@@ -31,10 +31,24 @@ bool FleetBoot::apply_update(std::span<const std::byte> blob) {
   // the running policy keeps answering. The update loads into a fresh SID
   // space — the blob is self-contained, so the old and new interners need
   // not agree (the evaluator re-resolves its workload below).
-  auto updated_image =
-      std::make_unique<core::CompiledPolicyImage>(core::PolicyBlobReader::load(blob));
+  return commit_update(std::make_unique<core::CompiledPolicyImage>(
+      core::PolicyBlobReader::load(blob)));
+}
+
+bool FleetBoot::apply_delta_update(std::span<const std::byte> delta) {
+  // The delta channel validates against the RUNNING image: the anchor
+  // fingerprint must match *image_ or apply() throws PolicyDeltaError
+  // and the running policy keeps answering. Like the blob path, the
+  // applied image owns a fresh SID space (base prefix + carried
+  // extension) and the evaluator re-resolves its workload below.
+  return commit_update(std::make_unique<core::CompiledPolicyImage>(
+      core::PolicyDeltaReader::apply(*image_, delta)));
+}
+
+bool FleetBoot::commit_update(
+    std::unique_ptr<core::CompiledPolicyImage> updated_image) {
   if (updated_image->version() <= image_->version()) {
-    return false;  // rollback refused; a replayed old blob changes nothing
+    return false;  // rollback refused; a replayed old update changes nothing
   }
 
   // Build the COMPLETE replacement — evaluator re-interning the workload

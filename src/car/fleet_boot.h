@@ -10,12 +10,15 @@
 // space) and the evaluator over it, so callers hold one object instead
 // of wiring image lifetime by hand.
 //
-// OTA updates ride the same format: apply_update() validates and loads
-// the staged blob, refuses version rollbacks, swaps the image in, and
-// rebuilds the evaluator — every cached SID resolution and prototype
-// decision from the old policy is flushed; per-vehicle operating modes
-// survive the swap (a fail-safe car stays in fail-safe through an
-// update).
+// OTA updates ride two channels over one staging flow: apply_update()
+// takes a full self-contained blob, apply_delta_update() takes a
+// fingerprint-anchored binary delta against the RUNNING image
+// (core/policy_delta.h — a fraction of the blob's bytes when few rules
+// changed). Both validate first, refuse version rollbacks, swap the
+// image in, and rebuild the evaluator — every cached SID resolution and
+// prototype decision from the old policy is flushed; per-vehicle
+// operating modes survive the swap (a fail-safe car stays in fail-safe
+// through an update).
 #pragma once
 
 #include <cstddef>
@@ -25,6 +28,7 @@
 
 #include "car/fleet_evaluator.h"
 #include "core/policy_blob.h"
+#include "core/policy_delta.h"
 #include "core/policy_image.h"
 
 namespace psme::car {
@@ -68,9 +72,29 @@ class FleetBoot {
   /// the running policy answering exactly as before.
   [[nodiscard]] bool apply_update(std::span<const std::byte> blob);
 
+  /// Stages an OTA policy update delivered as a fingerprint-anchored
+  /// binary delta (core/policy_delta.h) — the bandwidth-frugal channel:
+  /// validate that the delta is anchored to the RUNNING image's
+  /// fingerprint, apply the edit script into a fresh sealed image
+  /// (malformed, wrong-base or tampered deltas throw
+  /// core::PolicyDeltaError and change nothing), refuse version
+  /// rollbacks (returns false, changes nothing), then the same swap as
+  /// apply_update: evaluator rebuilt, every cached resolution and
+  /// prototype decision flushed, vehicle modes carried over. Returns
+  /// true when the update is live. Same strong guarantee: the
+  /// replacement image AND evaluator are fully built before the old
+  /// ones are released.
+  [[nodiscard]] bool apply_delta_update(std::span<const std::byte> delta);
+
  private:
   void boot(core::CompiledPolicyImage image, std::vector<FleetCheck> checks,
             FleetEvaluatorOptions options);
+
+  /// The shared tail of both update channels: rollback refusal, complete
+  /// replacement construction (modes carried over), then the no-throw
+  /// pointer-swap commit. Returns false (changing nothing) on rollback.
+  [[nodiscard]] bool commit_update(
+      std::unique_ptr<core::CompiledPolicyImage> updated_image);
 
   std::unique_ptr<core::CompiledPolicyImage> image_;
   std::vector<FleetCheck> checks_;  // kept to rebuild on update

@@ -2,7 +2,6 @@
 
 #include <array>
 #include <cstring>
-#include <fstream>
 #include <string_view>
 #include <utility>
 
@@ -12,9 +11,10 @@ namespace {
 
 // ---------------------------------------------------------------- layout
 //
-// All multi-byte fields are little-endian, written and read through
-// shift-based byte stores so the encoding is identical on any host.
-// Fixed header (kHeaderSize bytes), then the payload sections in order:
+// All multi-byte fields are little-endian, written and read through the
+// shared shift-based byte stores (core/wire_format.h) so the encoding is
+// identical on any host. Fixed header (kHeaderSize bytes) opening with
+// the shared 32-byte wire prefix, then the payload sections in order:
 // image name, SID names, packed entries, metas, mode table, index slots,
 // index spans, flat entry indices. DESIGN.md "Persistent image format"
 // is the normative description.
@@ -23,19 +23,15 @@ constexpr std::array<std::byte, kPolicyBlobMagicSize> kMagic = {
     std::byte{'P'}, std::byte{'S'}, std::byte{'M'}, std::byte{'E'},
     std::byte{'P'}, std::byte{'I'}, std::byte{'M'}, std::byte{'G'}};
 
-constexpr std::uint32_t kEndianTag = 0x01020304u;
+constexpr std::string_view kDomain = "policy blob";
 constexpr std::size_t kHeaderSize = 80;
 /// One packed entry on the wire: subject u32, object u32, permission u8,
 /// specificity u8, 2 reserved bytes, priority i32, mode_mask u64, meta
 /// u32.
 constexpr std::size_t kEntryRecordSize = 28;
 
-// Header field offsets (bytes from blob start).
-constexpr std::size_t kOffMagic = 0;
-constexpr std::size_t kOffFormatVersion = 8;
-constexpr std::size_t kOffEndianTag = 12;
-constexpr std::size_t kOffTotalSize = 16;
-constexpr std::size_t kOffPayloadHash = 24;
+// Header field offsets (bytes from blob start). Offsets 0..31 are the
+// shared wire prefix (wire::kOffMagic .. wire::kOffPayloadHash).
 constexpr std::size_t kOffFingerprint = 32;
 constexpr std::size_t kOffImageVersion = 40;
 constexpr std::size_t kOffSidCount = 48;
@@ -48,138 +44,18 @@ constexpr std::size_t kOffWildcardSid = 72;
 constexpr std::size_t kOffDefaultAllow = 76;  // u8; bytes 77..79 reserved 0
 
 [[noreturn]] void reject(const std::string& what) {
-  throw PolicyBlobError("policy blob: " + what);
+  wire::reject<PolicyBlobError>(kDomain, what);
 }
 
-void put_u32(std::vector<std::byte>& out, std::uint32_t v) {
-  for (int i = 0; i < 4; ++i) {
-    out.push_back(std::byte(static_cast<unsigned char>(v >> (i * 8))));
-  }
-}
+using wire::load_u32;
+using wire::load_u64;
+using wire::put_str;
+using wire::put_u32;
+using wire::put_u64;
+using wire::store_u32;
+using wire::store_u64;
 
-void put_u64(std::vector<std::byte>& out, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) {
-    out.push_back(std::byte(static_cast<unsigned char>(v >> (i * 8))));
-  }
-}
-
-void put_str(std::vector<std::byte>& out, std::string_view s) {
-  put_u32(out, static_cast<std::uint32_t>(s.size()));
-  for (const char ch : s) {
-    out.push_back(std::byte(static_cast<unsigned char>(ch)));
-  }
-}
-
-void store_u32(std::byte* at, std::uint32_t v) {
-  for (int i = 0; i < 4; ++i) {
-    at[i] = std::byte(static_cast<unsigned char>(v >> (i * 8)));
-  }
-}
-
-void store_u64(std::byte* at, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) {
-    at[i] = std::byte(static_cast<unsigned char>(v >> (i * 8)));
-  }
-}
-
-[[nodiscard]] std::uint32_t load_u32(const std::byte* at) noexcept {
-  return mac::load_le_u32(at);
-}
-
-[[nodiscard]] std::uint64_t load_u64(const std::byte* at) noexcept {
-  return mac::load_le_u64(at);
-}
-
-/// Payload checksum: the repo's bulk hash (mac::hash_chain_bytes) over
-/// the raw payload. Word-at-a-time instead of the byte-wise FNV because
-/// this runs on the boot hot path over the whole payload — the
-/// blob-load-vs-compile speedup lives or dies on it — and corruption
-/// detection (not collision resistance) is all the field promises. The
-/// keyed PolicySigner remains the integrity tag; this is the transport
-/// canary.
-[[nodiscard]] std::uint64_t hash_bytes(
-    std::span<const std::byte> bytes) noexcept {
-  if (bytes.empty()) return mac::hash_chain_u64(0, mac::kFnv1aOffset);
-  return mac::hash_chain_bytes(
-      std::string_view(reinterpret_cast<const char*>(bytes.data()),
-                       bytes.size()),
-      mac::kFnv1aOffset);
-}
-
-/// Bounds-checked reader over the payload: every length and count coming
-/// off the wire is validated against the remaining bytes BEFORE any
-/// access, so a hostile blob can at worst earn a PolicyBlobError.
-class Cursor {
- public:
-  explicit Cursor(std::span<const std::byte> bytes) : bytes_(bytes) {}
-
-  [[nodiscard]] std::uint32_t u32() {
-    need(4, "u32 field");
-    const std::uint32_t v = load_u32(bytes_.data() + pos_);
-    pos_ += 4;
-    return v;
-  }
-
-  [[nodiscard]] std::uint64_t u64() {
-    need(8, "u64 field");
-    const std::uint64_t v = load_u64(bytes_.data() + pos_);
-    pos_ += 8;
-    return v;
-  }
-
-  [[nodiscard]] std::uint8_t u8() {
-    need(1, "u8 field");
-    return std::to_integer<std::uint8_t>(bytes_[pos_++]);
-  }
-
-  [[nodiscard]] std::string str() { return raw(u32()); }
-
-  /// `len` bytes as a string — bounds-checked BEFORE any allocation, so
-  /// a hostile length cannot trigger a multi-gigabyte zeroed buffer.
-  [[nodiscard]] std::string raw(std::size_t len) {
-    need(len, "string bytes");
-    std::string s(reinterpret_cast<const char*>(bytes_.data() + pos_), len);
-    pos_ += len;
-    return s;
-  }
-
-  /// Bounds-checks and consumes `n` bytes, returning their start: the
-  /// fixed-size record sections (entries, index arrays) pay ONE check
-  /// per block and decode with direct loads.
-  [[nodiscard]] const std::byte* take(std::size_t n) {
-    need(n, "fixed-size section");
-    const std::byte* at = bytes_.data() + pos_;
-    pos_ += n;
-    return at;
-  }
-
-  /// A length-prefixed string as a VIEW into the blob (no copy; valid
-  /// while the blob buffer lives). The SID-replay loop hands these to
-  /// intern(), which copies into its own arena — no temporary string.
-  [[nodiscard]] std::string_view view() {
-    const std::uint32_t len = u32();
-    need(len, "string bytes");
-    const std::string_view s(
-        reinterpret_cast<const char*>(bytes_.data() + pos_), len);
-    pos_ += len;
-    return s;
-  }
-
-  [[nodiscard]] bool exhausted() const noexcept {
-    return pos_ == bytes_.size();
-  }
-
- private:
-  void need(std::size_t n, const char* what) const {
-    if (bytes_.size() - pos_ < n) {
-      reject(std::string("truncated payload (") + what +
-             " overruns the blob)");
-    }
-  }
-
-  std::span<const std::byte> bytes_;
-  std::size_t pos_ = 0;
-};
+using Cursor = wire::Cursor<PolicyBlobError>;
 
 struct Header {
   std::uint32_t format_version = 0;
@@ -197,36 +73,17 @@ struct Header {
   bool default_allow = false;
 };
 
-/// Validates everything the fixed header can prove on its own: magic,
-/// endianness, format version, exact size, payload checksum.
+/// Validates everything the fixed header can prove on its own: the
+/// shared wire prefix (magic, version, endianness, exact size, payload
+/// checksum — core/wire_format.h), then the blob-specific fields.
 [[nodiscard]] Header validate_header(std::span<const std::byte> blob) {
-  if (blob.size() < kHeaderSize) {
-    reject("truncated (smaller than the fixed header)");
-  }
-  if (std::memcmp(blob.data() + kOffMagic, kMagic.data(), kMagic.size()) !=
-      0) {
-    reject("bad magic (not a policy image blob)");
-  }
+  wire::validate_prefix<PolicyBlobError>(blob, kMagic,
+                                         kPolicyBlobFormatVersion,
+                                         kHeaderSize, kDomain);
   Header h;
-  h.format_version = load_u32(blob.data() + kOffFormatVersion);
-  if (h.format_version != kPolicyBlobFormatVersion) {
-    reject("unsupported format version " + std::to_string(h.format_version) +
-           " (reader speaks version " +
-           std::to_string(kPolicyBlobFormatVersion) + ")");
-  }
-  const std::uint32_t endian = load_u32(blob.data() + kOffEndianTag);
-  if (endian != kEndianTag) {
-    reject("endianness tag mismatch (corrupt or foreign byte order)");
-  }
-  h.total_size = load_u64(blob.data() + kOffTotalSize);
-  if (h.total_size != blob.size()) {
-    reject("size mismatch (header claims " + std::to_string(h.total_size) +
-           " bytes, got " + std::to_string(blob.size()) + " — truncated?)");
-  }
-  h.payload_hash = load_u64(blob.data() + kOffPayloadHash);
-  if (hash_bytes(blob.subspan(kHeaderSize)) != h.payload_hash) {
-    reject("payload checksum mismatch (corrupted in transit)");
-  }
+  h.format_version = kPolicyBlobFormatVersion;
+  h.total_size = blob.size();
+  h.payload_hash = load_u64(blob.data() + wire::kOffPayloadHash);
   h.fingerprint = load_u64(blob.data() + kOffFingerprint);
   h.image_version = load_u64(blob.data() + kOffImageVersion);
   h.sid_count = load_u32(blob.data() + kOffSidCount);
@@ -311,11 +168,11 @@ std::vector<std::byte> PolicyBlobWriter::write(
   for (const std::uint32_t i : image.flat_index_) put_u32(payload, i);
 
   std::vector<std::byte> blob(kHeaderSize);
-  std::memcpy(blob.data() + kOffMagic, kMagic.data(), kMagic.size());
-  store_u32(blob.data() + kOffFormatVersion, kPolicyBlobFormatVersion);
-  store_u32(blob.data() + kOffEndianTag, kEndianTag);
-  store_u64(blob.data() + kOffTotalSize, kHeaderSize + payload.size());
-  store_u64(blob.data() + kOffPayloadHash, hash_bytes(payload));
+  std::memcpy(blob.data() + wire::kOffMagic, kMagic.data(), kMagic.size());
+  store_u32(blob.data() + wire::kOffFormatVersion, kPolicyBlobFormatVersion);
+  store_u32(blob.data() + wire::kOffEndianTag, wire::kEndianTag);
+  store_u64(blob.data() + wire::kOffTotalSize, kHeaderSize + payload.size());
+  store_u64(blob.data() + wire::kOffPayloadHash, wire::hash_payload(payload));
   store_u64(blob.data() + kOffFingerprint, image.fingerprint());
   store_u64(blob.data() + kOffImageVersion, image.version_);
   store_u32(blob.data() + kOffSidCount,
@@ -342,12 +199,7 @@ std::vector<std::byte> PolicyBlobWriter::write(
 
 void PolicyBlobWriter::write_file(const CompiledPolicyImage& image,
                                   const std::string& path) {
-  const std::vector<std::byte> blob = write(image);
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) reject("cannot open '" + path + "' for writing");
-  out.write(reinterpret_cast<const char*>(blob.data()),
-            static_cast<std::streamsize>(blob.size()));
-  if (!out) reject("short write to '" + path + "'");
+  wire::write_file<PolicyBlobError>(write(image), path, kDomain);
 }
 
 // ------------------------------------------------------------------ reader
@@ -387,7 +239,7 @@ CompiledPolicyImage PolicyBlobReader::load(
     reject("section counts exceed the blob's own size");
   }
 
-  Cursor cursor(blob.subspan(kHeaderSize));
+  Cursor cursor(blob.subspan(kHeaderSize), kDomain);
 
   CompiledPolicyImage image;
   // Image name: length lives in the header, bytes open the payload.
@@ -584,16 +436,8 @@ CompiledPolicyImage PolicyBlobReader::load(
 
 CompiledPolicyImage PolicyBlobReader::load_file(
     const std::string& path, std::shared_ptr<mac::SidTable> sids) {
-  std::ifstream in(path, std::ios::binary | std::ios::ate);
-  if (!in) reject("cannot open '" + path + "' for reading");
-  const std::streamsize size = in.tellg();
-  in.seekg(0);
-  std::vector<std::byte> blob(static_cast<std::size_t>(size));
-  if (!blob.empty()) {
-    in.read(reinterpret_cast<char*>(blob.data()), size);
-    if (!in) reject("short read from '" + path + "'");
-  }
-  return load(blob, std::move(sids));
+  return load(wire::read_file<PolicyBlobError>(path, kDomain),
+              std::move(sids));
 }
 
 }  // namespace psme::core

@@ -41,6 +41,7 @@
 #include <vector>
 
 #include "core/policy_image.h"
+#include "core/wire_format.h"
 #include "mac/sid_table.h"
 
 namespace psme::core {
@@ -48,9 +49,11 @@ namespace psme::core {
 /// Rejection of a malformed, truncated, tampered or incompatible blob.
 /// The message names the failed check (magic, version, checksum,
 /// fingerprint, a specific structural bound) — OTA tooling logs it.
-class PolicyBlobError : public std::runtime_error {
+/// Derives from PolicyWireError (core/wire_format.h) so the blob and
+/// delta formats share one catchable error taxonomy at the OTA boundary.
+class PolicyBlobError : public PolicyWireError {
  public:
-  using std::runtime_error::runtime_error;
+  using PolicyWireError::PolicyWireError;
 };
 
 /// Current on-wire format version. Bump on any layout change; readers

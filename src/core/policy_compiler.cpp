@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "core/policy_delta.h"
+
 namespace psme::core {
 
 int PolicyCompiler::band_weight(threat::RiskBand band) noexcept {
@@ -207,6 +209,18 @@ CompiledPolicyImage PolicyCompiler::compile_threat_to_image(
   derivation.emit_rules_for(*threat, model, options_.base_priority);
   return derivation.to_image(options_.name + "/" + id.value, options_.version,
                              options_.default_allow);
+}
+
+std::vector<std::byte> PolicyCompiler::compile_delta(
+    const CompiledPolicyImage& base, const threat::ThreatModel& model,
+    PolicyDeltaStats* stats) const {
+  // The replica keeps the deployed base image (and any fleet-shared
+  // interner behind it) untouched while guaranteeing the target compiles
+  // into the same SID space: new names extend the prefix, existing names
+  // keep their fleet-wide SIDs.
+  const CompiledPolicyImage target = compile_to_image(
+      model, replicate_sid_prefix(base.sids(), base.sids().size()));
+  return PolicyDeltaWriter::write(base, target, stats);
 }
 
 }  // namespace psme::core

@@ -16,8 +16,10 @@
 // that edits, diffs or serialises policy text.
 #pragma once
 
+#include <cstddef>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/policy.h"
 #include "core/policy_image.h"
@@ -25,6 +27,10 @@
 #include "threat/threat_model.h"
 
 namespace psme::core {
+
+struct PolicyDeltaStats;  // core/policy_delta.h — only compile_delta's
+                          // optional out-param; the wire API stays out of
+                          // this widely-included header
 
 struct CompilerOptions {
   /// Name given to the produced policy set.
@@ -70,6 +76,19 @@ class PolicyCompiler {
   [[nodiscard]] CompiledPolicyImage compile_threat_to_image(
       const threat::ThreatModel& model, const threat::ThreatId& id,
       std::shared_ptr<mac::SidTable> sids = nullptr) const;
+
+  /// The diff-to-delta OTA path: compiles `model` against a prefix
+  /// replica of `base`'s SID space (so the result is a SID-compatible
+  /// extension — `base` and its interner are never mutated) and encodes
+  /// the edit script from `base` to it as a fingerprint-anchored binary
+  /// delta (core/policy_delta.h). This is what the release gate ships
+  /// after core::diff_policies has been reviewed: the reviewed rule
+  /// changes, in wire form, at a fraction of the full blob's bytes.
+  /// When `stats` is non-null the script composition (copied / added /
+  /// removed / changed entries) is reported through it.
+  [[nodiscard]] std::vector<std::byte> compile_delta(
+      const CompiledPolicyImage& base, const threat::ThreatModel& model,
+      PolicyDeltaStats* stats = nullptr) const;
 
   /// Priority contribution of a DREAD band (exposed for tests).
   [[nodiscard]] static int band_weight(threat::RiskBand band) noexcept;

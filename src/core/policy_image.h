@@ -137,10 +137,15 @@ class CompiledPolicyImage {
 
   /// The persistent-blob subsystem (core/policy_blob.h) serialises the
   /// sealed representation verbatim and reconstructs it without
-  /// recompiling; it is the only code besides Builder allowed behind the
+  /// recompiling, and the delta OTA channel (core/policy_delta.h) diffs
+  /// two sealed images and replays the edit script into a fresh one;
+  /// they are the only code besides Builder allowed behind the
   /// immutability boundary.
   friend class PolicyBlobWriter;
   friend class PolicyBlobReader;
+  friend class PolicyDeltaWriter;
+  friend class PolicyDeltaReader;
+  friend struct PolicyDeltaDetail;  // shared writer/reader delta helpers
 
   /// Audit payload per rule, materialised once at build time.
   struct Meta {
