@@ -18,9 +18,14 @@
 //                    + prove the fingerprints and the full workload
 //                    decision stream match byte for byte (exit 1 on any
 //                    difference or rejection)
+//   example_policy_blob_io write-v1 <path> [version]
+//                    same policy, serialised in the legacy v1 layout
+//                    (the copying-loader compat path CI cross-checks)
 //   example_policy_blob_io info <path>
 //                    print the validated header — detects blob vs delta
-//                    by magic
+//                    by magic. For a v2 blob, additionally prints the
+//                    per-section layout table: offset, size and
+//                    alignment of every zero-copy section
 //   example_policy_blob_io delta <base-blob> <target-blob> <delta-out>
 //                    image-level diff-to-delta: load both blobs, write
 //                    the fingerprint-anchored edit script
@@ -90,11 +95,12 @@ bool has_magic(std::span<const std::byte> bytes,
 int main(int argc, char** argv) {
   const std::string command = argc >= 2 ? argv[1] : "";
   const bool three_arg = command == "delta" || command == "apply";
+  const bool write_like = command == "write" || command == "write-v1";
   if ((three_arg && argc != 5) ||
-      (!three_arg && command == "write" && (argc < 3 || argc > 4)) ||
-      (!three_arg && command != "write" && argc != 3)) {
+      (!three_arg && write_like && (argc < 3 || argc > 4)) ||
+      (!three_arg && !write_like && argc != 3)) {
     std::fprintf(stderr,
-                 "usage: %s write <blob-path> [version]\n"
+                 "usage: %s write|write-v1 <blob-path> [version]\n"
                  "       %s check|info <path>\n"
                  "       %s delta <base-blob> <target-blob> <delta-out>\n"
                  "       %s apply <base-blob> <delta> <image-out>\n",
@@ -104,7 +110,7 @@ int main(int argc, char** argv) {
   const std::string path = argv[2];
 
   try {
-    if (command == "write") {
+    if (write_like) {
       std::uint64_t version = 1;
       if (argc == 4) {
         char* end = nullptr;
@@ -116,9 +122,20 @@ int main(int argc, char** argv) {
         }
       }
       const core::PolicySet policy = default_policy(version);
-      core::PolicyBlobWriter::write_file(policy.image(), path);
-      std::printf("wrote %s: v%llu, %zu rules, fingerprint %016llx\n",
-                  path.c_str(), static_cast<unsigned long long>(version),
+      if (command == "write-v1") {
+        const std::vector<std::byte> blob =
+            core::PolicyBlobWriter::write_v1(policy.image());
+        core::wire::write_file<core::PolicyBlobError>(blob, path,
+                                                      "policy blob");
+      } else {
+        core::PolicyBlobWriter::write_file(policy.image(), path);
+      }
+      std::printf("wrote %s (format v%u): v%llu, %zu rules, fingerprint "
+                  "%016llx\n",
+                  path.c_str(),
+                  command == "write-v1" ? core::kPolicyBlobFormatVersionV1
+                                        : core::kPolicyBlobFormatVersion,
+                  static_cast<unsigned long long>(version),
                   policy.image().size(),
                   static_cast<unsigned long long>(policy.image().fingerprint()));
       return 0;
@@ -141,14 +158,30 @@ int main(int argc, char** argv) {
                     static_cast<unsigned long long>(info.total_size));
         return 0;
       }
+      const core::PolicyBlobInfo header = core::PolicyBlobReader::probe(bytes);
       const core::CompiledPolicyImage image =
           core::PolicyBlobReader::load(bytes);
-      std::printf("%s: image '%s' v%llu, %zu rules, %zu names, "
-                  "fingerprint %016llx\n",
+      std::printf("%s: image '%s' v%llu (format v%u), %zu rules, %zu names, "
+                  "fingerprint %016llx, %llu bytes\n",
                   path.c_str(), image.name().c_str(),
                   static_cast<unsigned long long>(image.version()),
-                  image.size(), image.sids().size(),
-                  static_cast<unsigned long long>(image.fingerprint()));
+                  header.format_version, image.size(), image.sids().size(),
+                  static_cast<unsigned long long>(image.fingerprint()),
+                  static_cast<unsigned long long>(header.total_size));
+      if (header.format_version >= 2) {
+        // The zero-copy layout: every section the loader views in place.
+        std::printf("  %-18s %10s %10s %7s %9s\n", "section", "offset",
+                    "size", "align", "pad-to-8");
+        for (const core::PolicyBlobSection& section :
+             core::policy_blob_layout(bytes)) {
+          std::size_t align = 1;
+          while (align < 8 && section.offset % (align * 2) == 0) align *= 2;
+          const std::size_t padded = (section.size + 7) & ~std::size_t{7};
+          std::printf("  %-18s %10zu %10zu %7zu %9zu\n", section.name,
+                      section.offset, section.size, align,
+                      padded - section.size);
+        }
+      }
       return 0;
     }
     if (command == "check") {

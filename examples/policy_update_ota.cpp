@@ -15,6 +15,7 @@
 // Build & run:  ./build/examples/example_policy_update_ota
 #include <cstdio>
 #include <iostream>
+#include <string>
 #include <vector>
 
 #include "attack/attacker.h"
@@ -131,6 +132,31 @@ int main() {
               static_cast<unsigned long long>(fleet_boot.policy_version()),
               static_cast<unsigned long long>(before.decisions),
               static_cast<unsigned long long>(before.denied));
+
+  // -- boot from the local policy store: mmap-backed zero-copy -----------
+  // A provisioned vehicle keeps the validated blob as a FILE in its
+  // policy store. Booting from the path maps it read-only and the image
+  // VIEWS the mapping in place (format v2, BlobTrust::kSealedStore):
+  // no copy, no per-rule pass — O(1) in policy size (bench_policy_blob's
+  // flat-attach row). The decision stream is byte-identical to the
+  // in-memory boot above.
+  const std::string store_path = "/tmp/psme_ota_policy_store.img";
+  core::PolicyBlobWriter::write_file(v1.image(), store_path);
+  car::FleetBoot store_boot(store_path, car::default_fleet_checks(),
+                            fleet_options, core::BlobTrust::kSealedStore);
+  const car::FleetTickStats store_sweep = store_boot.fleet().tick();
+  std::printf("[fleet] re-boot from policy store '%s' (mmap, sealed attach): "
+              "policy v%llu, %llu decisions/sweep, %llu denied — %s the "
+              "in-memory boot\n",
+              store_path.c_str(),
+              static_cast<unsigned long long>(store_boot.policy_version()),
+              static_cast<unsigned long long>(store_sweep.decisions),
+              static_cast<unsigned long long>(store_sweep.denied),
+              store_sweep.decisions == before.decisions &&
+                      store_sweep.denied == before.denied
+                  ? "matches"
+                  : "DIVERGES FROM (BUG!)");
+  std::remove(store_path.c_str());
 
   // A corrupted delta arrives first (bit error in transit / tampering):
   // the validated apply rejects it and the running policy is untouched.

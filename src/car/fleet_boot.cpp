@@ -12,9 +12,9 @@ FleetBoot::FleetBoot(std::span<const std::byte> blob,
 
 FleetBoot::FleetBoot(const std::string& blob_path,
                      std::vector<FleetCheck> checks,
-                     FleetEvaluatorOptions options) {
-  boot(core::PolicyBlobReader::load_file(blob_path), std::move(checks),
-       options);
+                     FleetEvaluatorOptions options, core::BlobTrust trust) {
+  boot(core::PolicyBlobReader::load_file(blob_path, nullptr, trust),
+       std::move(checks), options);
 }
 
 void FleetBoot::boot(core::CompiledPolicyImage image,

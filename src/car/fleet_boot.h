@@ -42,9 +42,15 @@ class FleetBoot {
   FleetBoot(std::span<const std::byte> blob, std::vector<FleetCheck> checks,
             FleetEvaluatorOptions options = {});
 
-  /// As above, loading the blob from a file.
+  /// As above, loading the blob from a file — mmap-backed where the
+  /// platform allows, so a v2 blob boots as a zero-copy view over the
+  /// mapping (core/policy_buffer.h). `trust` selects the validation
+  /// depth: kUntrusted (default) runs the full one-pass validation;
+  /// kSealedStore is the O(1) attach for a blob staged and validated on
+  /// this device earlier (core::BlobTrust).
   FleetBoot(const std::string& blob_path, std::vector<FleetCheck> checks,
-            FleetEvaluatorOptions options = {});
+            FleetEvaluatorOptions options = {},
+            core::BlobTrust trust = core::BlobTrust::kUntrusted);
 
   /// The blob came from the OTA channel; the image it loads into and the
   /// evaluator over it are this object's — neither reference outlives it.

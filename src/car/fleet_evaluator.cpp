@@ -35,7 +35,7 @@ std::vector<FleetCheck> default_fleet_checks() {
   // Every question the binding layer asks when policing one vehicle:
   // each hosted entry point against each asset, read and write. The
   // deterministic (node-binding, asset-binding) order matters — fleet
-  // sweeps must replay identically across runs (DESIGN.md §6).
+  // sweeps must replay identically across runs (DESIGN.md §7).
   std::vector<FleetCheck> checks;
   for (const NodeBinding& node : node_bindings()) {
     for (const std::string& entry_point : node.entry_points) {

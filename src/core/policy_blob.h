@@ -8,11 +8,14 @@
 // its binary policydb: the sealed image — packed SID-space entries, the
 // open-addressing index, the mode table, the prototype-decision audit
 // strings — and its backing mac::SidTable are serialised once at the OEM,
-// and every vehicle boots by loading the blob: one contiguous buffer
-// read, header validation, a single linear reconstruction pass, a
-// fingerprint cross-check. No derivation, no string-rule parsing, no
-// index build. The loaded image produces byte-identical Decisions to the
-// freshly compiled original (test-pinned).
+// and every vehicle boots by loading the blob. Format v2 goes one step
+// further (the move Android ART makes with OAT files): every section is
+// laid out 8-byte-aligned and position-independent, so the loader VIEWS
+// the validated buffer in place — entries, index, mode table and both
+// string arenas are borrowed, not copied, and boot-to-first-decision is
+// O(1) in policy size. The loaded image produces byte-identical
+// Decisions to the freshly compiled original (test-pinned); v1 blobs
+// still load through the copying compat path.
 //
 // Trust boundary: blobs arrive over the air. A malformed blob — truncated,
 // bit-flipped, wrong version, wrong endianness, inconsistent internal
@@ -24,12 +27,21 @@
 // this layer guarantees a hostile byte stream cannot corrupt memory or
 // smuggle in an image that disagrees with its own manifest.)
 //
+// Two trust levels feed the v2 loader (BlobTrust below): kUntrusted runs
+// the full single-pass validation — checksum, structural bounds,
+// semantic SID-slot and index re-validation, fingerprint cross-check —
+// exactly once per staged blob; kSealedStore attaches a blob that
+// ALREADY passed that validation on this device (the local store a
+// vehicle boots from, SELinux's policy.N / ART's OAT precedent) with
+// O(1) structural checks only. Evaluation itself is bounds-guarded, so
+// even a corrupted sealed blob fails closed rather than reaching UB.
+//
 // Format stability: the encoding is explicitly little-endian (serialised
 // through shift-based byte stores, so any host can read or write it) and
 // carries a format version plus an endianness tag. It is independent of
 // compiler, struct padding and standard-library layout: CI round-trips a
 // gcc-written blob through a clang reader and vice versa. See DESIGN.md
-// "Persistent image format" for the layout diagram and evolution rules.
+// "Zero-copy image views" for the v2 layout and evolution rules.
 #pragma once
 
 #include <cstddef>
@@ -40,6 +52,7 @@
 #include <string>
 #include <vector>
 
+#include "core/policy_buffer.h"
 #include "core/policy_image.h"
 #include "core/wire_format.h"
 #include "mac/sid_table.h"
@@ -56,15 +69,33 @@ class PolicyBlobError : public PolicyWireError {
   using PolicyWireError::PolicyWireError;
 };
 
-/// Current on-wire format version. Bump on any layout change; readers
-/// reject versions they do not speak (no silent best-effort parsing at a
-/// trust boundary).
-inline constexpr std::uint32_t kPolicyBlobFormatVersion = 1;
+/// Current on-wire format version (the zero-copy layout). Bump on any
+/// layout change; readers reject versions they do not speak (no silent
+/// best-effort parsing at a trust boundary).
+inline constexpr std::uint32_t kPolicyBlobFormatVersion = 2;
+
+/// The legacy copying layout; still readable (and writable, for interop
+/// tooling) via the compat paths.
+inline constexpr std::uint32_t kPolicyBlobFormatVersionV1 = 1;
 
 /// The 8 magic bytes every blob starts with ("PSMEPIMG").
 inline constexpr std::size_t kPolicyBlobMagicSize = 8;
 [[nodiscard]] std::span<const std::byte, kPolicyBlobMagicSize>
 policy_blob_magic() noexcept;
+
+/// How much the loader may assume about a blob's provenance.
+enum class BlobTrust {
+  /// The OTA default: the blob crossed a trust boundary. Full one-pass
+  /// validation — checksum, bounds, semantic SID-slot and index
+  /// re-validation, fingerprint cross-check — before a single decision.
+  kUntrusted,
+  /// The blob sits in this device's local store and passed kUntrusted
+  /// validation when it was staged. O(1) structural checks (header
+  /// equations, alignment, section packing) only; content checks are
+  /// skipped, which is what makes boot flat in policy size. Never use
+  /// for bytes that crossed a trust boundary since staging.
+  kSealedStore,
+};
 
 /// Header fields surfaced without a full load (OTA tooling: log what
 /// arrived before deciding to stage it). probe() validates the fixed
@@ -79,17 +110,40 @@ struct PolicyBlobInfo {
   std::uint64_t total_size = 0;       // whole blob, header included
 };
 
+/// One payload section of a v2 blob, for layout introspection (the
+/// `info` subcommand of examples/policy_blob_io.cpp; nothing on the
+/// boot path uses this).
+struct PolicyBlobSection {
+  const char* name = "";
+  std::size_t offset = 0;  // bytes from blob start; always 8-aligned
+  std::size_t size = 0;    // unpadded section bytes
+};
+
+/// The derived v2 section table (header + every payload section, in
+/// file order). Throws PolicyBlobError unless `blob` is a v2 blob with
+/// a valid header.
+[[nodiscard]] std::vector<PolicyBlobSection> policy_blob_layout(
+    std::span<const std::byte> blob);
+
 /// Serialises a sealed CompiledPolicyImage together with its backing
 /// SidTable. The writer runs at the OEM (or in a provisioning tool) —
 /// never on the vehicle's hot path.
 class PolicyBlobWriter {
  public:
-  /// The blob for `image`: header + payload, checksummed and carrying
-  /// image.fingerprint(). The ENTIRE backing SidTable is serialised (in
-  /// SID order), so identities interned beyond the policy's own names —
-  /// fleet workload labels, say — survive the round trip with their SIDs
-  /// intact.
+  /// The v2 (zero-copy layout) blob for `image`: header + 8-aligned
+  /// payload sections, checksummed and carrying image.fingerprint(). The
+  /// ENTIRE backing SidTable is serialised (names in SID order plus the
+  /// probe-slot array), so identities interned beyond the policy's own
+  /// names — fleet workload labels, say — survive the round trip with
+  /// their SIDs intact, and a reader can attach the interner without
+  /// rebuilding it.
   [[nodiscard]] static std::vector<std::byte> write(
+      const CompiledPolicyImage& image);
+
+  /// The legacy v1 (copying layout) blob — interop tooling and the
+  /// compat read path's test anchor. Same content, packed layout,
+  /// loads via the v1 reconstruction pass.
+  [[nodiscard]] static std::vector<std::byte> write_v1(
       const CompiledPolicyImage& image);
 
   /// write() to a file. Throws PolicyBlobError when the file cannot be
@@ -102,12 +156,16 @@ class PolicyBlobWriter {
 class PolicyBlobReader {
  public:
   /// Header-only inspection; throws PolicyBlobError on a blob whose
-  /// fixed header fails validation (see PolicyBlobInfo).
+  /// fixed header fails validation (see PolicyBlobInfo). Speaks both
+  /// format versions.
   [[nodiscard]] static PolicyBlobInfo probe(std::span<const std::byte> blob);
 
-  /// Full validated load. When `sids` is null a fresh SidTable is
-  /// created and populated in SID order (the boot path: the blob IS the
-  /// vehicle's SID space). When a table is provided, every carried name
+  /// Full validated load from a non-owning span. A v1 blob runs the
+  /// copying reconstruction; a v2 blob is copied ONCE into a fresh
+  /// PolicyBuffer and then borrowed (callers who already own a buffer
+  /// should use the PolicyBuffer overload — no copy at all). When `sids`
+  /// is null a fresh SidTable is created (v2: attached zero-copy over
+  /// the blob's arena). When a table is provided, every carried name
   /// must intern to exactly its carried SID — an empty table, or one
   /// whose interning history is a prefix of the blob's, qualifies;
   /// anything else is a SID-space mismatch and is rejected (packed
@@ -119,10 +177,34 @@ class PolicyBlobReader {
       std::span<const std::byte> blob,
       std::shared_ptr<mac::SidTable> sids = nullptr);
 
-  /// load() from a file. Throws PolicyBlobError when the file cannot be
-  /// read.
+  /// Zero-copy load: the returned image (and its attached SidTable)
+  /// view `buffer`'s bytes in place, holding the shared_ptr so the
+  /// buffer outlives every borrower. `trust` selects the validation
+  /// depth (see BlobTrust; default full). v1 blobs fall back to the
+  /// copying reconstruction (the buffer is then released on return).
+  [[nodiscard]] static CompiledPolicyImage load(
+      std::shared_ptr<const PolicyBuffer> buffer,
+      std::shared_ptr<mac::SidTable> sids = nullptr,
+      BlobTrust trust = BlobTrust::kUntrusted);
+
+  /// load() from a file, mmap-backed where the platform allows (plain
+  /// read() fallback otherwise — core/policy_buffer.h). Throws
+  /// PolicyBlobError when the file cannot be read.
   [[nodiscard]] static CompiledPolicyImage load_file(
-      const std::string& path, std::shared_ptr<mac::SidTable> sids = nullptr);
+      const std::string& path, std::shared_ptr<mac::SidTable> sids = nullptr,
+      BlobTrust trust = BlobTrust::kUntrusted);
+
+ private:
+  static CompiledPolicyImage load_v1(std::span<const std::byte> blob,
+                                     std::shared_ptr<mac::SidTable> sids);
+  static CompiledPolicyImage load_v2(
+      std::shared_ptr<const PolicyBuffer> buffer,
+      std::shared_ptr<mac::SidTable> sids, BlobTrust trust);
+  /// Semantic re-validation of a bound (owned or borrowed) image's
+  /// sealed index against its entries — shared by the v1 reconstruction
+  /// and the v2 untrusted pass.
+  static void validate_index(const CompiledPolicyImage& image,
+                             std::uint32_t entry_count);
 };
 
 }  // namespace psme::core

@@ -1,0 +1,94 @@
+#include "core/policy_buffer.h"
+
+#include <fstream>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define PSME_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define PSME_HAVE_MMAP 0
+#endif
+
+namespace psme::core {
+
+namespace {
+
+/// Whole-file read() fallback. Shared by the non-mmap build and the
+/// runtime fallback when mmap itself refuses (special filesystems).
+[[nodiscard]] bool read_whole_file(const std::string& path,
+                                   std::vector<std::byte>& out,
+                                   std::string* error) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open '" + path + "' for reading";
+    return false;
+  }
+  const std::streamsize size = in.tellg();
+  if (size < 0) {
+    if (error != nullptr) *error = "cannot size '" + path + "'";
+    return false;
+  }
+  in.seekg(0);
+  out.resize(static_cast<std::size_t>(size));
+  if (!out.empty()) {
+    in.read(reinterpret_cast<char*>(out.data()), size);
+    if (!in) {
+      if (error != nullptr) *error = "short read from '" + path + "'";
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+PolicyBuffer::~PolicyBuffer() {
+#if PSME_HAVE_MMAP
+  if (map_ != nullptr) ::munmap(map_, size_);
+#endif
+}
+
+std::shared_ptr<const PolicyBuffer> PolicyBuffer::take(
+    std::vector<std::byte> bytes) {
+  auto buffer = std::shared_ptr<PolicyBuffer>(new PolicyBuffer());
+  buffer->owned_ = std::move(bytes);
+  return buffer;
+}
+
+std::shared_ptr<const PolicyBuffer> PolicyBuffer::copy_of(
+    std::span<const std::byte> bytes) {
+  return take(std::vector<std::byte>(bytes.begin(), bytes.end()));
+}
+
+std::shared_ptr<const PolicyBuffer> PolicyBuffer::map_file(
+    const std::string& path, std::string* error) {
+#if PSME_HAVE_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    struct stat st{};
+    if (::fstat(fd, &st) == 0 && S_ISREG(st.st_mode) && st.st_size > 0) {
+      const auto size = static_cast<std::size_t>(st.st_size);
+      void* map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+      ::close(fd);
+      if (map != MAP_FAILED) {
+        auto buffer = std::shared_ptr<PolicyBuffer>(new PolicyBuffer());
+        buffer->map_ = map;
+        buffer->size_ = size;
+        return buffer;
+      }
+      // mmap refused (unusual filesystem) — fall through to read().
+    } else {
+      ::close(fd);
+    }
+  }
+#endif
+  auto buffer = std::shared_ptr<PolicyBuffer>(new PolicyBuffer());
+  if (!read_whole_file(path, buffer->owned_, error)) return nullptr;
+  return buffer;
+}
+
+}  // namespace psme::core

@@ -124,7 +124,7 @@ class Derivation {
     rule.permission = derived.permission;
     rule.modes.reserve(derived.modes.size());
     for (const mac::Sid m : derived.modes) {
-      rule.modes.push_back(threat::ModeId{sids_->name_of(m)});
+      rule.modes.push_back(threat::ModeId{std::string(sids_->name_of(m))});
     }
     rule.priority = derived.priority;
     rule.rationale = derived.rationale;

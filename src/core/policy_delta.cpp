@@ -296,9 +296,8 @@ struct PolicyDeltaDetail {
     return a.subject == b.subject && a.object == b.object &&
            a.permission == b.permission && a.priority == b.priority &&
            a.mode_mask == b.mode_mask &&
-           base.metas_[a.meta].id == target.metas_[b.meta].id &&
-           base.metas_[a.meta].allow.reason ==
-               target.metas_[b.meta].allow.reason;
+           base.meta_id_view(a.meta) == target.meta_id_view(b.meta) &&
+           base.meta_reason_view(a.meta) == target.meta_reason_view(b.meta);
   }
 };
 
@@ -333,9 +332,9 @@ std::vector<std::byte> PolicyDeltaWriter::write(
     if (base_sids.name_of(sid) != target_sids.name_of(sid)) {
       reject("target SID space is not a prefix-compatible extension of the "
              "base (SID " + std::to_string(sid) + " names '" +
-             target_sids.name_of(sid) + "', base has '" +
-             base_sids.name_of(sid) + "') — compile the target against "
-             "replicate_sid_prefix(base)");
+             std::string(target_sids.name_of(sid)) + "', base has '" +
+             std::string(base_sids.name_of(sid)) +
+             "') — compile the target against replicate_sid_prefix(base)");
     }
   }
   const std::uint32_t total_sids =
@@ -377,7 +376,6 @@ std::vector<std::byte> PolicyDeltaWriter::write(
       continue;
     }
     const CompiledPolicyImage::Entry& entry = target.entries_[op.index];
-    const CompiledPolicyImage::Meta& meta = target.metas_[entry.meta];
     put_u32(payload, entry.subject);
     put_u32(payload, entry.object);
     put_u32(payload, static_cast<std::uint32_t>(entry.priority));
@@ -386,8 +384,8 @@ std::vector<std::byte> PolicyDeltaWriter::write(
     payload.push_back(std::byte{0});  // reserved
     payload.push_back(std::byte{0});
     payload.push_back(std::byte{0});
-    put_str(payload, meta.id);
-    put_str(payload, meta.allow.reason);
+    put_str(payload, target.meta_id_view(entry.meta));
+    put_str(payload, target.meta_reason_view(entry.meta));
   }
 
   std::vector<std::byte> delta(kHeaderSize);
@@ -537,26 +535,26 @@ CompiledPolicyImage PolicyDeltaReader::apply(const CompiledPolicyImage& base,
   image.wildcard_sid_ = h.wildcard_sid;
 
   // -- target mode table -------------------------------------------------
-  image.mode_sids_.reserve(h.mode_count);
+  image.mode_store_.reserve(h.mode_count);
   for (std::uint32_t i = 0; i < h.mode_count; ++i) {
     const mac::Sid mode = cursor.u32();
     if (mode == mac::kNullSid || mode > total_sids) {
       reject("mode SID outside the reconstructed table");
     }
-    for (const mac::Sid seen : image.mode_sids_) {
+    for (const mac::Sid seen : image.mode_store_) {
       if (seen == mode) reject("duplicate mode SID in the mode table");
     }
-    image.mode_sids_.push_back(mode);
+    image.mode_store_.push_back(mode);
   }
 
   // -- the edit script ---------------------------------------------------
-  image.entries_.reserve(h.target_entries);
+  image.entries_store_.reserve(h.target_entries);
   image.metas_.reserve(h.target_entries);
   std::uint32_t base_pos = 0;
 
   const auto emit = [&](CompiledPolicyImage::Entry entry, std::string id,
                         std::string reason) {
-    if (image.entries_.size() >= h.target_entries) {
+    if (image.entries_store_.size() >= h.target_entries) {
       reject("edit script emits more entries than the header declares");
     }
     if ((entry.subject - 1) >= total_sids || (entry.object - 1) >= total_sids) {
@@ -577,8 +575,8 @@ CompiledPolicyImage PolicyDeltaReader::apply(const CompiledPolicyImage& base,
                                       entry.permission, std::move(reason));
     image.index_build_[CompiledPolicyImage::pair_key(entry.subject,
                                                      entry.object)]
-        .push_back(static_cast<std::uint32_t>(image.entries_.size()));
-    image.entries_.push_back(entry);
+        .push_back(static_cast<std::uint32_t>(image.entries_store_.size()));
+    image.entries_store_.push_back(entry);
   };
 
   const auto read_record = [&](CompiledPolicyImage::Entry& entry) {
@@ -606,8 +604,10 @@ CompiledPolicyImage PolicyDeltaReader::apply(const CompiledPolicyImage& base,
         }
         for (std::uint32_t c = 0; c < count; ++c, ++base_pos) {
           const CompiledPolicyImage::Entry& from = base.entries_[base_pos];
-          const CompiledPolicyImage::Meta& meta = base.metas_[from.meta];
-          emit(from, meta.id, meta.allow.reason);
+          // View accessors, not Meta: copying from a zero-copy (borrowed)
+          // base must not force its audit metas to materialise.
+          emit(from, std::string(base.meta_id_view(from.meta)),
+               std::string(base.meta_reason_view(from.meta)));
         }
         break;
       }
@@ -642,8 +642,8 @@ CompiledPolicyImage PolicyDeltaReader::apply(const CompiledPolicyImage& base,
     reject("edit script consumes " + std::to_string(base_pos) + " of " +
            std::to_string(h.base_entries) + " base entries");
   }
-  if (image.entries_.size() != h.target_entries) {
-    reject("edit script emits " + std::to_string(image.entries_.size()) +
+  if (image.entries_store_.size() != h.target_entries) {
+    reject("edit script emits " + std::to_string(image.entries_store_.size()) +
            " entries, header declares " + std::to_string(h.target_entries));
   }
   if (!cursor.exhausted()) {
@@ -657,6 +657,7 @@ CompiledPolicyImage PolicyDeltaReader::apply(const CompiledPolicyImage& base,
   // one written from the direct compile (the CI interop job proves it
   // cross-compiler).
   image.seal_index();
+  image.adopt_owned_storage();
   image.default_allow_decision_ =
       Decision::allow("", "no matching rule; default allow");
   image.default_deny_decision_ =

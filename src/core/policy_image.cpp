@@ -4,6 +4,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "core/policy_buffer.h"
+
 namespace psme::core {
 
 namespace {
@@ -34,6 +36,33 @@ namespace {
 
 }  // namespace
 
+// ---------------------------------------------------------------- LazyMetas
+
+void CompiledPolicyImage::LazyMetas::init(std::uint32_t count) {
+  destroy();
+  page_count_ = (count + kPageSize - 1) >> kPageBits;
+  pages_ = page_count_ == 0
+               ? nullptr
+               : std::make_unique<std::atomic<Page*>[]>(page_count_);
+}
+
+void CompiledPolicyImage::LazyMetas::destroy() noexcept {
+  if (pages_ == nullptr) {
+    page_count_ = 0;
+    return;
+  }
+  for (std::uint32_t p = 0; p < page_count_; ++p) {
+    Page* page = pages_[p].load(std::memory_order_acquire);
+    if (page == nullptr) continue;
+    for (auto& slot : page->slot) {
+      delete slot.load(std::memory_order_acquire);
+    }
+    delete page;
+  }
+  pages_.reset();
+  page_count_ = 0;
+}
+
 // ------------------------------------------------------------------ Builder
 
 CompiledPolicyImage::Builder::Builder(std::string name, std::uint64_t version,
@@ -51,25 +80,25 @@ std::uint64_t CompiledPolicyImage::Builder::mode_mask_for(
   for (const threat::ModeId& mode : modes) {
     const mac::Sid sid = image_.sids_->intern(mode.value);
     std::size_t bit = 0;
-    while (bit < image_.mode_sids_.size() && image_.mode_sids_[bit] != sid) {
+    while (bit < image_.mode_store_.size() &&
+           image_.mode_store_[bit] != sid) {
       ++bit;
     }
-    if (bit == image_.mode_sids_.size()) {
+    if (bit == image_.mode_store_.size()) {
       if (bit == kMaxImageModes) {
         throw std::length_error(
             "CompiledPolicyImage: more than 64 distinct operational modes");
       }
-      image_.mode_sids_.push_back(sid);
+      image_.mode_store_.push_back(sid);
     }
     mask |= std::uint64_t{1} << bit;
   }
   return mask;
 }
 
-void CompiledPolicyImage::emplace_meta(std::vector<Meta>& into, std::string id,
-                                       threat::Permission permission,
-                                       std::string allow_reason) {
-  Meta& meta = into.emplace_back();
+void CompiledPolicyImage::fill_meta(Meta& meta, std::string id,
+                                    threat::Permission permission,
+                                    std::string allow_reason) {
   meta.allow.allowed = true;
   meta.allow.rule_id = id;
   meta.allow.reason = std::move(allow_reason);
@@ -84,6 +113,13 @@ void CompiledPolicyImage::emplace_meta(std::vector<Meta>& into, std::string id,
     meta.deny_write = make_perm_deny(id, permission, AccessType::kWrite);
   }
   meta.id = std::move(id);
+}
+
+void CompiledPolicyImage::emplace_meta(std::vector<Meta>& into, std::string id,
+                                       threat::Permission permission,
+                                       std::string allow_reason) {
+  fill_meta(into.emplace_back(), std::move(id), permission,
+            std::move(allow_reason));
 }
 
 void CompiledPolicyImage::Builder::add_rule(
@@ -107,8 +143,8 @@ void CompiledPolicyImage::Builder::add_rule(
                std::move(allow_reason));
 
   image_.index_build_[pair_key(entry.subject, entry.object)].push_back(
-      static_cast<std::uint32_t>(image_.entries_.size()));
-  image_.entries_.push_back(entry);
+      static_cast<std::uint32_t>(image_.entries_store_.size()));
+  image_.entries_store_.push_back(entry);
 }
 
 CompiledPolicyImage CompiledPolicyImage::Builder::build() {
@@ -117,26 +153,83 @@ CompiledPolicyImage CompiledPolicyImage::Builder::build() {
   image_.default_deny_decision_ =
       Decision::deny("", "no matching rule; default deny");
   image_.seal_index();
+  image_.adopt_owned_storage();
   return std::move(image_);
 }
 
 void CompiledPolicyImage::seal_index() {
   std::size_t slots = 1;
   while (slots < index_build_.size() * 2) slots <<= 1;
-  slot_keys_.assign(slots, 0);
-  slot_spans_.assign(slots, {0, 0});
-  flat_index_.clear();
-  flat_index_.reserve(entries_.size());
+  slot_key_store_.assign(slots, 0);
+  slot_span_store_.assign(slots, SlotSpan{});
+  flat_store_.clear();
+  flat_store_.reserve(entries_store_.size());
   const std::size_t mask = slots - 1;
   for (const auto& [key, indices] : index_build_) {
     std::size_t i = mac::mix_av_key(key) & mask;
-    while (slot_keys_[i] != 0) i = (i + 1) & mask;
-    slot_keys_[i] = key;
-    slot_spans_[i] = {static_cast<std::uint32_t>(flat_index_.size()),
-                      static_cast<std::uint32_t>(indices.size())};
-    flat_index_.insert(flat_index_.end(), indices.begin(), indices.end());
+    while (slot_key_store_[i] != 0) i = (i + 1) & mask;
+    slot_key_store_[i] = key;
+    slot_span_store_[i] = {static_cast<std::uint32_t>(flat_store_.size()),
+                           static_cast<std::uint32_t>(indices.size())};
+    flat_store_.insert(flat_store_.end(), indices.begin(), indices.end());
   }
   index_build_.clear();
+}
+
+void CompiledPolicyImage::adopt_owned_storage() noexcept {
+  entries_ = entries_store_;
+  mode_sids_ = mode_store_;
+  slot_keys_ = slot_key_store_;
+  slot_spans_ = slot_span_store_;
+  flat_index_ = flat_store_;
+}
+
+// ------------------------------------------------------------ copy support
+
+CompiledPolicyImage::CompiledPolicyImage(const CompiledPolicyImage& other)
+    : name_(other.name_),
+      version_(other.version_),
+      default_allow_(other.default_allow_),
+      sids_(other.sids_),
+      wildcard_sid_(other.wildcard_sid_),
+      entries_store_(other.entries_store_),
+      metas_(other.metas_),
+      mode_store_(other.mode_store_),
+      slot_key_store_(other.slot_key_store_),
+      slot_span_store_(other.slot_span_store_),
+      flat_store_(other.flat_store_),
+      meta_offsets_(other.meta_offsets_),
+      meta_arena_(other.meta_arena_),
+      meta_arena_len_(other.meta_arena_len_),
+      meta_count_(other.meta_count_),
+      buffer_(other.buffer_),
+      index_build_(other.index_build_),
+      default_allow_decision_(other.default_allow_decision_),
+      default_deny_decision_(other.default_deny_decision_) {
+  // Rebind each view: to this image's own store when the source aliased
+  // its store, verbatim (shared buffer_) when the source borrowed.
+  entries_ = other.entries_.data() == other.entries_store_.data()
+                 ? std::span<const Entry>(entries_store_)
+                 : other.entries_;
+  mode_sids_ = other.mode_sids_.data() == other.mode_store_.data()
+                   ? std::span<const mac::Sid>(mode_store_)
+                   : other.mode_sids_;
+  slot_keys_ = other.slot_keys_.data() == other.slot_key_store_.data()
+                   ? std::span<const std::uint64_t>(slot_key_store_)
+                   : other.slot_keys_;
+  slot_spans_ = other.slot_spans_.data() == other.slot_span_store_.data()
+                    ? std::span<const SlotSpan>(slot_span_store_)
+                    : other.slot_spans_;
+  flat_index_ = other.flat_index_.data() == other.flat_store_.data()
+                    ? std::span<const std::uint32_t>(flat_store_)
+                    : other.flat_index_;
+  if (meta_arena_ != nullptr) lazy_metas_.init(meta_count_);
+}
+
+CompiledPolicyImage& CompiledPolicyImage::operator=(
+    const CompiledPolicyImage& other) {
+  if (this != &other) *this = CompiledPolicyImage(other);  // copy, then move
+  return *this;
 }
 
 // --------------------------------------------------------- from_policy_set
@@ -180,13 +273,52 @@ std::uint64_t CompiledPolicyImage::request_mode_bits(
   return 0;  // known request mode, but no rule ever names it
 }
 
+// -------------------------------------------------------------- meta access
+
+std::string_view CompiledPolicyImage::meta_id_view(
+    std::uint32_t m) const noexcept {
+  if (meta_arena_ == nullptr) {
+    return m < metas_.size() ? std::string_view(metas_[m].id)
+                             : std::string_view{};
+  }
+  if (m >= meta_count_) return {};
+  const std::uint32_t begin = meta_offsets_[2 * m];
+  const std::uint32_t end = meta_offsets_[2 * m + 1];
+  if (begin > end || end > meta_arena_len_) return {};  // corrupt sealed arena
+  return {meta_arena_ + begin, end - begin};
+}
+
+std::string_view CompiledPolicyImage::meta_reason_view(
+    std::uint32_t m) const noexcept {
+  if (meta_arena_ == nullptr) {
+    return m < metas_.size() ? std::string_view(metas_[m].allow.reason)
+                             : std::string_view{};
+  }
+  if (m >= meta_count_) return {};
+  const std::uint32_t begin = meta_offsets_[2 * m + 1];
+  const std::uint32_t end = meta_offsets_[2 * m + 2];
+  if (begin > end || end > meta_arena_len_) return {};  // corrupt sealed arena
+  return {meta_arena_ + begin, end - begin};
+}
+
+const CompiledPolicyImage::Meta& CompiledPolicyImage::meta_at(
+    std::uint32_t m) const {
+  if (meta_arena_ == nullptr) return metas_[m];
+  return lazy_metas_.at(m, [this](std::uint32_t i) {
+    auto meta = std::make_unique<Meta>();
+    fill_meta(*meta, std::string(meta_id_view(i)), entries_[i].permission,
+              std::string(meta_reason_view(i)));
+    return meta.release();
+  });
+}
+
 // -------------------------------------------------------------- evaluation
 
 const Decision& CompiledPolicyImage::evaluate_impl(
-    const SidRequest& request, std::uint64_t mode_bits) const noexcept {
+    const SidRequest& request, std::uint64_t mode_bits) const {
   // Sealed-image invariant (debug): build() froze the grouping into the
   // flat probe tables; concurrent const evaluation relies on nothing
-  // being left to mutate lazily.
+  // structural being left to mutate lazily.
   assert(index_build_.empty() && !slot_keys_.empty() &&
          "CompiledPolicyImage: evaluate on an unsealed image");
   // An entry is indexed under its literal (subject, object) SID pair, so
@@ -200,19 +332,31 @@ const Decision& CompiledPolicyImage::evaluate_impl(
       pair_key(wildcard_sid_, wildcard_sid_),
   };
 
+  // The bounds guards below (probe step cap, span bounds, entry and meta
+  // index range) are dead weight on a validated image but are what makes
+  // evaluation over a sealed-trust blob — whose index was attached
+  // without the O(n) semantic validation pass — fail CLOSED on corruption
+  // instead of walking out of bounds (DESIGN.md "Zero-copy image views").
   const std::size_t mask = slot_keys_.size() - 1;
+  const std::size_t flat_size = flat_index_.size();
+  const std::size_t entry_count = entries_.size();
   const Entry* best = nullptr;
   std::uint32_t best_index = 0;
   for (const std::uint64_t key : probes) {
     std::size_t slot = mac::mix_av_key(key) & mask;
+    std::size_t steps = 0;
     while (slot_keys_[slot] != key) {
-      if (slot_keys_[slot] == 0) break;
+      if (slot_keys_[slot] == 0 || ++steps > mask) break;
       slot = (slot + 1) & mask;
     }
     if (slot_keys_[slot] != key) continue;
-    const auto [offset, count] = slot_spans_[slot];
-    for (std::uint32_t c = 0; c < count; ++c) {
-      const std::uint32_t i = flat_index_[offset + c];
+    const SlotSpan span = slot_spans_[slot];
+    if (span.offset > flat_size || span.count > flat_size - span.offset) {
+      continue;
+    }
+    for (std::uint32_t c = 0; c < span.count; ++c) {
+      const std::uint32_t i = flat_index_[span.offset + c];
+      if (i >= entry_count) continue;
       const Entry& entry = entries_[i];
       if (entry.subject != wildcard_sid_ && entry.subject != request.subject) {
         continue;
@@ -233,10 +377,10 @@ const Decision& CompiledPolicyImage::evaluate_impl(
       }
     }
   }
-  if (best == nullptr) {
+  if (best == nullptr || best->meta >= meta_count()) {
     return default_allow_ ? default_allow_decision_ : default_deny_decision_;
   }
-  const Meta& meta = metas_[best->meta];
+  const Meta& meta = meta_at(best->meta);
   if (permits(best->permission, request.access)) return meta.allow;
   return request.access == AccessType::kRead ? meta.deny_read
                                              : meta.deny_write;
@@ -289,7 +433,9 @@ std::uint64_t CompiledPolicyImage::fingerprint() const noexcept {
   // entry section is the bulk of the hash — four independent chains keep
   // the blob loader's cross-check off the boot path's critical path.
   // (Seed derivation and fold order are mac::HashLanes — the one
-  // definition shared with hash_chain_bytes.)
+  // definition shared with hash_chain_bytes. The allow reason is read
+  // through meta_reason_view, so a borrowed image fingerprints straight
+  // off its arena without materialising a single Meta.)
   mac::HashLanes lanes(hash);
   for (std::size_t i = 0; i < entries_.size(); ++i) {
     const Entry& entry = entries_[i];
@@ -302,7 +448,7 @@ std::uint64_t CompiledPolicyImage::fingerprint() const noexcept {
                                 << 8) |
                                    static_cast<std::uint64_t>(entry.permission),
                                lane);
-    lane = mac::hash_chain_bytes(metas_[entry.meta].allow.reason, lane);
+    lane = mac::hash_chain_bytes(meta_reason_view(entry.meta), lane);
   }
   return mac::hash_chain_u64(entries_.size(), lanes.fold());
 }

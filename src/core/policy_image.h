@@ -10,6 +10,19 @@
 // copy-assignments into caller-owned Decision storage (which reuses its
 // heap capacity across ticks).
 //
+// Storage comes in two modes behind one query API (DESIGN.md "Zero-copy
+// image views"):
+//  - OWNED: the compile, v1-blob-load and delta-apply paths fill the
+//    *_store_ vectors; the evaluation views alias them.
+//  - BORROWED: the v2 zero-copy blob loader points the views straight
+//    into the validated blob buffer (entries, index, mode table, meta
+//    arena all used in place; a shared PolicyBuffer pins the bytes).
+//    Audit Metas are then materialised LAZILY, at most once per rule, by
+//    a lock-free page table — the first decision that needs a rule's
+//    audit strings builds them from the arena; every later one reuses
+//    the same heap Meta, so the evaluate API still returns stable
+//    references and boot stays O(1) in policy size.
+//
 // Images are immutable once built; millions of simulated vehicles share
 // one image and one interner (the paper's fleet-scale affordability
 // argument). PolicySet keeps its string-rule form as the editable source
@@ -25,14 +38,20 @@
 // the readers started (thread creation, or a published snapshot, gives
 // that for free). Debug builds assert sealed-ness on the evaluate paths.
 // car::FleetEvaluator::tick_parallel leans on exactly this guarantee.
+// Lazy Meta materialisation in borrowed mode is the one internal
+// mutation, and it is made read-equivalent: a compare-exchange installs
+// each Meta exactly once, losers delete their copy, and an installed
+// Meta is never freed before the image dies — references stay stable.
 // The one shared MUTABLE neighbour is the SidTable behind sid_table():
 // interning a NEW name grows it, so the single-writer rule applies there.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <span>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -40,6 +59,8 @@
 #include "mac/sid_table.h"
 
 namespace psme::core {
+
+class PolicyBuffer;
 
 /// Widest mode condition an image entry can carry: one bit per distinct
 /// operational mode named by any rule. Sixty-four is far beyond any real
@@ -53,14 +74,29 @@ class CompiledPolicyImage {
   /// table (0 = applies in every mode); `meta` indexes the audit-string
   /// table. The matching, priority, specificity and first-wins tie-break
   /// semantics are exactly PolicySet::evaluate's.
+  ///
+  /// The layout is pinned (static_asserts in core/policy_blob.cpp) to
+  /// exactly the 32-byte little-endian v2 wire record, so the zero-copy
+  /// loader can view a blob's entry section in place on a little-endian
+  /// host. The reserved bytes are the wire padding, always zero.
   struct Entry {
-    mac::Sid subject = mac::kNullSid;
-    mac::Sid object = mac::kNullSid;
-    threat::Permission permission = threat::Permission::kNone;
-    std::uint8_t specificity = 0;  // 0 = both wildcards .. 2 = both exact
-    std::int32_t priority = 0;
-    std::uint64_t mode_mask = 0;
-    std::uint32_t meta = 0;
+    mac::Sid subject = mac::kNullSid;                           // offset 0
+    mac::Sid object = mac::kNullSid;                            // offset 4
+    threat::Permission permission = threat::Permission::kNone;  // offset 8
+    std::uint8_t specificity = 0;  // offset 9; 0 = both wildcards .. 2 = exact
+    std::uint8_t reserved0 = 0;    // offset 10
+    std::uint8_t reserved1 = 0;    // offset 11
+    std::int32_t priority = 0;     // offset 12
+    std::uint64_t mode_mask = 0;   // offset 16
+    std::uint32_t meta = 0;        // offset 24
+    std::uint32_t reserved2 = 0;   // offset 28
+  };
+
+  /// One sealed-index slot's span over the flat entry-index array.
+  /// Layout-pinned like Entry: the pair is the 8-byte v2 wire record.
+  struct SlotSpan {
+    std::uint32_t offset = 0;
+    std::uint32_t count = 0;
   };
 
   /// Accumulates entries, interning every name exactly once. Used by
@@ -74,6 +110,12 @@ class CompiledPolicyImage {
   /// index; decisions are byte-identical to the string evaluate.
   [[nodiscard]] static CompiledPolicyImage from_policy_set(
       const PolicySet& set, std::shared_ptr<mac::SidTable> sids = nullptr);
+
+  CompiledPolicyImage(CompiledPolicyImage&&) = default;
+  CompiledPolicyImage& operator=(CompiledPolicyImage&&) = default;
+  CompiledPolicyImage(const CompiledPolicyImage& other);
+  CompiledPolicyImage& operator=(const CompiledPolicyImage& other);
+  ~CompiledPolicyImage() = default;
 
   // -- evaluation (the hot path; no strings, no allocation) --------------
 
@@ -111,13 +153,18 @@ class CompiledPolicyImage {
   [[nodiscard]] bool default_allow() const noexcept { return default_allow_; }
   [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
   [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
-  [[nodiscard]] const std::vector<Entry>& entries() const noexcept {
+  [[nodiscard]] std::span<const Entry> entries() const noexcept {
     return entries_;
   }
-  [[nodiscard]] const std::string& rule_id(std::uint32_t meta) const {
-    return metas_.at(meta).id;
+  [[nodiscard]] std::string_view rule_id(std::uint32_t meta) const {
+    return meta_id_view(meta);
   }
   [[nodiscard]] mac::Sid wildcard_sid() const noexcept { return wildcard_sid_; }
+
+  /// True when this image is a zero-copy view over a blob buffer rather
+  /// than owned storage (observability/tests; the query API is mode-
+  /// agnostic).
+  [[nodiscard]] bool borrowed() const noexcept { return buffer_ != nullptr; }
 
   /// The interner every name in this image resolved through. Shared so
   /// fleet callers can pre-resolve their own identities into the same
@@ -147,7 +194,8 @@ class CompiledPolicyImage {
   friend class PolicyDeltaReader;
   friend struct PolicyDeltaDetail;  // shared writer/reader delta helpers
 
-  /// Audit payload per rule, materialised once at build time.
+  /// Audit payload per rule, materialised once at build time (owned
+  /// mode) or on first use (borrowed mode).
   struct Meta {
     std::string id;
     Decision allow;       // {true, id, rule.to_string()}
@@ -155,14 +203,115 @@ class CompiledPolicyImage {
     Decision deny_write;
   };
 
-  /// Materialises one rule's audit payload (the allow Decision plus the
-  /// REACHABLE permission-mismatch deny texts) in place at the back of
-  /// `into`. Shared by Builder::add_rule and the blob reader so a loaded
-  /// Meta can never drift from a compiled one; fills fields directly
-  /// (this runs per rule on the blob-boot path).
+  /// Lock-free lazily-populated Meta table for borrowed images: a
+  /// two-level page structure of atomic pointers, so attaching a 50k-rule
+  /// blob allocates ~n/512 page pointers and nothing else. Each Meta is
+  /// CAS-installed exactly once and never freed before the table dies,
+  /// which is what keeps evaluate()'s returned references stable under
+  /// concurrent first-touch (TSan-exercised).
+  class LazyMetas {
+   public:
+    LazyMetas() = default;
+    ~LazyMetas() { destroy(); }
+    LazyMetas(const LazyMetas&) = delete;
+    LazyMetas& operator=(const LazyMetas&) = delete;
+    LazyMetas(LazyMetas&& other) noexcept
+        : pages_(std::move(other.pages_)), page_count_(other.page_count_) {
+      other.page_count_ = 0;
+    }
+    LazyMetas& operator=(LazyMetas&& other) noexcept {
+      if (this != &other) {
+        destroy();
+        pages_ = std::move(other.pages_);
+        page_count_ = other.page_count_;
+        other.page_count_ = 0;
+      }
+      return *this;
+    }
+
+    /// Sizes the top-level page-pointer array for `count` rules. O(count
+    /// / 512) — the only allocation a zero-copy attach pays for metas.
+    void init(std::uint32_t count);
+
+    /// The Meta for rule `i`, building it via `build(i)` (returning a
+    /// `const Meta*` the table takes ownership of) on first touch.
+    template <class BuildFn>
+    [[nodiscard]] const Meta& at(std::uint32_t i, BuildFn&& build) const {
+      std::atomic<Page*>& page_slot = pages_[i >> kPageBits];
+      Page* page = page_slot.load(std::memory_order_acquire);
+      if (page == nullptr) {
+        Page* fresh = new Page();  // value-init: all slots null
+        Page* expected = nullptr;
+        if (page_slot.compare_exchange_strong(expected, fresh,
+                                              std::memory_order_acq_rel,
+                                              std::memory_order_acquire)) {
+          page = fresh;
+        } else {
+          delete fresh;
+          page = expected;
+        }
+      }
+      std::atomic<const Meta*>& slot = page->slot[i & (kPageSize - 1)];
+      const Meta* meta = slot.load(std::memory_order_acquire);
+      if (meta == nullptr) {
+        const Meta* built = build(i);
+        const Meta* expected = nullptr;
+        if (slot.compare_exchange_strong(expected, built,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_acquire)) {
+          meta = built;
+        } else {
+          delete built;
+          meta = expected;
+        }
+      }
+      return *meta;
+    }
+
+   private:
+    static constexpr std::uint32_t kPageBits = 9;
+    static constexpr std::uint32_t kPageSize = 1u << kPageBits;
+    struct Page {
+      std::atomic<const Meta*> slot[kPageSize];
+    };
+
+    void destroy() noexcept;
+
+    std::unique_ptr<std::atomic<Page*>[]> pages_;
+    std::uint32_t page_count_ = 0;
+  };
+
+  /// Fills one rule's audit payload (the allow Decision plus the
+  /// REACHABLE permission-mismatch deny texts). Shared by Builder, the
+  /// blob readers and the lazy borrowed-mode materialiser, so a loaded
+  /// Meta can never drift from a compiled one.
+  static void fill_meta(Meta& meta, std::string id,
+                        threat::Permission permission,
+                        std::string allow_reason);
+
+  /// fill_meta at the back of `into` (the owned-mode paths).
   static void emplace_meta(std::vector<Meta>& into, std::string id,
                            threat::Permission permission,
                            std::string allow_reason);
+
+  /// Total audit metas (== entry count in either mode).
+  [[nodiscard]] std::uint32_t meta_count() const noexcept {
+    return meta_arena_ != nullptr ? meta_count_
+                                  : static_cast<std::uint32_t>(metas_.size());
+  }
+
+  /// Rule id / allow reason of meta `m` WITHOUT materialising: owned
+  /// mode reads metas_, borrowed mode views the blob arena (bounds-
+  /// guarded — a corrupted sealed arena yields an empty view, never an
+  /// out-of-bounds read). The fingerprint and the delta differ run on
+  /// these, so a borrowed base image costs no Meta construction.
+  [[nodiscard]] std::string_view meta_id_view(std::uint32_t m) const noexcept;
+  [[nodiscard]] std::string_view meta_reason_view(
+      std::uint32_t m) const noexcept;
+
+  /// The full Meta for rule `m` (materialises on first touch in borrowed
+  /// mode; direct vector access in owned mode).
+  [[nodiscard]] const Meta& meta_at(std::uint32_t m) const;
 
   [[nodiscard]] static std::uint64_t pair_key(mac::Sid subject,
                                               mac::Sid object) noexcept {
@@ -175,33 +324,63 @@ class CompiledPolicyImage {
   [[nodiscard]] std::uint64_t request_mode_bits(mac::Sid mode) const noexcept;
 
   /// evaluate() with the request's mode bits already resolved (the batch
-  /// path hoists the resolution across same-mode runs).
-  [[nodiscard]] const Decision& evaluate_impl(
-      const SidRequest& request, std::uint64_t mode_bits) const noexcept;
+  /// path hoists the resolution across same-mode runs). Not noexcept:
+  /// borrowed-mode lazy Meta materialisation may allocate.
+  [[nodiscard]] const Decision& evaluate_impl(const SidRequest& request,
+                                              std::uint64_t mode_bits) const;
 
   /// Freezes index_build_ into the flat open-addressing probe structure.
   void seal_index();
+
+  /// Points the evaluation views at the owned stores. Every owned-mode
+  /// construction path (build, v1 load, delta apply, deep copy) ends
+  /// with this.
+  void adopt_owned_storage() noexcept;
 
   std::string name_;
   std::uint64_t version_ = 0;
   bool default_allow_ = false;
   std::shared_ptr<mac::SidTable> sids_;
   mac::Sid wildcard_sid_ = mac::kNullSid;
-  std::vector<Entry> entries_;
+
+  // -- owned stores (compile / v1 load / delta apply; empty when the
+  //    image borrows from a blob buffer) ---------------------------------
+  std::vector<Entry> entries_store_;
   std::vector<Meta> metas_;
+  std::vector<mac::Sid> mode_store_;
+  std::vector<std::uint64_t> slot_key_store_;
+  std::vector<SlotSpan> slot_span_store_;
+  std::vector<std::uint32_t> flat_store_;
+
+  // -- the views evaluation actually runs on (aliases of the stores, or
+  //    of buffer_'s bytes) -----------------------------------------------
+  std::span<const Entry> entries_;
   /// Distinct mode SIDs in first-appearance order; position = mask bit.
-  std::vector<mac::Sid> mode_sids_;
-  /// Build-time grouping; sealed into the flat tables by build().
-  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> index_build_;
+  std::span<const mac::Sid> mode_sids_;
   /// Sealed (subject SID, object SID) index: a power-of-two
   /// open-addressing slot array (mac::mix_av_key probing, key 0 = empty —
   /// interned SIDs are never null, so no rule key is 0) whose slots span
   /// a flattened entry-indices array. Four probes (exact/wildcard
   /// combinations) cover every candidate for a request, each one costing
   /// a mixed hash and a linear scan — no node chasing, no allocation.
-  std::vector<std::uint64_t> slot_keys_;
-  std::vector<std::pair<std::uint32_t, std::uint32_t>> slot_spans_;
-  std::vector<std::uint32_t> flat_index_;
+  std::span<const std::uint64_t> slot_keys_;
+  std::span<const SlotSpan> slot_spans_;
+  std::span<const std::uint32_t> flat_index_;
+
+  // -- borrowed meta table (v2 blob arena) -------------------------------
+  /// 2*meta_count_+1 offsets into meta_arena_: meta m's id is bytes
+  /// [off[2m], off[2m+1]), its allow reason [off[2m+1], off[2m+2]).
+  const std::uint32_t* meta_offsets_ = nullptr;
+  const char* meta_arena_ = nullptr;
+  std::size_t meta_arena_len_ = 0;
+  std::uint32_t meta_count_ = 0;
+  mutable LazyMetas lazy_metas_;
+
+  /// Pins the blob bytes every borrowed view aliases (null = owned mode).
+  std::shared_ptr<const PolicyBuffer> buffer_;
+
+  /// Build-time grouping; sealed into the flat tables by build().
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> index_build_;
   Decision default_allow_decision_;
   Decision default_deny_decision_;
 };

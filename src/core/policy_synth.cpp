@@ -1,0 +1,109 @@
+#include "core/policy_synth.h"
+
+#include <array>
+#include <string>
+
+#include "mac/sid_table.h"
+
+namespace psme::core {
+
+namespace {
+
+/// splitmix64 step over the repo's shared finaliser — deterministic and
+/// host-independent, which std::mt19937 distributions are not required
+/// to be across standard libraries.
+class SynthRng {
+ public:
+  explicit SynthRng(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() noexcept {
+    state_ += 0x9E3779B97F4A7C15ULL;
+    return mac::mix_av_key(state_);
+  }
+
+  /// Uniform-enough draw in [0, bound); bound is tiny next to 2^64, so
+  /// the modulo bias is irrelevant for shaping test data.
+  std::uint64_t below(std::uint64_t bound) noexcept {
+    return next() % bound;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+std::string padded(std::size_t n) {
+  std::string digits = std::to_string(n);
+  return std::string(digits.size() < 6 ? 6 - digits.size() : 0, '0') + digits;
+}
+
+/// Generates rule `i` of the stream for `options` — the ONE definition
+/// both public entry points draw from, so set and image can never drift.
+/// `rng` must have consumed exactly i rules' worth of draws.
+PolicyRule synth_rule(const SynthPolicyOptions& options, std::size_t i,
+                      SynthRng& rng) {
+  constexpr std::array<threat::Permission, 4> kPermissions = {
+      threat::Permission::kNone, threat::Permission::kRead,
+      threat::Permission::kWrite, threat::Permission::kReadWrite};
+  static const std::array<threat::ModeId, 3> kModes = {
+      threat::ModeId{"normal"}, threat::ModeId{"degraded"},
+      threat::ModeId{"fail-safe"}};
+  // About one distinct endpoint per 8 rules keeps the (subject, object)
+  // index populated like a real policy: several rules per pair, not one.
+  const std::size_t subjects = options.rules / 8 > 0 ? options.rules / 8 : 1;
+  constexpr std::size_t kAssets = 16;
+
+  PolicyRule rule;
+  rule.id = "SYN-" + padded(i + 1);
+  // ~3% wildcard subjects, ~2% wildcard objects — enough that every
+  // specificity tier and the wildcard index probes stay exercised.
+  rule.subject = rng.below(33) == 0
+                     ? "*"
+                     : "ep.synth." + std::to_string(rng.below(subjects));
+  rule.object = rng.below(47) == 0
+                    ? "*"
+                    : "asset.synth." + std::to_string(rng.below(kAssets));
+  rule.permission = kPermissions[rng.below(kPermissions.size())];
+  rule.priority = static_cast<int>(rng.below(7)) - 3;
+  // Half the rules are mode-free; the rest name one or two modes.
+  const std::uint64_t mode_draw = rng.below(6);
+  if (mode_draw >= 3) {
+    rule.modes.push_back(kModes[mode_draw - 3]);
+    if (rng.below(3) == 0) {
+      rule.modes.push_back(kModes[(mode_draw - 2) % kModes.size()]);
+    }
+  }
+  rule.rationale = "synthetic rule " + std::to_string(i + 1);
+  return rule;
+}
+
+}  // namespace
+
+PolicySet synth_policy_set(const SynthPolicyOptions& options) {
+  PolicySet set("synth-" + std::to_string(options.rules), options.version);
+  set.set_default_allow(false);
+  SynthRng rng(options.seed);
+  for (std::size_t i = 0; i < options.rules; ++i) {
+    set.add_rule(synth_rule(options, i, rng));
+  }
+  return set;
+}
+
+CompiledPolicyImage synth_policy_image(const SynthPolicyOptions& options) {
+  CompiledPolicyImage::Builder builder(
+      "synth-" + std::to_string(options.rules), options.version);
+  builder.set_default_allow(false);
+  SynthRng rng(options.seed);
+  for (std::size_t i = 0; i < options.rules; ++i) {
+    PolicyRule rule = synth_rule(options, i, rng);
+    // The allow reason a compiled rule carries is its canonical string
+    // form — same materialisation as the PolicySet compile path, so the
+    // two entry points yield fingerprint-equal images.
+    std::string reason = rule.to_string();
+    builder.add_rule(std::move(rule.id), rule.subject, rule.object,
+                     rule.permission, rule.modes, rule.priority,
+                     std::move(reason));
+  }
+  return builder.build();
+}
+
+}  // namespace psme::core

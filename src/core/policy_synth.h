@@ -1,0 +1,51 @@
+// psme::core — deterministic synthetic policy generation.
+//
+// The zero-copy loader's contract is "boot flat in policy size", and the
+// paper's case study is 36 rules — far too small to demonstrate (or
+// regress-test) anything about scaling. This module grows policy sets of
+// any requested size with the STATISTICAL SHAPE of a real vehicle policy
+// (a long tail of exact endpoint→asset rules, a few wildcard rows, a
+// small mode vocabulary, mixed priorities) while staying bit-for-bit
+// deterministic: the same options always yield the same PolicySet, hence
+// the same compiled image, fingerprint and serialised blob, on every
+// host and compiler. The size-axis benchmark (bench/bench_policy_blob)
+// and the corruption-at-scale tests both build on it; nothing on a
+// decision path does.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/policy.h"
+#include "core/policy_image.h"
+
+namespace psme::core {
+
+struct SynthPolicyOptions {
+  /// Rules to generate (ids "SYN-000001"...; each id unique).
+  std::size_t rules = 1000;
+  /// Version stamp of the generated set (and of images compiled from it).
+  std::uint64_t version = 1;
+  /// PRNG seed: every structural choice (endpoints, assets, wildcards,
+  /// permissions, priorities, modes) derives from it deterministically.
+  std::uint64_t seed = 0x5EEDULL;
+};
+
+/// The synthetic set for `options`. Subjects are "ep.synth.<i>" (about
+/// one distinct endpoint per 8 rules), objects "asset.synth.<j>" (16
+/// distinct), with a sprinkling of "*" wildcards on either side; three
+/// operational modes; priorities in [-3, 3]; permissions over the full
+/// enum. Deterministic: equal options => equal fingerprint. Quadratic in
+/// `rules` (PolicySet's duplicate-id scan) — fine to a few thousand;
+/// bigger sizes go through synth_policy_image.
+[[nodiscard]] PolicySet synth_policy_set(const SynthPolicyOptions& options);
+
+/// The same deterministic rule stream compiled straight into a sealed
+/// image (CompiledPolicyImage::Builder — O(rules), no duplicate scan).
+/// Fingerprint-equal to `CompiledPolicyImage::from_policy_set(
+/// synth_policy_set(options))`; the 10k/50k benchmark and scale-test
+/// sizes are only practical through this path.
+[[nodiscard]] CompiledPolicyImage synth_policy_image(
+    const SynthPolicyOptions& options);
+
+}  // namespace psme::core

@@ -55,6 +55,14 @@ inline constexpr std::size_t kOffTotalSize = 16;
 inline constexpr std::size_t kOffPayloadHash = 24;
 inline constexpr std::size_t kPrefixSize = 32;
 
+/// Rounds up to the next 8-byte boundary. The v2 blob lays every payload
+/// section on an 8-byte boundary (zero-padded) so the zero-copy loader
+/// can view u64-bearing sections in place — see DESIGN.md "Zero-copy
+/// image views".
+[[nodiscard]] constexpr std::size_t align8(std::size_t n) noexcept {
+  return (n + 7) & ~std::size_t{7};
+}
+
 // ---------------------------------------------------------------- encode
 
 inline void put_u32(std::vector<std::byte>& out, std::uint32_t v) {
@@ -125,11 +133,16 @@ template <class Error>
 /// minimum length, magic, format version, endianness tag, exact total
 /// size, payload checksum (payload = everything past `header_size`).
 /// Each format reads its remaining header fields itself afterwards.
+/// `verify_payload_hash = false` skips the O(payload) checksum — ONLY
+/// for the sealed-store trust level of the zero-copy blob loader, where
+/// the bytes were validated when staged and the whole point is an O(1)
+/// attach (core/policy_blob.h BlobTrust).
 template <class Error>
 inline void validate_prefix(std::span<const std::byte> stream,
                             std::span<const std::byte, kMagicSize> magic,
                             std::uint32_t format_version,
-                            std::size_t header_size, std::string_view domain) {
+                            std::size_t header_size, std::string_view domain,
+                            bool verify_payload_hash = true) {
   if (stream.size() < header_size) {
     reject<Error>(domain, "truncated (smaller than the fixed header)");
   }
@@ -155,10 +168,13 @@ inline void validate_prefix(std::span<const std::byte> stream,
                               std::to_string(stream.size()) +
                               " — truncated?)");
   }
-  const std::uint64_t payload_hash =
-      load_u64(stream.data() + kOffPayloadHash);
-  if (hash_payload(stream.subspan(header_size)) != payload_hash) {
-    reject<Error>(domain, "payload checksum mismatch (corrupted in transit)");
+  if (verify_payload_hash) {
+    const std::uint64_t payload_hash =
+        load_u64(stream.data() + kOffPayloadHash);
+    if (hash_payload(stream.subspan(header_size)) != payload_hash) {
+      reject<Error>(domain,
+                    "payload checksum mismatch (corrupted in transit)");
+    }
   }
 }
 

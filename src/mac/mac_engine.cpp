@@ -160,21 +160,23 @@ core::Decision MacEngine::decide(const DbSnapshot& snap, Sid source,
   // a placeholder name instead of throwing mid-batch. Safe for shared
   // readers: name_of is a const read, and the single-writer rule forbids
   // interning new names while readers are active.
-  static const std::string kInvalidSid = "<invalid-sid>";
-  const std::string& source_name =
+  constexpr std::string_view kInvalidSid = "<invalid-sid>";
+  const std::string_view source_name =
       sids_->contains(source) ? sids_->name_of(source) : kInvalidSid;
-  const std::string& target_name =
+  const std::string_view target_name =
       sids_->contains(target) ? sids_->name_of(target) : kInvalidSid;
   const std::string_view perm = core::to_string(access);
   if (permissive) {
     permissive_denials_.fetch_add(1, std::memory_order_relaxed);
     return core::Decision::allow(
-        "te-permissive", "would deny " + source_name + " -> " + target_name +
-                             " " + std::string(perm));
+        "te-permissive", "would deny " + std::string(source_name) + " -> " +
+                             std::string(target_name) + " " +
+                             std::string(perm));
   }
   return core::Decision::deny(
-      "te", "no allow rule " + source_name + " -> " + target_name +
-                " : asset { " + std::string(perm) + " }");
+      "te", "no allow rule " + std::string(source_name) + " -> " +
+                std::string(target_name) + " : asset { " + std::string(perm) +
+                " }");
 }
 
 core::Decision MacEngine::evaluate(const core::AccessRequest& request) {

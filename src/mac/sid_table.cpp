@@ -1,6 +1,7 @@
 #include "mac/sid_table.h"
 
 #include <stdexcept>
+#include <utility>
 
 namespace psme::mac {
 
@@ -12,59 +13,91 @@ namespace {
 }
 }  // namespace
 
+SidTable SidTable::attach(std::string_view name_arena,
+                          std::span<const std::uint32_t> name_offsets,
+                          std::span<const Sid> slots,
+                          std::shared_ptr<const void> keepalive) {
+  SidTable table;
+  table.arena_ = name_arena;
+  table.arena_offsets_ = name_offsets.data();
+  table.base_count_ =
+      name_offsets.empty()
+          ? 0
+          : static_cast<std::uint32_t>(name_offsets.size() - 1);
+  table.borrowed_slots_ = slots;
+  table.keepalive_ = std::move(keepalive);
+  return table;
+}
+
 void SidTable::rehash(std::size_t slot_count) {
   slots_.assign(slot_count, kNullSid);
   const std::size_t mask = slot_count - 1;
-  for (std::size_t i = 0; i < names_.size(); ++i) {
-    std::size_t slot = probe_origin(names_[i], mask);
+  const std::size_t total = size();
+  for (std::size_t i = 0; i < total; ++i) {
+    std::size_t slot = probe_origin(name_at(static_cast<Sid>(i + 1)), mask);
     while (slots_[slot] != kNullSid) slot = (slot + 1) & mask;
     slots_[slot] = static_cast<Sid>(i + 1);
   }
+  borrowed_slots_ = {};  // a rehash writes; the slots are owned from here on
+}
+
+void SidTable::thaw() {
+  if (borrowed_slots_.data() == nullptr) return;
+  slots_.assign(borrowed_slots_.begin(), borrowed_slots_.end());
+  borrowed_slots_ = {};
 }
 
 void SidTable::reserve(std::size_t names) {
-  std::size_t slots = slots_.empty() ? 16 : slots_.size();
+  const std::size_t current = probe_slots().size();
+  std::size_t slots = current == 0 ? 16 : current;
   while (over_loaded(names, slots)) slots <<= 1;
-  if (slots != slots_.size()) rehash(slots);
+  if (slots != current) rehash(slots);
 }
 
 Sid SidTable::intern(std::string_view name) {
-  if (slots_.empty()) rehash(16);
-  const std::size_t mask = slots_.size() - 1;
-  std::size_t slot = probe_origin(name, mask);
-  while (slots_[slot] != kNullSid) {
-    if (names_[slots_[slot] - 1] == name) return slots_[slot];
-    slot = (slot + 1) & mask;
-  }
-  if (names_.size() >= kMaxTypeSid) {
+  // Existing names are a pure lookup (read-equivalent — the concurrency
+  // contract in the class comment leans on this ordering).
+  if (const Sid existing = find(name); existing != kNullSid) return existing;
+  if (size() >= kMaxTypeSid) {
     throw std::length_error("SidTable::intern: table full (2^24 - 1 names)");
   }
-  const Sid sid = static_cast<Sid>(names_.size() + 1);
+  thaw();  // a new name writes a slot; borrowed slots are read-only
+  if (slots_.empty()) rehash(16);
+  const Sid sid = static_cast<Sid>(size() + 1);
   names_.emplace_back(name);
-  if (over_loaded(names_.size(), slots_.size())) {
+  if (over_loaded(size(), slots_.size())) {
     rehash(slots_.size() * 2);  // re-probes the new name too
   } else {
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t slot = probe_origin(name, mask);
+    while (slots_[slot] != kNullSid) slot = (slot + 1) & mask;
     slots_[slot] = sid;
   }
   return sid;
 }
 
 Sid SidTable::find(std::string_view name) const noexcept {
-  if (slots_.empty()) return kNullSid;
-  const std::size_t mask = slots_.size() - 1;
+  const std::span<const Sid> slots = probe_slots();
+  if (slots.empty()) return kNullSid;
+  const std::size_t mask = slots.size() - 1;
   std::size_t slot = probe_origin(name, mask);
-  while (slots_[slot] != kNullSid) {
-    if (names_[slots_[slot] - 1] == name) return slots_[slot];
-    slot = (slot + 1) & mask;
+  // The step bound and the contains() guard only matter for a corrupted
+  // sealed-trust blob (no empty slot left / out-of-range SID in a slot):
+  // they turn would-be unbounded walks or wild reads into a miss.
+  for (std::size_t step = 0; slots[slot] != kNullSid;
+       slot = (slot + 1) & mask) {
+    const Sid sid = slots[slot];
+    if (contains(sid) && name_at(sid) == name) return sid;
+    if (++step > mask) break;
   }
   return kNullSid;
 }
 
-const std::string& SidTable::name_of(Sid sid) const {
+std::string_view SidTable::name_of(Sid sid) const {
   if (!contains(sid)) {
     throw std::out_of_range("SidTable::name_of: unknown SID");
   }
-  return names_[sid - 1];
+  return name_at(sid);
 }
 
 }  // namespace psme::mac

@@ -14,6 +14,8 @@
 #include <cstdint>
 #include <cstring>
 #include <deque>
+#include <memory>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -192,8 +194,20 @@ struct HashLanes {
 /// the AVC (DESIGN.md §2): a probe is a hash, a masked index walk and an
 /// inline string compare; interning a new name is one arena append and
 /// one slot store, no per-name node allocation. The arena is a deque, so
-/// a reference returned by name_of stays valid forever (readers may hold
+/// a view returned by name_of stays valid forever (readers may hold
 /// audit strings while the owner interns).
+///
+/// Borrowed mode (zero-copy boot, DESIGN.md "Zero-copy image views"): a
+/// table can instead be ATTACHED over a serialised name arena — a
+/// contiguous byte arena plus an offsets array plus the probe-slot array,
+/// all living in a persistent policy blob. attach() is O(1): no name is
+/// copied, name_of returns views into the blob, and the caller-supplied
+/// keepalive pins the blob's buffer for the table's lifetime. The table
+/// stays fully functional: interning a NEW name first thaws the probe
+/// slots (one O(slots) copy into owned storage, off the boot path) and
+/// then appends to the owned name overflow exactly as a built table
+/// would — issued SIDs, probe layout and serialisation are byte-identical
+/// either way (the delta channel and blob interop depend on this).
 ///
 /// Concurrency (DESIGN.md "Concurrency model"): the const observers
 /// (find, name_of, contains, size) are safe to call from any number of
@@ -216,6 +230,22 @@ class SidTable {
     }
   };
 
+  SidTable() = default;
+
+  /// Borrowed-mode constructor: a table whose first
+  /// `name_offsets.size() - 1` names live in `name_arena` (name of SID i
+  /// is arena bytes [name_offsets[i-1], name_offsets[i])) and whose probe
+  /// slots are `slots`, both owned by whatever `keepalive` pins (a
+  /// policy blob's PolicyBuffer). O(1): nothing is copied or validated —
+  /// the blob loader is responsible for having validated (or
+  /// bounds-guarding) the arena, offsets and slots. The spans must stay
+  /// valid while `keepalive` is held.
+  [[nodiscard]] static SidTable attach(std::string_view name_arena,
+                                       std::span<const std::uint32_t>
+                                           name_offsets,
+                                       std::span<const Sid> slots,
+                                       std::shared_ptr<const void> keepalive);
+
   /// Returns the SID for `name`, interning it on first sight. SIDs are
   /// handed out densely starting at 1 in interning order. Throws
   /// std::length_error once kMaxTypeSid names exist.
@@ -230,20 +260,52 @@ class SidTable {
   [[nodiscard]] Sid find(std::string_view name) const noexcept;
 
   /// Reverse lookup, for audit/trace messages. Throws std::out_of_range
-  /// for kNullSid or a SID this table never issued. The reference stays
-  /// valid for the table's lifetime (the arena never moves a name).
-  [[nodiscard]] const std::string& name_of(Sid sid) const;
+  /// for kNullSid or a SID this table never issued. The view stays
+  /// valid for the table's lifetime (the owned arena never moves a name;
+  /// a borrowed arena is pinned by the keepalive).
+  [[nodiscard]] std::string_view name_of(Sid sid) const;
 
   [[nodiscard]] bool contains(Sid sid) const noexcept {
-    return sid != kNullSid && sid <= names_.size();
+    return sid != kNullSid && sid <= size();
   }
 
-  [[nodiscard]] std::size_t size() const noexcept { return names_.size(); }
+  [[nodiscard]] std::size_t size() const noexcept {
+    return base_count_ + names_.size();
+  }
+
+  /// The live open-addressing slot array, verbatim (borrowed or owned) —
+  /// for the persistent-image serialiser, which carries the probe layout
+  /// on the wire so a reader can attach without rebuilding it. Not a
+  /// mutation path.
+  [[nodiscard]] std::span<const Sid> probe_slots() const noexcept {
+    return borrowed_slots_.data() != nullptr ? borrowed_slots_
+                                             : std::span<const Sid>(slots_);
+  }
 
  private:
   /// Doubles (or first sizes) the slot array and re-probes every interned
-  /// name into it.
+  /// name into it. Always leaves the slots OWNED (a rehash writes).
   void rehash(std::size_t slot_count);
+
+  /// Copies borrowed probe slots into owned storage so intern() can
+  /// write. One-time, O(slots); no-op on an owned table.
+  void thaw();
+
+  /// Name of SID `sid` without the contains() guard (callers check).
+  /// Borrowed arena reads are bounds-guarded: a corrupted offset pair
+  /// yields an empty view (which can never equal an interned name), so a
+  /// sealed-trust blob with a mangled arena fails closed instead of
+  /// reading out of bounds.
+  [[nodiscard]] std::string_view name_at(Sid sid) const noexcept {
+    const std::size_t i = sid - 1;
+    if (i < base_count_) {
+      const std::uint32_t begin = arena_offsets_[i];
+      const std::uint32_t end = arena_offsets_[i + 1];
+      if (begin > end || end > arena_.size()) return {};
+      return arena_.substr(begin, end - begin);
+    }
+    return names_[i - base_count_];
+  }
 
   /// Probe start for a name in a `mask`-sized table.
   [[nodiscard]] static std::size_t probe_origin(std::string_view name,
@@ -252,11 +314,22 @@ class SidTable {
   }
 
   /// Open-addressing slots holding SIDs (kNullSid = empty); the key of a
-  /// slot is names_[sid - 1]. Power-of-two sized, grown at 2/3 load.
+  /// slot is name_at(sid). Power-of-two sized, grown at 2/3 load. Empty
+  /// while borrowed_slots_ is in use.
   std::vector<Sid> slots_;
-  /// SID i names names_[i - 1]. Deque: growth never moves a name, so
-  /// name_of references and probe compares stay stable across interning.
+  /// Names interned AFTER the borrowed base (all names, in an owned
+  /// table): SID base_count_ + i + 1 names names_[i]. Deque: growth never
+  /// moves a name, so name_of views and probe compares stay stable
+  /// across interning.
   std::deque<std::string> names_;
+  /// Borrowed base (attach()): the serialised arena, its offsets array
+  /// (base_count_ + 1 entries) and the blob's probe slots. Pinned by
+  /// keepalive_.
+  std::string_view arena_;
+  const std::uint32_t* arena_offsets_ = nullptr;
+  std::uint32_t base_count_ = 0;
+  std::span<const Sid> borrowed_slots_;
+  std::shared_ptr<const void> keepalive_;
 };
 
 }  // namespace psme::mac

@@ -10,7 +10,10 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdio>
+#include <memory>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "car/base_policy.h"
@@ -19,6 +22,7 @@
 #include "car/table1.h"
 #include "core/policy.h"
 #include "core/policy_blob.h"
+#include "core/policy_buffer.h"
 #include "core/policy_image.h"
 #include "sim/rng.h"
 
@@ -27,11 +31,13 @@ namespace {
 
 using core::AccessRequest;
 using core::AccessType;
+using core::BlobTrust;
 using core::CompiledPolicyImage;
 using core::Decision;
 using core::PolicyBlobError;
 using core::PolicyBlobReader;
 using core::PolicyBlobWriter;
+using core::PolicyBuffer;
 using core::PolicySet;
 
 void expect_same_decision(const Decision& got, const Decision& want,
@@ -363,6 +369,311 @@ TEST(FleetBoot, OtaUpdateSwapsPolicyAndRefusesRollback) {
   // Replaying the old blob must not downgrade.
   EXPECT_FALSE(boot.apply_update(blob_v1));
   EXPECT_EQ(boot.policy_version(), 2u);
+}
+
+// ------------------------------------------------------- v1 compat path
+
+TEST(PolicyBlobV1Compat, V1BlobLoadsWithByteIdenticalDecisions) {
+  const CompiledPolicyImage& original = car_policy().image();
+  const std::vector<std::byte> v1 = PolicyBlobWriter::write_v1(original);
+
+  const core::PolicyBlobInfo info = PolicyBlobReader::probe(v1);
+  EXPECT_EQ(info.format_version, core::kPolicyBlobFormatVersionV1);
+  EXPECT_EQ(info.fingerprint, original.fingerprint());
+
+  const CompiledPolicyImage loaded = PolicyBlobReader::load(v1);
+  EXPECT_FALSE(loaded.borrowed());  // v1 runs the copying reconstruction
+  EXPECT_EQ(loaded.fingerprint(), original.fingerprint());
+  for (const AccessRequest& request : workload_requests()) {
+    expect_same_decision(loaded.evaluate(loaded.resolve(request)),
+                         original.evaluate(original.resolve(request)),
+                         request.to_string());
+  }
+}
+
+TEST(PolicyBlobV1Compat, EverySingleByteCorruptionIsDetected) {
+  // The v1 reader is the compat path for already-deployed blobs; its
+  // trust boundary must stay as tight as v2's.
+  const std::vector<std::byte> blob =
+      PolicyBlobWriter::write_v1(car_policy().image());
+  for (std::size_t i = 0; i < blob.size(); ++i) {
+    std::vector<std::byte> bad = blob;
+    bad[i] ^= std::byte{0xFF};
+    EXPECT_THROW((void)PolicyBlobReader::load(bad), PolicyBlobError)
+        << "flip at byte " << i << " was accepted";
+  }
+}
+
+// ------------------------------------------------------- zero-copy views
+
+/// Compiled, v1-loaded and v2-borrowed images answering one request —
+/// the acceptance criterion is byte-identical Decisions across all three.
+TEST(PolicyBlobZeroCopy, CompiledV1AndBorrowedAnswerIdentically) {
+  const CompiledPolicyImage& compiled = car_policy().image();
+  const CompiledPolicyImage via_v1 =
+      PolicyBlobReader::load(PolicyBlobWriter::write_v1(compiled));
+  const CompiledPolicyImage via_v2 = PolicyBlobReader::load(
+      PolicyBuffer::take(PolicyBlobWriter::write(compiled)));
+  ASSERT_TRUE(via_v2.borrowed());
+  ASSERT_FALSE(via_v1.borrowed());
+
+  for (const AccessRequest& request : workload_requests()) {
+    const Decision want = compiled.evaluate(compiled.resolve(request));
+    expect_same_decision(via_v1.evaluate(via_v1.resolve(request)), want,
+                         "v1 " + request.to_string());
+    expect_same_decision(via_v2.evaluate(via_v2.resolve(request)), want,
+                         "v2 " + request.to_string());
+  }
+}
+
+TEST(PolicyBlobZeroCopy, SealedAttachMatchesUntrustedLoad) {
+  const CompiledPolicyImage& compiled = car_policy().image();
+  auto buffer = PolicyBuffer::take(PolicyBlobWriter::write(compiled));
+  const CompiledPolicyImage untrusted =
+      PolicyBlobReader::load(buffer, nullptr, BlobTrust::kUntrusted);
+  const CompiledPolicyImage sealed =
+      PolicyBlobReader::load(buffer, nullptr, BlobTrust::kSealedStore);
+  ASSERT_TRUE(sealed.borrowed());
+  EXPECT_EQ(sealed.fingerprint(), compiled.fingerprint());
+  for (const AccessRequest& request : workload_requests()) {
+    expect_same_decision(sealed.evaluate(sealed.resolve(request)),
+                         untrusted.evaluate(untrusted.resolve(request)),
+                         request.to_string());
+  }
+}
+
+TEST(PolicyBlobZeroCopy, ShuffledBatchParityOnBorrowedImagesUnderFuzz) {
+  sim::Rng rng(20260808);
+  for (int round = 0; round < 4; ++round) {
+    const PolicySet set = fuzz_policy_set(rng, 25, round % 2 == 1);
+    const CompiledPolicyImage& original = set.image();
+    const CompiledPolicyImage loaded = PolicyBlobReader::load(
+        PolicyBuffer::take(PolicyBlobWriter::write(original)));
+    ASSERT_TRUE(loaded.borrowed());
+
+    std::vector<AccessRequest> requests = fuzz_requests(rng, 400);
+    for (std::size_t i = requests.size(); i > 1; --i) {
+      std::swap(requests[i - 1], requests[rng.uniform(0, i - 1)]);
+    }
+    std::vector<core::SidRequest> resolved;
+    resolved.reserve(requests.size());
+    for (const AccessRequest& request : requests) {
+      resolved.push_back(loaded.resolve(request));
+    }
+    std::vector<Decision> batch(resolved.size());
+    loaded.evaluate_batch(resolved, batch);
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      expect_same_decision(batch[i],
+                           original.evaluate(original.resolve(requests[i])),
+                           requests[i].to_string());
+    }
+  }
+}
+
+TEST(PolicyBlobZeroCopy, CopyingABorrowedImageKeepsParity) {
+  // Deep copy of a borrowed image: the copy shares the buffer (views are
+  // rebound, not re-owned) and must answer identically after the source
+  // image is destroyed.
+  const CompiledPolicyImage& compiled = car_policy().image();
+  auto borrowed = std::make_unique<CompiledPolicyImage>(PolicyBlobReader::load(
+      PolicyBuffer::take(PolicyBlobWriter::write(compiled))));
+  const CompiledPolicyImage copy(*borrowed);
+  borrowed.reset();
+  EXPECT_TRUE(copy.borrowed());
+  EXPECT_EQ(copy.fingerprint(), compiled.fingerprint());
+  for (const AccessRequest& request : workload_requests()) {
+    expect_same_decision(copy.evaluate(copy.resolve(request)),
+                         compiled.evaluate(compiled.resolve(request)),
+                         request.to_string());
+  }
+}
+
+TEST(PolicyBlobZeroCopy, InternGrowsAnAttachedTable) {
+  // FleetEvaluator interns workload labels into a loaded image's table;
+  // an attached (borrowed) interner must support that exactly like a
+  // rebuilt one: existing names keep their SIDs, new names extend.
+  const CompiledPolicyImage loaded = PolicyBlobReader::load(
+      PolicyBuffer::take(PolicyBlobWriter::write(car_policy().image())));
+  mac::SidTable& sids = *loaded.sid_table();
+  const std::size_t carried = sids.size();
+
+  // Existing name: intern is a pure lookup, nothing grows.
+  const mac::Sid wildcard = sids.find("*");
+  ASSERT_NE(wildcard, mac::kNullSid);
+  EXPECT_EQ(sids.intern("*"), wildcard);
+  EXPECT_EQ(sids.size(), carried);
+
+  // New names: sequential SIDs past the carried range, and every carried
+  // name still resolves (the thaw copies the probe table faithfully).
+  const mac::Sid fresh = sids.intern("ep.test.attached-intern");
+  EXPECT_EQ(fresh, carried + 1);
+  EXPECT_EQ(sids.name_of(fresh), "ep.test.attached-intern");
+  EXPECT_EQ(sids.find("ep.test.attached-intern"), fresh);
+  for (mac::Sid sid = 1; sid <= carried; ++sid) {
+    EXPECT_EQ(sids.find(sids.name_of(sid)), sid) << "carried SID " << sid;
+  }
+}
+
+TEST(PolicyBlobZeroCopy, LayoutSectionsAreAlignedAndPack) {
+  const std::vector<std::byte> blob =
+      PolicyBlobWriter::write(car_policy().image());
+  const std::vector<core::PolicyBlobSection> sections =
+      core::policy_blob_layout(blob);
+  ASSERT_FALSE(sections.empty());
+  EXPECT_STREQ(sections.front().name, "header");
+  std::size_t previous_end = 0;
+  for (const core::PolicyBlobSection& section : sections) {
+    EXPECT_EQ(section.offset % 8, 0u) << section.name;
+    EXPECT_GE(section.offset, previous_end) << section.name;
+    // Any gap is alignment padding only (< 8 bytes).
+    EXPECT_LT(section.offset - previous_end, 8u) << section.name;
+    previous_end = section.offset + section.size;
+  }
+  EXPECT_EQ((previous_end + 7) & ~std::size_t{7}, blob.size());
+
+  // v1 blobs have no section table.
+  EXPECT_THROW((void)core::policy_blob_layout(
+                   PolicyBlobWriter::write_v1(car_policy().image())),
+               PolicyBlobError);
+}
+
+TEST(PolicyBlobZeroCopy, ConcurrentEvaluationOnOneBorrowedImage) {
+  // Lazy Meta materialisation is the one internal mutation of a borrowed
+  // image; concurrent first-touch from several threads must be safe (the
+  // TSan CI job runs this) and every thread must see identical decisions.
+  const CompiledPolicyImage& compiled = car_policy().image();
+  const CompiledPolicyImage loaded = PolicyBlobReader::load(
+      PolicyBuffer::take(PolicyBlobWriter::write(compiled)));
+  const std::vector<AccessRequest> requests = workload_requests();
+  std::vector<Decision> want;
+  want.reserve(requests.size());
+  for (const AccessRequest& request : requests) {
+    want.push_back(compiled.evaluate(compiled.resolve(request)));
+  }
+
+  std::vector<std::vector<Decision>> got(4);
+  std::vector<std::thread> threads;
+  threads.reserve(got.size());
+  for (std::vector<Decision>& into : got) {
+    threads.emplace_back([&loaded, &requests, &into] {
+      into.reserve(requests.size());
+      for (const AccessRequest& request : requests) {
+        into.push_back(loaded.evaluate(loaded.resolve(request)));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (std::size_t t = 0; t < got.size(); ++t) {
+    ASSERT_EQ(got[t].size(), want.size());
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      expect_same_decision(got[t][i], want[i],
+                           "thread " + std::to_string(t) + " decision " +
+                               std::to_string(i));
+    }
+  }
+}
+
+TEST(PolicyBlobZeroCopy, CorruptedSealedBlobFailsClosedWithoutUB) {
+  // kSealedStore skips the content checks — that is its contract — but a
+  // blob corrupted AFTER staging must still fail SAFE: structural header
+  // damage is rejected outright, and payload damage may only change
+  // answers or deny, never crash or read out of bounds (ASan/UBSan CI
+  // runs this test). Walk a byte of every section.
+  const std::vector<std::byte> good =
+      PolicyBlobWriter::write(car_policy().image());
+  const std::vector<core::PolicyBlobSection> sections =
+      core::policy_blob_layout(good);
+  const std::vector<AccessRequest> requests = workload_requests();
+
+  for (const core::PolicyBlobSection& section : sections) {
+    if (section.size == 0) continue;
+    for (const std::size_t at :
+         {section.offset, section.offset + section.size / 2,
+          section.offset + section.size - 1}) {
+      std::vector<std::byte> bad = good;
+      bad[at] ^= std::byte{0xA5};
+      try {
+        const CompiledPolicyImage image = PolicyBlobReader::load(
+            PolicyBuffer::take(std::move(bad)), nullptr,
+            BlobTrust::kSealedStore);
+        for (const AccessRequest& request : requests) {
+          (void)image.evaluate(image.resolve(request));  // must not crash
+        }
+      } catch (const PolicyBlobError&) {
+        // Equally acceptable: the structural gates caught it.
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------- file / mmap path
+
+TEST(PolicyBlobZeroCopy, FileLoadIsMmapBackedAndBorrowed) {
+  const CompiledPolicyImage& original = car_policy().image();
+  const std::string path = ::testing::TempDir() + "psme_policy_v2.img";
+  PolicyBlobWriter::write_file(original, path);
+
+  std::string error;
+  const std::shared_ptr<const PolicyBuffer> mapped =
+      PolicyBuffer::map_file(path, &error);
+  ASSERT_NE(mapped, nullptr) << error;
+#if defined(__unix__) || defined(__APPLE__)
+  EXPECT_TRUE(mapped->file_mapped());
+#endif
+
+  const CompiledPolicyImage loaded = PolicyBlobReader::load_file(path);
+  EXPECT_TRUE(loaded.borrowed());
+  EXPECT_EQ(loaded.fingerprint(), original.fingerprint());
+  for (const AccessRequest& request : workload_requests()) {
+    expect_same_decision(loaded.evaluate(loaded.resolve(request)),
+                         original.evaluate(original.resolve(request)),
+                         request.to_string());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(FleetBoot, BootsFromFileWithByteIdenticalSweeps) {
+  const CompiledPolicyImage& compiled = car_policy().image();
+  const std::string path = ::testing::TempDir() + "psme_boot_v2.img";
+  PolicyBlobWriter::write_file(compiled, path);
+
+  car::FleetEvaluatorOptions options;
+  options.fleet_size = 16;
+  car::FleetEvaluator reference(compiled, car::default_fleet_checks(),
+                                options);
+  // Boot once per trust level — a freshly staged file (untrusted) and a
+  // locally sealed one (the O(1) attach) must sweep identically.
+  car::FleetBoot staged(path, car::default_fleet_checks(), options,
+                        BlobTrust::kUntrusted);
+  car::FleetBoot sealed(path, car::default_fleet_checks(), options,
+                        BlobTrust::kSealedStore);
+
+  std::vector<Decision> want_stream;
+  std::vector<Decision> staged_stream;
+  std::vector<Decision> sealed_stream;
+  const auto collect = [](std::vector<Decision>& into) {
+    return [&into](std::span<const core::SidRequest>,
+                   std::span<const Decision> decisions) {
+      into.insert(into.end(), decisions.begin(), decisions.end());
+    };
+  };
+  const car::FleetTickStats want = reference.tick(collect(want_stream));
+  const car::FleetTickStats staged_stats =
+      staged.fleet().tick(collect(staged_stream));
+  const car::FleetTickStats sealed_stats =
+      sealed.fleet().tick(collect(sealed_stream));
+
+  EXPECT_EQ(staged_stats.decisions, want.decisions);
+  EXPECT_EQ(sealed_stats.decisions, want.decisions);
+  ASSERT_EQ(staged_stream.size(), want_stream.size());
+  ASSERT_EQ(sealed_stream.size(), want_stream.size());
+  for (std::size_t i = 0; i < want_stream.size(); ++i) {
+    expect_same_decision(staged_stream[i], want_stream[i],
+                         "staged decision " + std::to_string(i));
+    expect_same_decision(sealed_stream[i], want_stream[i],
+                         "sealed decision " + std::to_string(i));
+  }
+  std::remove(path.c_str());
 }
 
 }  // namespace
