@@ -19,6 +19,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -27,6 +28,9 @@
 #include "car/table1.h"
 #include "core/policy_compiler.h"
 #include "core/policy_image.h"
+#include "host_note.h"
+#include "mac/batch_probe.h"
+#include "mac/stage_counters.h"
 #include "sim/rng.h"
 
 using namespace psme;
@@ -91,6 +95,17 @@ std::vector<car::FleetCheck> subsample(std::vector<car::FleetCheck> all,
   return out;
 }
 
+/// Regression gate, enforced by exit status (CI smoke-runs this bench):
+/// the batched path at 10^6 vehicles must stay within 1.2x of the ns per
+/// decision recorded BEFORE the vectorised decision core landed
+/// (BENCH_fleet_eval.json history: 21.3 ns batched). The gate is
+/// deliberately anchored to the old baseline, not the vectorised number:
+/// it catches a de-vectorisation regression (losing the staged pipeline
+/// would roughly double the figure) while staying robust to ordinary
+/// runner-to-runner noise.
+constexpr double kPreVectorBaselineNs = 21.3;
+constexpr double kGateLimitNs = kPreVectorBaselineNs * 1.2;
+
 }  // namespace
 
 int main() {
@@ -124,6 +139,7 @@ int main() {
     std::size_t fleet_size;
     std::size_t checks;
     PathResult strings, scalar, batched;
+    mac::StageCounters stages;  // batched sweep only; zeros when disabled
   };
   std::vector<Row> rows;
   bool parity_ok = true;
@@ -148,7 +164,9 @@ int main() {
     row.strings =
         measure(str_target, [&] { return fleet.tick_strings(policy); });
     row.scalar = measure(sid_target, [&] { return fleet.tick_scalar(); });
+    mac::stage_counters().reset();
     row.batched = measure(sid_target, [&] { return fleet.tick(); });
+    row.stages = mac::stage_counters();
 
     const auto rate = [](const PathResult& r) {
       return static_cast<double>(r.allowed) / static_cast<double>(r.decisions);
@@ -182,18 +200,89 @@ int main() {
     }
   }
 
+  // Probe-depth histogram: slots the sealed index inspects per request
+  // (summed over the four probe keys, so the floor is 4 = every key
+  // answered by its origin slot). One 10^4-vehicle tick's request stream
+  // observed through the chunk sink — the exact stream the batched row
+  // timed.
+  std::map<std::uint32_t, std::uint64_t> depth_histogram;
+  {
+    car::FleetEvaluatorOptions options;
+    options.fleet_size = 10000;
+    car::FleetEvaluator fleet(image, full_checks, options);
+    scatter_modes(fleet, 7);
+    (void)fleet.tick([&](std::span<const core::SidRequest> requests,
+                         std::span<const core::Decision>) {
+      for (const core::SidRequest& request : requests) {
+        ++depth_histogram[image.probe_depth(request)];
+      }
+    });
+  }
+  std::printf("probe depth (slots inspected per request, 4 keys):\n");
+  for (const auto& [depth, count] : depth_histogram) {
+    std::printf("  %2u slots: %llu requests\n", depth,
+                static_cast<unsigned long long>(count));
+  }
+
+  // De-vectorisation regression gate (see kGateLimitNs above).
+  double gate_measured = 0.0;
+  for (const Row& row : rows) {
+    if (row.fleet_size == 1000000) gate_measured = row.batched.ns_per_decision;
+  }
+  const bool gate_ok = gate_measured <= kGateLimitNs;
+  std::printf("\ngate: batched at 10^6 vehicles %.1f ns/decision vs limit "
+              "%.1f ns (1.2x pre-vectorisation baseline %.1f) — %s\n\n",
+              gate_measured, kGateLimitNs, kPreVectorBaselineNs,
+              gate_ok ? "met" : "MISSED");
+
   // Machine-readable record (BENCH_fleet_eval.json).
-  std::printf("JSON: {\"bench\":\"fleet_eval\",\"unit\":\"ns/decision\","
-              "\"rows\":[");
+  std::printf("JSON: {\"bench\":\"fleet_eval\",\"unit\":\"ns/decision\",");
+  benchhost::print_host_json();
+  std::printf(",\"probe_backend\":\"%s\",",
+              mac::probe::backend_name(mac::probe::active_backend()));
+  if (mac::stage_counters_enabled()) {
+    std::printf("\"stage_counters\":\"enabled\",");
+  } else {
+    std::printf("\"stage_counters\":\"disabled\",");
+  }
+  std::printf("\"rows\":[");
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Row& row = rows[i];
     std::printf("%s{\"fleet_size\":%zu,\"checks_per_vehicle\":%zu,"
-                "\"strings\":%.1f,\"scalar\":%.1f,\"batched\":%.1f}",
+                "\"strings\":%.1f,\"scalar\":%.1f,\"batched\":%.1f",
                 i == 0 ? "" : ",", row.fleet_size, row.checks,
                 row.strings.ns_per_decision, row.scalar.ns_per_decision,
                 row.batched.ns_per_decision);
+    if (mac::stage_counters_enabled()) {
+      // Per-stage share of the batched sweep: wall ns and element count
+      // per pipeline stage (resolve / index probe / copy; the avc stages
+      // are idle here — tick() drives the image directly).
+      const mac::StageCounters& s = row.stages;
+      std::printf(",\"stages\":{\"resolve_ns\":%llu,\"resolve_ops\":%llu,"
+                  "\"avc_probe_ns\":%llu,\"avc_probe_ops\":%llu,"
+                  "\"db_probe_ns\":%llu,\"db_probe_ops\":%llu,"
+                  "\"copy_ns\":%llu,\"copy_ops\":%llu}",
+                  static_cast<unsigned long long>(s.resolve_ns),
+                  static_cast<unsigned long long>(s.resolve_ops),
+                  static_cast<unsigned long long>(s.avc_probe_ns),
+                  static_cast<unsigned long long>(s.avc_probe_ops),
+                  static_cast<unsigned long long>(s.db_probe_ns),
+                  static_cast<unsigned long long>(s.db_probe_ops),
+                  static_cast<unsigned long long>(s.copy_ns),
+                  static_cast<unsigned long long>(s.copy_ops));
+    }
+    std::printf("}");
   }
-  std::printf("]}\n");
+  std::printf("],\"probe_depth_histogram\":{");
+  bool first_bucket = true;
+  for (const auto& [depth, count] : depth_histogram) {
+    std::printf("%s\"%u\":%llu", first_bucket ? "" : ",", depth,
+                static_cast<unsigned long long>(count));
+    first_bucket = false;
+  }
+  std::printf("},\"gate\":{\"metric\":\"batched_ns_at_1e6\","
+              "\"limit_ns\":%.1f,\"measured_ns\":%.1f,\"pass\":%s}}\n",
+              kGateLimitNs, gate_measured, gate_ok ? "true" : "false");
 
-  return parity_ok ? 0 : 1;
+  return parity_ok && gate_ok ? 0 : 1;
 }

@@ -144,8 +144,15 @@ int main() {
   // make the rows self-describing about the hardware they were measured
   // on (a 1-core container's speedup column means something different
   // from a 32-thread workstation's).
+  // scaling_status makes the verdict explicit instead of leaving the
+  // reader to infer it from hardware_concurrency: "measured" only when
+  // the host can actually exercise the 8-thread acceptance row.
+  const char* scaling_status = hw >= 8  ? "measured"
+                               : hw == 1 ? "skipped: single-core host"
+                                         : "skipped: <8-thread host";
   std::printf("JSON: {\"bench\":\"fleet_parallel\",\"unit\":\"ns/decision\",");
   benchhost::print_host_json();
+  std::printf(",\"scaling_status\":\"%s\"", scaling_status);
   std::printf(",\"sequential\":%.1f,\"rows\":[", sequential.ns_per_decision);
   for (std::size_t i = 0; i < rows.size(); ++i) {
     std::printf("%s{\"threads\":%zu,\"parallel\":%.1f,\"speedup\":%.2f}",

@@ -35,7 +35,7 @@ std::vector<FleetCheck> default_fleet_checks() {
   // Every question the binding layer asks when policing one vehicle:
   // each hosted entry point against each asset, read and write. The
   // deterministic (node-binding, asset-binding) order matters — fleet
-  // sweeps must replay identically across runs (DESIGN.md §7).
+  // sweeps must replay identically across runs (DESIGN.md §8).
   std::vector<FleetCheck> checks;
   for (const NodeBinding& node : node_bindings()) {
     for (const std::string& entry_point : node.entry_points) {
@@ -91,6 +91,7 @@ FleetEvaluator::FleetEvaluator(const core::CompiledPolicyImage& image,
   vehicle_denied_.assign(options.fleet_size, 0);
   batch_.reserve(batch_chunk_);
   decisions_.reserve(batch_chunk_);
+  flags_.reserve(batch_chunk_);
 }
 
 FleetEvaluator::~FleetEvaluator() { stop_pool(); }
@@ -105,11 +106,23 @@ CarMode FleetEvaluator::mode(std::size_t vehicle) const {
 
 void FleetEvaluator::flush(FleetTickStats& stats, const ChunkSink& sink) {
   if (batch_.empty()) return;
-  decisions_.resize(batch_.size());
-  image_.evaluate_batch(batch_, decisions_);
   const std::size_t checks = checks_.size();
-  for (std::size_t j = 0; j < decisions_.size(); ++j) {
-    if (decisions_[j].allowed) {
+  if (sink) {
+    decisions_.resize(batch_.size());
+    image_.evaluate_batch(batch_, decisions_);
+    flags_.resize(batch_.size());
+    for (std::size_t j = 0; j < decisions_.size(); ++j) {
+      flags_[j] = decisions_[j].allowed ? 1 : 0;
+    }
+  } else {
+    // Counting tick: the verdict byte is all this path reads, so skip
+    // the Decision copy wave entirely (evaluate_batch_allowed is pinned
+    // element-identical to evaluate_batch's allow bits).
+    flags_.resize(batch_.size());
+    image_.evaluate_batch_allowed(batch_, flags_);
+  }
+  for (std::size_t j = 0; j < flags_.size(); ++j) {
+    if (flags_[j] != 0) {
       ++stats.allowed;
     } else {
       ++stats.denied;
@@ -194,10 +207,10 @@ void FleetEvaluator::sweep_range(Worker& worker, std::size_t begin,
   std::size_t flushed_offset = begin * checks;  // global decision index
   auto drain = [&] {
     if (worker.batch.empty()) return;
-    worker.decisions.resize(worker.batch.size());
-    image_.evaluate_batch(worker.batch, worker.decisions);
-    for (std::size_t j = 0; j < worker.decisions.size(); ++j) {
-      if (worker.decisions[j].allowed) {
+    worker.flags.resize(worker.batch.size());
+    image_.evaluate_batch_allowed(worker.batch, worker.flags);
+    for (std::size_t j = 0; j < worker.flags.size(); ++j) {
+      if (worker.flags[j] != 0) {
         ++worker.allowed;
       } else {
         ++worker.denied;

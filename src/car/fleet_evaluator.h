@@ -58,7 +58,9 @@ struct FleetEvaluatorOptions {
   CarMode initial_mode = CarMode::kNormal;
   /// Decisions materialised per evaluate_batch call; bounds peak memory
   /// (the fleet never holds more than this many Decisions at once).
-  std::size_t batch_chunk = 4096;
+  /// Defaults to the chunk the engine's staged pipeline reserves its
+  /// scratch for, so the default fleet never grows engine scratch.
+  std::size_t batch_chunk = core::kRecommendedBatchChunk;
 };
 
 struct FleetTickStats {
@@ -115,6 +117,10 @@ class FleetEvaluator {
 
   /// One fleet sweep through the batched SID path. With a sink, each
   /// chunk is surfaced after evaluation (parity checking, auditing).
+  /// Without one, the sweep runs the image's verdict-only batch variant
+  /// (evaluate_batch_allowed) — the tallies and telemetry are identical,
+  /// but no Decision strings are copied, which is the cheapest way
+  /// through the staged pipeline.
   FleetTickStats tick(const ChunkSink& sink = {});
 
   /// One fleet sweep sharded across `n_threads` workers, each sweeping a
@@ -155,7 +161,9 @@ class FleetEvaluator {
   /// across ticks while the thread count stays the same.
   struct alignas(64) Worker {
     std::vector<core::SidRequest> batch;
-    std::vector<core::Decision> decisions;
+    /// Counting mode: one verdict byte per queued request
+    /// (evaluate_batch_allowed) — no Decision is materialised.
+    std::vector<std::uint8_t> flags;
     /// Sink mode only: the shard's full request/decision stream, replayed
     /// to the sink in fleet order by the calling thread after the join.
     std::vector<core::SidRequest> captured_requests;
@@ -197,8 +205,11 @@ class FleetEvaluator {
   std::vector<std::uint8_t> vehicle_modes_;
   std::size_t batch_chunk_;
   /// Chunk buffers, reused across flushes and ticks (capacity-warm).
+  /// Counting ticks fill flags_ (one verdict byte per request); only
+  /// sink-observed ticks materialise decisions_.
   std::vector<core::SidRequest> batch_;
   std::vector<core::Decision> decisions_;
+  std::vector<std::uint8_t> flags_;
   /// Per-vehicle deny counts of the most recent tick()/tick_parallel()
   /// (the storage FleetTickStats::vehicle_denied views); reused.
   std::vector<std::uint32_t> vehicle_denied_;

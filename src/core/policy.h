@@ -9,6 +9,7 @@
 // paper Sec. V-B citing Saltzer).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -68,6 +69,14 @@ struct SidRequest {
   AccessType access = AccessType::kRead;
   mac::Sid mode = mac::kNullSid;  // kNullSid => mode-independent request
 };
+
+/// Batch chunk size the staged decision pipelines are tuned for.
+/// mac::MacEngine sizes its batch scratch to it (reserving up front and
+/// shrinking back after an oversized batch) and car::FleetEvaluatorOptions
+/// defaults batch_chunk to it, so the layers agree on one number: large
+/// enough to amortise per-batch costs, small enough that a chunk's
+/// requests and decisions stay cache-resident.
+inline constexpr std::size_t kRecommendedBatchChunk = 4096;
 
 /// Outcome of policy evaluation.
 struct Decision {

@@ -1,10 +1,13 @@
 #include "core/policy_image.h"
 
+#include <algorithm>
 #include <array>
 #include <cassert>
 #include <stdexcept>
 
 #include "core/policy_buffer.h"
+#include "mac/batch_probe.h"
+#include "mac/stage_counters.h"
 
 namespace psme::core {
 
@@ -314,56 +317,44 @@ const CompiledPolicyImage::Meta& CompiledPolicyImage::meta_at(
 
 // -------------------------------------------------------------- evaluation
 
-const Decision& CompiledPolicyImage::evaluate_impl(
-    const SidRequest& request, std::uint64_t mode_bits) const {
-  // Sealed-image invariant (debug): build() froze the grouping into the
-  // flat probe tables; concurrent const evaluation relies on nothing
-  // structural being left to mutate lazily.
-  assert(index_build_.empty() && !slot_keys_.empty() &&
-         "CompiledPolicyImage: evaluate on an unsealed image");
+CompiledPolicyImage::SlotSpan CompiledPolicyImage::index_span(
+    std::uint64_t key) const noexcept {
+  // The bounds guards here and in best_entry_for (one-revolution probe
+  // bound, span bounds, entry and meta index range) are dead weight on a
+  // validated image but are what makes evaluation over a sealed-trust
+  // blob — whose index was attached without the O(n) semantic validation
+  // pass — fail CLOSED on corruption instead of walking out of bounds
+  // (DESIGN.md "Zero-copy image views").
+  const std::size_t mask = slot_keys_.size() - 1;
+  const std::size_t slot = mac::probe::find_slot(
+      slot_keys_.data(), mask, key, mac::mix_av_key(key) & mask);
+  if (slot_keys_[slot] != key) return {};
+  const SlotSpan span = slot_spans_[slot];
+  const std::size_t flat_size = flat_index_.size();
+  if (span.offset > flat_size || span.count > flat_size - span.offset) {
+    return {};
+  }
+  return span;
+}
+
+std::int64_t CompiledPolicyImage::best_entry_for(
+    mac::Sid subject, mac::Sid object, std::uint64_t mode_bits,
+    SlotSpan wildcard_span) const noexcept {
   // An entry is indexed under its literal (subject, object) SID pair, so
   // the candidates for a request are exactly the four wildcard
   // combinations. Revisiting an entry through two probes (a "*" request
-  // identity) is harmless: the index tie-break is idempotent.
-  const std::uint64_t probes[4] = {
-      pair_key(request.subject, request.object),
-      pair_key(request.subject, wildcard_sid_),
-      pair_key(wildcard_sid_, request.object),
-      pair_key(wildcard_sid_, wildcard_sid_),
-  };
-
-  // The bounds guards below (probe step cap, span bounds, entry and meta
-  // index range) are dead weight on a validated image but are what makes
-  // evaluation over a sealed-trust blob — whose index was attached
-  // without the O(n) semantic validation pass — fail CLOSED on corruption
-  // instead of walking out of bounds (DESIGN.md "Zero-copy image views").
-  const std::size_t mask = slot_keys_.size() - 1;
-  const std::size_t flat_size = flat_index_.size();
+  // identity) is harmless: the tie-break is idempotent, and a pure
+  // maximum is also probe-order independent.
   const std::size_t entry_count = entries_.size();
   const Entry* best = nullptr;
   std::uint32_t best_index = 0;
-  for (const std::uint64_t key : probes) {
-    std::size_t slot = mac::mix_av_key(key) & mask;
-    std::size_t steps = 0;
-    while (slot_keys_[slot] != key) {
-      if (slot_keys_[slot] == 0 || ++steps > mask) break;
-      slot = (slot + 1) & mask;
-    }
-    if (slot_keys_[slot] != key) continue;
-    const SlotSpan span = slot_spans_[slot];
-    if (span.offset > flat_size || span.count > flat_size - span.offset) {
-      continue;
-    }
+  const auto scan = [&](SlotSpan span) noexcept {
     for (std::uint32_t c = 0; c < span.count; ++c) {
       const std::uint32_t i = flat_index_[span.offset + c];
       if (i >= entry_count) continue;
       const Entry& entry = entries_[i];
-      if (entry.subject != wildcard_sid_ && entry.subject != request.subject) {
-        continue;
-      }
-      if (entry.object != wildcard_sid_ && entry.object != request.object) {
-        continue;
-      }
+      if (entry.subject != wildcard_sid_ && entry.subject != subject) continue;
+      if (entry.object != wildcard_sid_ && entry.object != object) continue;
       if (entry.mode_mask != 0 && (entry.mode_mask & mode_bits) == 0) continue;
       // Priority wins; ties break on specificity, then insertion order
       // (lowest index = first added) — identical to the string path.
@@ -376,18 +367,186 @@ const Decision& CompiledPolicyImage::evaluate_impl(
         best_index = i;
       }
     }
-  }
-  if (best == nullptr || best->meta >= meta_count()) {
+  };
+  scan(index_span(pair_key(subject, object)));
+  scan(index_span(pair_key(subject, wildcard_sid_)));
+  scan(index_span(pair_key(wildcard_sid_, object)));
+  scan(wildcard_span);
+  return best == nullptr ? -1 : static_cast<std::int64_t>(best_index);
+}
+
+const Decision& CompiledPolicyImage::decision_for(std::int64_t best,
+                                                  AccessType access) const {
+  if (best < 0) {
     return default_allow_ ? default_allow_decision_ : default_deny_decision_;
   }
-  const Meta& meta = meta_at(best->meta);
-  if (permits(best->permission, request.access)) return meta.allow;
-  return request.access == AccessType::kRead ? meta.deny_read
-                                             : meta.deny_write;
+  const Entry& entry = entries_[static_cast<std::size_t>(best)];
+  if (entry.meta >= meta_count()) {
+    return default_allow_ ? default_allow_decision_ : default_deny_decision_;
+  }
+  const Meta& meta = meta_at(entry.meta);
+  if (permits(entry.permission, access)) return meta.allow;
+  return access == AccessType::kRead ? meta.deny_read : meta.deny_write;
+}
+
+bool CompiledPolicyImage::allowed_for(std::int64_t best,
+                                      AccessType access) const noexcept {
+  // Mirrors decision_for branch for branch (including the corrupt-meta
+  // fallback to the default verdict) so the verdict-only batch path can
+  // never disagree with the Decision path.
+  if (best < 0) return default_allow_;
+  const Entry& entry = entries_[static_cast<std::size_t>(best)];
+  if (entry.meta >= meta_count()) return default_allow_;
+  return permits(entry.permission, access);
+}
+
+const Decision& CompiledPolicyImage::evaluate_impl(
+    const SidRequest& request, std::uint64_t mode_bits) const {
+  // Sealed-image invariant (debug): build() froze the grouping into the
+  // flat probe tables; concurrent const evaluation relies on nothing
+  // structural being left to mutate lazily.
+  assert(index_build_.empty() && !slot_keys_.empty() &&
+         "CompiledPolicyImage: evaluate on an unsealed image");
+  const SlotSpan wildcard_span =
+      index_span(pair_key(wildcard_sid_, wildcard_sid_));
+  return decision_for(
+      best_entry_for(request.subject, request.object, mode_bits, wildcard_span),
+      request.access);
 }
 
 Decision CompiledPolicyImage::evaluate(const SidRequest& request) const {
   return evaluate_impl(request, request_mode_bits(request.mode));
+}
+
+template <typename Materialise>
+void CompiledPolicyImage::evaluate_batch_staged(
+    std::span<const SidRequest> requests, Materialise&& materialise) const {
+  if (requests.empty()) return;
+  assert(index_build_.empty() && !slot_keys_.empty() &&
+         "CompiledPolicyImage: evaluate on an unsealed image");
+
+  // The (*,*) probe key is request-independent: resolve its span once
+  // per call instead of hashing and probing it per element.
+  const SlotSpan wildcard_span =
+      index_span(pair_key(wildcard_sid_, wildcard_sid_));
+
+  // Call-local memo over (pair key, mode bits) → winning entry. Exact,
+  // not heuristic: best-entry selection never reads the access type, so
+  // two requests sharing subject, object and mode bits share a winner
+  // even when one reads and the other writes — precisely the fleet
+  // workload shape (per-pair read/write alternation). Stack storage
+  // keeps the batch path const and thread-safe.
+  //
+  // 2-way set-associative, 256 sets: a vehicle's question set holds ~100
+  // distinct pairs, so a small direct-mapped memo thrashes on exactly
+  // the alternation it exists to serve (two hot keys sharing a set evict
+  // each other every revisit). Two ways with shift-to-second-way
+  // insertion make any pair of colliding hot keys stable residents.
+  constexpr std::size_t kMemoSets = 256;
+  struct MemoSlot {
+    std::uint64_t pair = 0;
+    std::uint64_t bits = 0;
+    std::int64_t best = 0;
+    bool used = false;
+  };
+  struct MemoSet {
+    MemoSlot way[2];
+  };
+  MemoSet memo[kMemoSets];
+
+  // Chunked three-wave pipeline: resolve (pack keys, consult memo),
+  // probe (walk the sealed index for memo misses, origins prefetched a
+  // wave ahead), copy (materialise Decisions). All scratch is
+  // stack-resident so the sweep stays allocation-free.
+  constexpr std::size_t kChunk = 256;
+  std::uint64_t pair_keys[kChunk];
+  std::uint64_t bits[kChunk];
+  std::int64_t best[kChunk];
+  std::uint32_t miss[kChunk];
+  std::uint32_t memo_slot_of[kChunk];
+
+  // Fleet batches arrive vehicle-major, so the mode rarely changes
+  // between neighbours — resolve its bit pattern once per run.
+  mac::Sid run_mode = kUnresolvedSid;
+  std::uint64_t mode_bits = 0;
+  bool have_run = false;
+
+  const std::size_t n = requests.size();
+  const std::size_t index_mask = slot_keys_.size() - 1;
+  for (std::size_t base = 0; base < n; base += kChunk) {
+    const std::size_t count = std::min(kChunk, n - base);
+    std::size_t miss_count = 0;
+    {
+      PSME_STAGE_TIMER(resolve, count);
+      for (std::size_t j = 0; j < count; ++j) {
+        const SidRequest& request = requests[base + j];
+        if (!have_run || request.mode != run_mode) {
+          run_mode = request.mode;
+          mode_bits = request_mode_bits(run_mode);
+          have_run = true;
+        }
+        const std::uint64_t pk = pair_key(request.subject, request.object);
+        pair_keys[j] = pk;
+        bits[j] = mode_bits;
+        const std::size_t m = static_cast<std::size_t>(
+                                  mac::mix_av_key(pk ^ mode_bits)) &
+                              (kMemoSets - 1);
+        memo_slot_of[j] = static_cast<std::uint32_t>(m);
+        const MemoSet& set = memo[m];
+        if (set.way[0].used && set.way[0].pair == pk &&
+            set.way[0].bits == mode_bits) {
+          best[j] = set.way[0].best;
+        } else if (set.way[1].used && set.way[1].pair == pk &&
+                   set.way[1].bits == mode_bits) {
+          best[j] = set.way[1].best;
+        } else {
+          miss[miss_count++] = static_cast<std::uint32_t>(j);
+        }
+      }
+    }
+    if (miss_count != 0) {
+      PSME_STAGE_TIMER(db_probe, miss_count);
+      // Request every miss's first-probe cache line before any of them
+      // resolves, so the index loads overlap each other instead of
+      // serialising behind the candidate scans.
+      for (std::size_t k = 0; k < miss_count; ++k) {
+        mac::probe::prefetch_slot(
+            slot_keys_.data(),
+            static_cast<std::size_t>(mac::mix_av_key(pair_keys[miss[k]])) &
+                index_mask);
+      }
+      for (std::size_t k = 0; k < miss_count; ++k) {
+        const std::uint32_t j = miss[k];
+        // Re-probe before computing: a chunk's resolve wave ran against
+        // the memo state BEFORE any of this chunk's fills, so duplicate
+        // keys within one chunk (the read/write alternation) all land in
+        // the miss list — the first occurrence fills, the rest hit here.
+        MemoSet& set = memo[memo_slot_of[j]];
+        if (set.way[0].used && set.way[0].pair == pair_keys[j] &&
+            set.way[0].bits == bits[j]) {
+          best[j] = set.way[0].best;
+          continue;
+        }
+        if (set.way[1].used && set.way[1].pair == pair_keys[j] &&
+            set.way[1].bits == bits[j]) {
+          best[j] = set.way[1].best;
+          continue;
+        }
+        const SidRequest& request = requests[base + j];
+        const std::int64_t b = best_entry_for(request.subject, request.object,
+                                              bits[j], wildcard_span);
+        best[j] = b;
+        set.way[1] = set.way[0];
+        set.way[0] = MemoSlot{pair_keys[j], bits[j], b, true};
+      }
+    }
+    {
+      PSME_STAGE_TIMER(copy, count);
+      for (std::size_t j = 0; j < count; ++j) {
+        materialise(base + j, best[j], requests[base + j].access);
+      }
+    }
+  }
 }
 
 void CompiledPolicyImage::evaluate_batch(std::span<const SidRequest> requests,
@@ -396,19 +555,41 @@ void CompiledPolicyImage::evaluate_batch(std::span<const SidRequest> requests,
     throw std::invalid_argument(
         "CompiledPolicyImage::evaluate_batch: span lengths differ");
   }
-  // The assignment into `out` reuses each Decision's string capacity, so
-  // a warm reused buffer makes the whole sweep allocation-free. Fleet
-  // batches arrive vehicle-major, so the mode rarely changes between
-  // neighbours — resolve its bit pattern once per run, not per element.
-  mac::Sid run_mode = kUnresolvedSid;
-  std::uint64_t mode_bits = 0;
-  for (std::size_t i = 0; i < requests.size(); ++i) {
-    if (requests[i].mode != run_mode || i == 0) {
-      run_mode = requests[i].mode;
-      mode_bits = request_mode_bits(run_mode);
-    }
-    out[i] = evaluate_impl(requests[i], mode_bits);
+  evaluate_batch_staged(
+      requests, [&](std::size_t i, std::int64_t best, AccessType access) {
+        out[i] = decision_for(best, access);
+      });
+}
+
+void CompiledPolicyImage::evaluate_batch_allowed(
+    std::span<const SidRequest> requests,
+    std::span<std::uint8_t> allowed_out) const {
+  if (requests.size() != allowed_out.size()) {
+    throw std::invalid_argument(
+        "CompiledPolicyImage::evaluate_batch_allowed: span lengths differ");
   }
+  evaluate_batch_staged(
+      requests, [&](std::size_t i, std::int64_t best, AccessType access) {
+        allowed_out[i] = allowed_for(best, access) ? 1 : 0;
+      });
+}
+
+std::uint32_t CompiledPolicyImage::probe_depth(
+    const SidRequest& request) const noexcept {
+  if (slot_keys_.empty()) return 0;
+  const std::size_t mask = slot_keys_.size() - 1;
+  const std::uint64_t probes[4] = {
+      pair_key(request.subject, request.object),
+      pair_key(request.subject, wildcard_sid_),
+      pair_key(wildcard_sid_, request.object),
+      pair_key(wildcard_sid_, wildcard_sid_),
+  };
+  std::uint32_t depth = 0;
+  for (const std::uint64_t key : probes) {
+    depth += mac::probe::probe_depth(slot_keys_.data(), mask, key,
+                                     mac::mix_av_key(key) & mask);
+  }
+  return depth;
 }
 
 // ------------------------------------------------------------- fingerprint

@@ -124,14 +124,33 @@ class CompiledPolicyImage {
   /// request (same rule id, same reason text).
   [[nodiscard]] Decision evaluate(const SidRequest& request) const;
 
-  /// Answers `requests[i]` into `out[i]` for every i: one pass, no
-  /// per-element function-call or Decision-construction overhead — the
-  /// copy-assignment into `out` reuses each Decision's existing string
-  /// capacity, so a warm caller-owned buffer makes the whole batch
-  /// allocation-free. Throws std::invalid_argument when the spans differ
-  /// in length.
+  /// Answers `requests[i]` into `out[i]` for every i through the staged
+  /// pipeline (DESIGN.md "Vectorised decision core"): requests are
+  /// processed in stack-resident chunks, each chunk running a resolve
+  /// wave (pack pair keys + mode bits, consult a call-local
+  /// (pair, mode-bits)→best memo), a probe wave (unresolved keys walk
+  /// the sealed index through the active probe backend, origins
+  /// prefetched ahead), and a copy wave (Decision materialisation).
+  /// Decisions are byte-identical to per-element evaluate() — the memo
+  /// is exact because best-entry selection never reads the access type.
+  /// The copy-assignment into `out` reuses each Decision's existing
+  /// string capacity, so a warm caller-owned buffer makes the whole
+  /// batch allocation-free. Throws std::invalid_argument when the spans
+  /// differ in length.
   void evaluate_batch(std::span<const SidRequest> requests,
                       std::span<Decision> out) const;
+
+  /// The verdict-only twin of evaluate_batch: `allowed_out[i]` is 1 when
+  /// `requests[i]` would be allowed, 0 when denied — always equal to
+  /// `evaluate_batch`'s `out[i].allowed` (test-pinned). Runs the same
+  /// staged pipeline but materialises a byte instead of copy-assigning a
+  /// three-string Decision, which is what counting consumers (the fleet
+  /// sweep's no-sink tick, allow-rate telemetry) actually read; on the
+  /// acceptance workload the Decision copy wave is the single largest
+  /// stage, so skipping it roughly halves ns/decision. Throws
+  /// std::invalid_argument when the spans differ in length.
+  void evaluate_batch_allowed(std::span<const SidRequest> requests,
+                              std::span<std::uint8_t> allowed_out) const;
 
   // -- request resolution (the string edge) ------------------------------
 
@@ -178,6 +197,12 @@ class CompiledPolicyImage {
   /// entries (via their audit strings) — the integrity anchor the
   /// persistent-image serialisation will reuse.
   [[nodiscard]] std::uint64_t fingerprint() const noexcept;
+
+  /// Total sealed-index slots inspected to answer this request, summed
+  /// over its four wildcard-combination probe keys (each key inspects at
+  /// least one slot). Diagnostics only — feeds the bench probe-depth
+  /// histogram; the evaluation paths never call it.
+  [[nodiscard]] std::uint32_t probe_depth(const SidRequest& request) const noexcept;
 
  private:
   CompiledPolicyImage() = default;
@@ -328,6 +353,40 @@ class CompiledPolicyImage {
   /// borrowed-mode lazy Meta materialisation may allocate.
   [[nodiscard]] const Decision& evaluate_impl(const SidRequest& request,
                                               std::uint64_t mode_bits) const;
+
+  /// Sealed-index span for one probe key, walked through the active
+  /// probe backend. Bounds-guarded: an absent key or a corrupt span
+  /// (offset/count outside the flat index) answers a count-0 span, so a
+  /// sealed-trust blob fails CLOSED instead of walking out of bounds.
+  [[nodiscard]] SlotSpan index_span(std::uint64_t key) const noexcept;
+
+  /// Index of the winning entry for (subject, object, mode bits), or -1
+  /// when no entry matches. `wildcard_span` is the pre-resolved
+  /// (*,*) span — it is the same for every request, so the batch path
+  /// resolves it once per call. Selection is a pure maximum under
+  /// (priority desc, specificity desc, lowest index) and never reads the
+  /// access type — which is what makes the batch memo exact.
+  [[nodiscard]] std::int64_t best_entry_for(mac::Sid subject, mac::Sid object,
+                                            std::uint64_t mode_bits,
+                                            SlotSpan wildcard_span) const noexcept;
+
+  /// Materialises the Decision for a best_entry_for result: access-type
+  /// selection over the winner's Meta, or the default decision for -1 /
+  /// a corrupt meta index. Not noexcept (borrowed-mode lazy Metas).
+  [[nodiscard]] const Decision& decision_for(std::int64_t best,
+                                             AccessType access) const;
+
+  /// The allow bit decision_for's Decision would carry, without touching
+  /// any Meta (no string access, no borrowed-mode materialisation) —
+  /// the whole copy wave of the verdict-only batch path.
+  [[nodiscard]] bool allowed_for(std::int64_t best,
+                                 AccessType access) const noexcept;
+
+  /// The shared staged chunk pipeline behind both batch entry points;
+  /// `materialise(i, best, access)` writes element i's result.
+  template <typename Materialise>
+  void evaluate_batch_staged(std::span<const SidRequest> requests,
+                             Materialise&& materialise) const;
 
   /// Freezes index_build_ into the flat open-addressing probe structure.
   void seal_index();

@@ -73,10 +73,17 @@ class Avc {
 
   /// Batched lookup: answers `keys[i]` (a pack_av_key triple) into
   /// `out[i]` for every i. The db seqno is validated once for the whole
-  /// span — the reload check, a per-call cost on the scalar path, is
-  /// amortised across the batch — and each element then costs exactly one
-  /// cached probe (or one db consultation on a miss). Throws
-  /// std::invalid_argument when the spans differ in length.
+  /// span, and the span then runs the staged wave pipeline (DESIGN.md
+  /// "Vectorised decision core"): per stack-resident chunk, bucket heads
+  /// are hashed and prefetched up front, the cache probe wave collects
+  /// the misses, one PolicyDb::lookup_batch sweep answers them, and the
+  /// fill wave inserts — re-probing each key first so a duplicate missed
+  /// key counts its second occurrence as the hit it would have been
+  /// under per-key query(). Per-element results, stat totals and
+  /// eviction counts are identical to the scalar loop; only the LRU
+  /// recency ORDER within a chunk may differ (hits bump before the
+  /// chunk's fills land). Throws std::invalid_argument when the spans
+  /// differ in length.
   void query_batch(const PolicyDb& db, std::span<const std::uint64_t> keys,
                    std::span<AccessVector> out);
 
@@ -125,8 +132,12 @@ class Avc {
                                           Sid target, Sid cls) const noexcept;
 
   /// Batched form of query_shared over packed pack_av_key triples. The
-  /// db-seqno filter is evaluated once for the span. Throws
-  /// std::invalid_argument when the spans differ in length.
+  /// db-seqno filter is evaluated once for the span, and the span runs
+  /// the staged wave pipeline (probe wave with prefetched bucket heads →
+  /// miss collection → one PolicyDb::lookup_batch sweep); there is no
+  /// fill wave — shared readers never mutate. Per-element answers and
+  /// the shard hit/miss totals are exactly the scalar interleaving's.
+  /// Throws std::invalid_argument when the spans differ in length.
   void query_batch_shared(const PolicyDb& db,
                           std::span<const std::uint64_t> keys,
                           std::span<AccessVector> out) const;
@@ -179,6 +190,21 @@ class Avc {
 
   /// One probe-or-fill against an already-revalidated database.
   [[nodiscard]] AccessVector lookup(const PolicyDb& db, std::uint64_t key);
+
+  /// Owner-thread chain walk: slot index for `key` in `bucket`, kNil on
+  /// a miss. No stats, no LRU — the callers decide what the outcome
+  /// means (the batch fill wave re-probes before inserting).
+  [[nodiscard]] std::uint32_t probe_owner(std::uint32_t bucket,
+                                          std::uint64_t key) const noexcept;
+
+  /// Owner-thread hit bookkeeping: counts the hit, bumps recency,
+  /// returns the cached vector.
+  [[nodiscard]] AccessVector hit_slot(std::uint32_t n) noexcept;
+
+  /// Owner-thread insert of a freshly-consulted vector (seqlock-
+  /// bracketed; recycles the LRU tail when full).
+  void fill_slot(std::uint32_t bucket, std::uint64_t key,
+                 AccessVector av) noexcept;
 
   /// Seqlock write-side bracket around any slot/chain mutation.
   void begin_mutation() noexcept;

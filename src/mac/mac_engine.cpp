@@ -9,6 +9,11 @@ namespace psme::mac {
 MacEngine::MacEngine(std::size_t avc_capacity)
     : sids_(std::make_shared<SidTable>()), avc_(avc_capacity) {
   default_type_sid_ = sids_->intern(default_context_.type());
+  // Size the batch scratch for the chunk the fleet layer feeds by
+  // default, so even the first batch of a fresh engine allocates nothing
+  // on the evaluate path.
+  batch_keys_.reserve(core::kRecommendedBatchChunk);
+  batch_avs_.reserve(core::kRecommendedBatchChunk);
   rebuild();  // empty database: everything denied (least privilege)
 }
 
@@ -206,26 +211,44 @@ void MacEngine::evaluate_batch(std::span<const core::SidRequest> requests,
   }
   const DbSnapshot& snap = *active_;  // owner thread: direct read is safe
   // One pass, three phases: pack keys, answer them all against the AVC
-  // (one seqno check for the span), then materialise Decisions. The
-  // scratch buffers and the caller's Decision storage are reused, so a
-  // warm batch over cached allows never touches the heap.
-  batch_keys_.resize(requests.size());
-  batch_avs_.resize(requests.size());
-  for (std::size_t i = 0; i < requests.size(); ++i) {
-    // SIDs beyond the packed 24-bit field (never issued by the interner;
-    // e.g. core::kUnresolvedSid from a hand-built request) would alias a
-    // real type — clamp them to the null SID, which can only deny.
-    const Sid source =
-        requests[i].subject <= kMaxTypeSid ? requests[i].subject : kNullSid;
-    const Sid target =
-        requests[i].object <= kMaxTypeSid ? requests[i].object : kNullSid;
-    batch_keys_[i] = pack_av_key(source, target, snap.asset_class_sid);
+  // (one seqno check for the span, staged probe/db/fill waves inside),
+  // then materialise Decisions. The scratch buffers and the caller's
+  // Decision storage are reused, so a warm batch over cached allows
+  // never touches the heap.
+  {
+    PSME_STAGE_TIMER(resolve, requests.size());
+    batch_keys_.resize(requests.size());
+    batch_avs_.resize(requests.size());
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      // SIDs beyond the packed 24-bit field (never issued by the interner;
+      // e.g. core::kUnresolvedSid from a hand-built request) would alias a
+      // real type — clamp them to the null SID, which can only deny.
+      const Sid source =
+          requests[i].subject <= kMaxTypeSid ? requests[i].subject : kNullSid;
+      const Sid target =
+          requests[i].object <= kMaxTypeSid ? requests[i].object : kNullSid;
+      batch_keys_[i] = pack_av_key(source, target, snap.asset_class_sid);
+    }
   }
   avc_.query_batch(snap.db, batch_keys_, batch_avs_);
   const bool permissive_mode = permissive();  // one mode for the batch
-  for (std::size_t i = 0; i < requests.size(); ++i) {
-    out[i] = decide(snap, requests[i].subject, requests[i].object,
-                    batch_avs_[i], requests[i].access, permissive_mode);
+  {
+    PSME_STAGE_TIMER(copy, requests.size());
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      out[i] = decide(snap, requests[i].subject, requests[i].object,
+                      batch_avs_[i], requests[i].access, permissive_mode);
+    }
+  }
+  if (batch_keys_.capacity() > core::kRecommendedBatchChunk) {
+    // An oversized batch grew the scratch; release the high-water
+    // capacity now rather than pinning it for the engine's lifetime
+    // (the next reserve re-establishes the tuned steady state).
+    batch_keys_.clear();
+    batch_keys_.shrink_to_fit();
+    batch_keys_.reserve(core::kRecommendedBatchChunk);
+    batch_avs_.clear();
+    batch_avs_.shrink_to_fit();
+    batch_avs_.reserve(core::kRecommendedBatchChunk);
   }
 }
 
@@ -251,20 +274,26 @@ void MacEngine::evaluate_batch_shared(
   AccessVector avs[kChunk];
   for (std::size_t base = 0; base < requests.size(); base += kChunk) {
     const std::size_t n = std::min(kChunk, requests.size() - base);
-    for (std::size_t j = 0; j < n; ++j) {
-      const core::SidRequest& request = requests[base + j];
-      const Sid source =
-          request.subject <= kMaxTypeSid ? request.subject : kNullSid;
-      const Sid target =
-          request.object <= kMaxTypeSid ? request.object : kNullSid;
-      keys[j] = pack_av_key(source, target, snap->asset_class_sid);
+    {
+      PSME_STAGE_TIMER(resolve, n);
+      for (std::size_t j = 0; j < n; ++j) {
+        const core::SidRequest& request = requests[base + j];
+        const Sid source =
+            request.subject <= kMaxTypeSid ? request.subject : kNullSid;
+        const Sid target =
+            request.object <= kMaxTypeSid ? request.object : kNullSid;
+        keys[j] = pack_av_key(source, target, snap->asset_class_sid);
+      }
     }
     avc_.query_batch_shared(snap->db, std::span<const std::uint64_t>(keys, n),
                             std::span<AccessVector>(avs, n));
-    for (std::size_t j = 0; j < n; ++j) {
-      const core::SidRequest& request = requests[base + j];
-      out[base + j] = decide(*snap, request.subject, request.object, avs[j],
-                             request.access, permissive_mode);
+    {
+      PSME_STAGE_TIMER(copy, n);
+      for (std::size_t j = 0; j < n; ++j) {
+        const core::SidRequest& request = requests[base + j];
+        out[base + j] = decide(*snap, request.subject, request.object, avs[j],
+                               request.access, permissive_mode);
+      }
     }
   }
 }

@@ -51,6 +51,7 @@
 #include "mac/avc.h"
 #include "mac/context.h"
 #include "mac/sid_table.h"
+#include "mac/stage_counters.h"
 #include "mac/te_policy.h"
 
 namespace psme::mac {
@@ -163,6 +164,20 @@ class MacEngine final : public core::PolicyEngine {
   [[nodiscard]] AvcStats avc_shared_stats() const noexcept {
     return avc_.shared_stats();
   }
+
+  /// One-stop perf observation over the staged decision core: the owner
+  /// AVC counters, the merged shared-read counters, and the CALLING
+  /// thread's per-stage pipeline counters (resolve / avc-probe /
+  /// db-probe / copy — all zero unless the build enables
+  /// PSME_STAGE_COUNTERS; check mac::stage_counters_enabled()).
+  struct Stats {
+    AvcStats avc;
+    AvcStats avc_shared;
+    StageCounters stages;
+  };
+  [[nodiscard]] Stats stats() const noexcept {
+    return Stats{avc_.stats(), avc_.shared_stats(), stage_counters()};
+  }
   /// The active database (owner-thread view; readers inside
   /// evaluate_batch_shared pin their own snapshot instead). The
   /// reference is valid only until the next policy mutation
@@ -238,7 +253,10 @@ class MacEngine final : public core::PolicyEngine {
   std::atomic<bool> permissive_{false};
   mutable std::atomic<std::uint64_t> permissive_denials_{0};
   /// Scratch for evaluate_batch, reused across calls so a warm batch
-  /// allocates nothing.
+  /// allocates nothing. Reserved to core::kRecommendedBatchChunk at
+  /// construction; a larger batch grows it for its own duration, and
+  /// the capacity is released back to the recommended chunk afterwards
+  /// so one oversized call cannot pin its high-water scratch forever.
   std::vector<std::uint64_t> batch_keys_;
   std::vector<AccessVector> batch_avs_;
 };

@@ -1,0 +1,111 @@
+// psme::mac — per-stage perf counters for the batched decision core.
+//
+// The staged evaluation pipeline (pack-keys → AVC probe wave → db probe
+// wave → decision materialise) is opaque to a wall-clock bench: when a
+// number regresses, the first question is WHICH stage slowed. These
+// counters answer it — each stage accumulates wall time and element
+// counts into a thread-local StageCounters that benches and
+// MacEngine::Stats surface.
+//
+// Zero overhead when disabled: unless the build defines
+// PSME_STAGE_COUNTERS (CMake option of the same name), PSME_STAGE_TIMER
+// expands to nothing, stage_counters() returns a static zero struct,
+// and no clock is ever read — the hot path carries not a single extra
+// instruction. The counters are therefore a diagnostic build flavour
+// (CI runs one), not a production observable.
+//
+// Thread model: counters are THREAD-LOCAL. Each worker accumulates its
+// own; a bench that wants a fleet-wide view reads the counters on the
+// thread that ran the sweep (the sequential paths) or ignores parallel
+// sweeps. No atomics, no sharing, no false sharing.
+#pragma once
+
+#include <cstdint>
+
+#if defined(PSME_STAGE_COUNTERS)
+#include <chrono>
+#endif
+
+namespace psme::mac {
+
+/// Wall time (ns) and element counts per pipeline stage. `resolve` is
+/// request→key packing / mode-bit resolution, `avc_probe` the cache
+/// probe wave, `db_probe` the sealed-table probe wave (policy db or
+/// image index), `copy` the Decision materialisation wave.
+struct StageCounters {
+  std::uint64_t resolve_ns = 0;
+  std::uint64_t resolve_ops = 0;
+  std::uint64_t avc_probe_ns = 0;
+  std::uint64_t avc_probe_ops = 0;
+  std::uint64_t db_probe_ns = 0;
+  std::uint64_t db_probe_ops = 0;
+  std::uint64_t copy_ns = 0;
+  std::uint64_t copy_ops = 0;
+
+  void reset() noexcept { *this = StageCounters{}; }
+};
+
+/// True in builds that actually accumulate (benches print "disabled"
+/// otherwise instead of a misleading row of zeros).
+[[nodiscard]] constexpr bool stage_counters_enabled() noexcept {
+#if defined(PSME_STAGE_COUNTERS)
+  return true;
+#else
+  return false;
+#endif
+}
+
+#if defined(PSME_STAGE_COUNTERS)
+
+/// This thread's counters (mutable; callers may reset() between runs).
+[[nodiscard]] inline StageCounters& stage_counters() noexcept {
+  thread_local StageCounters counters;
+  return counters;
+}
+
+/// RAII stage bracket: adds elapsed wall ns to `ns` and `ops` to `ops`
+/// on destruction. Instrumented code writes one PSME_STAGE_TIMER line
+/// per stage block and nothing else.
+class StageTimer {
+ public:
+  StageTimer(std::uint64_t& ns, std::uint64_t& ops,
+             std::uint64_t op_count) noexcept
+      : ns_(ns), ops_(ops), op_count_(op_count),
+        start_(std::chrono::steady_clock::now()) {}
+  ~StageTimer() {
+    ns_ += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count());
+    ops_ += op_count_;
+  }
+  StageTimer(const StageTimer&) = delete;
+  StageTimer& operator=(const StageTimer&) = delete;
+
+ private:
+  std::uint64_t& ns_;
+  std::uint64_t& ops_;
+  std::uint64_t op_count_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+#define PSME_STAGE_TIMER(stage, op_count)                             \
+  ::psme::mac::StageTimer psme_stage_timer_##stage(                   \
+      ::psme::mac::stage_counters().stage##_ns,                       \
+      ::psme::mac::stage_counters().stage##_ops, (op_count))
+
+#else  // !PSME_STAGE_COUNTERS
+
+/// Disabled builds still link: a zeroed static satisfies observers.
+[[nodiscard]] inline StageCounters& stage_counters() noexcept {
+  static StageCounters zeros;
+  return zeros;
+}
+
+#define PSME_STAGE_TIMER(stage, op_count) \
+  do {                                    \
+  } while (false)
+
+#endif  // PSME_STAGE_COUNTERS
+
+}  // namespace psme::mac

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "mac/batch_probe.h"
+
 namespace psme::mac {
 
 std::optional<AccessVector> ClassDef::bit(std::string_view perm) const noexcept {
@@ -39,6 +41,62 @@ void AvTable::merge(std::uint64_t key, AccessVector av) {
     ++size_;
   }
   values_[i] |= av;
+}
+
+void AvTable::find_batch(std::span<const std::uint64_t> keys,
+                         std::span<AccessVector> out) const noexcept {
+  if (size_ == 0) {
+    std::fill(out.begin(), out.end(), AccessVector{0});
+    return;
+  }
+  const std::size_t mask = keys_.size() - 1;
+  const std::uint64_t* slots = keys_.data();
+  const probe::Backend backend = probe::active_backend();
+
+  // Block-pipelined: while block b's keys resolve, block b+1's probe
+  // origins are already hashed (four-lane splitmix waves) and their
+  // cache lines requested, so the table loads overlap the hash work of
+  // the next block instead of stalling the probe loop.
+  constexpr std::size_t kBlock = 8;
+  std::size_t origins[2][kBlock];
+  const std::size_t n = keys.size();
+
+  const auto hash_and_prefetch = [&](std::size_t base, std::size_t count,
+                                     std::size_t* org) noexcept {
+    std::size_t j = 0;
+    for (; j + 4 <= count; j += 4) {
+      org[j] = mix_av_key(keys[base + j]) & mask;
+      org[j + 1] = mix_av_key(keys[base + j + 1]) & mask;
+      org[j + 2] = mix_av_key(keys[base + j + 2]) & mask;
+      org[j + 3] = mix_av_key(keys[base + j + 3]) & mask;
+    }
+    for (; j < count; ++j) org[j] = mix_av_key(keys[base + j]) & mask;
+    for (j = 0; j < count; ++j) probe::prefetch_slot(slots, org[j]);
+  };
+
+  const std::size_t first = n < kBlock ? n : kBlock;
+  hash_and_prefetch(0, first, origins[0]);
+  for (std::size_t base = 0, which = 0; base < n; base += kBlock, which ^= 1) {
+    const std::size_t count = n - base < kBlock ? n - base : kBlock;
+    const std::size_t next_base = base + count;
+    if (next_base < n) {
+      const std::size_t next_count =
+          n - next_base < kBlock ? n - next_base : kBlock;
+      hash_and_prefetch(next_base, next_count, origins[which ^ 1]);
+    }
+    const std::size_t* org = origins[which];
+    for (std::size_t j = 0; j < count; ++j) {
+      const std::uint64_t key = keys[base + j];
+      // First-slot peel (find_slot's inline fast path, with the backend
+      // load hoisted out of the loop): most probes answer at depth 1.
+      std::size_t slot = org[j];
+      if (const std::uint64_t k = slots[slot]; k != key && k != 0 && mask != 0) {
+        slot = probe::find_slot_with(backend, slots, mask, key,
+                                     (slot + 1) & mask);
+      }
+      out[base + j] = slots[slot] == key ? values_[slot] : 0;
+    }
+  }
 }
 
 const ClassDef* PolicyDb::find_class(Sid cls) const noexcept {

@@ -23,6 +23,7 @@
 #include <memory>
 #include <optional>
 #include <set>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -68,6 +69,17 @@ class AvTable {
     }
   }
 
+  /// Batched find: answers `keys[i]` into `out[i]` for every i with the
+  /// staged probe pipeline — the whole span is hashed up front in
+  /// four-lane waves, each key's probe origin is software-prefetched
+  /// while earlier keys resolve, and slots are scanned four per step
+  /// through the active probe backend (mac/batch_probe.h). Results are
+  /// identical to per-key find() for every key and every backend.
+  /// Allocation-free; spans must be equal length (caller-checked by the
+  /// public batch entry points).
+  void find_batch(std::span<const std::uint64_t> keys,
+                  std::span<AccessVector> out) const noexcept;
+
   /// ORs `av` into the slot for `key`, growing as needed.
   void merge(std::uint64_t key, AccessVector av);
 
@@ -102,6 +114,26 @@ class PolicyDb {
   [[nodiscard]] AccessVector lookup(Sid source, Sid target, Sid cls) const noexcept {
     if (source == kNullSid || target == kNullSid || cls == kNullSid) return 0;
     return av_.find(pack_av_key(source, target, cls));
+  }
+
+  /// Batched lookup over pre-packed pack_av_key triples: answers
+  /// `keys[i]` into `out[i]` with AvTable::find_batch's staged probe
+  /// pipeline. Element-for-element identical to scalar lookup on the
+  /// unpacked triple (a key with any null field answers 0). The AVC's
+  /// staged batch paths drive their miss waves through this.
+  void lookup_batch(std::span<const std::uint64_t> keys,
+                    std::span<AccessVector> out) const noexcept {
+    av_.find_batch(keys, out);
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      // pack_av_key of a triple with a null component has a zero field;
+      // mirror scalar lookup's null guard exactly (such a key can never
+      // be in the table, but the guard is the documented semantics).
+      const AvKeyParts parts = unpack_av_key(keys[i]);
+      if (parts.source == kNullSid || parts.target == kNullSid ||
+          parts.cls == kNullSid) {
+        out[i] = 0;
+      }
+    }
   }
 
   /// True when every bit of `required` is granted (pass a single

@@ -426,6 +426,89 @@ TEST(ConcurrencyTorture, AvcSharedBatchSurvivesOwnerFillsAndFlushes) {
   EXPECT_EQ(0u, wrong.load());
 }
 
+// The staged shared loop specifically: batches three chunks wide (the
+// probe wave, the miss-collect wave and the PolicyDb wave each cross the
+// 256-element chunk boundary every iteration) against a tiny AVC whose
+// owner keeps refilling and flushing it through the staged OWNER loop —
+// so shared probes race live fills and recycles constantly. Readers are
+// split across two policy generations; because the seqno filter routes
+// every foreign-generation probe to the reader's own db, every element of
+// every batch must equal that reader's db truth, whatever the cache
+// held. Run under ThreadSanitizer in CI (PSME_SANITIZE=thread).
+TEST(ConcurrencyTorture, StagedSharedMissWavesSurviveConcurrentOwnerTraffic) {
+  auto sids = std::make_shared<mac::SidTable>();
+  const mac::PolicyDb narrow = make_db(1, sids);
+  const mac::PolicyDb wide = make_db(2, sids, /*widen=*/true);
+  const mac::Sid cls = narrow.find_class(std::string_view("asset"))->sid;
+
+  // 600 keys (> 2 chunks) over a sid range far wider than the real
+  // types: most answer 0, a few hit the allow rules, and an 8-entry AVC
+  // can never hold more than a sliver of them — every shared batch runs
+  // real miss waves.
+  sim::Rng rng(606);
+  std::vector<std::uint64_t> keys;
+  for (int i = 0; i < 600; ++i) {
+    keys.push_back(mac::pack_av_key(static_cast<mac::Sid>(rng.uniform(1, 24)),
+                                    static_cast<mac::Sid>(rng.uniform(1, 24)),
+                                    cls));
+  }
+  const auto truth_for = [&](const mac::PolicyDb& db) {
+    std::vector<mac::AccessVector> truth(keys.size());
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      const mac::AvKeyParts parts = mac::unpack_av_key(keys[i]);
+      truth[i] = db.lookup(parts.source, parts.target, parts.cls);
+    }
+    return truth;
+  };
+  const std::vector<mac::AccessVector> narrow_truth = truth_for(narrow);
+  const std::vector<mac::AccessVector> wide_truth = truth_for(wide);
+
+  mac::Avc avc(8);
+  constexpr int kReaders = 4;
+  constexpr int kIterations = 200;
+  std::atomic<bool> start{false};
+  std::atomic<std::uint64_t> wrong{0};
+
+  auto reader = [&](const mac::PolicyDb& db,
+                    const std::vector<mac::AccessVector>& truth) {
+    while (!start.load(std::memory_order_acquire)) {}
+    std::vector<mac::AccessVector> out(keys.size());
+    for (int i = 0; i < kIterations; ++i) {
+      avc.query_batch_shared(db, keys, out);
+      for (std::size_t k = 0; k < keys.size(); ++k) {
+        if (out[k] != truth[k]) {
+          wrong.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    }
+  };
+
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    const bool use_wide = r % 2 == 1;
+    readers.emplace_back(reader, std::cref(use_wide ? wide : narrow),
+                         std::cref(use_wide ? wide_truth : narrow_truth));
+  }
+  start.store(true, std::memory_order_release);
+
+  // The owner: staged batch fills from the NARROW generation (so the
+  // wide-generation readers exercise the bypass on every probe),
+  // punctuated by flushes that recycle every slot mid-probe-wave.
+  std::vector<mac::AccessVector> owner_out(keys.size());
+  for (int i = 0; i < 120; ++i) {
+    avc.query_batch(narrow, keys, owner_out);
+    if (i % 8 == 0) avc.flush();
+  }
+  for (std::thread& t : readers) t.join();
+  EXPECT_EQ(0u, wrong.load());
+
+  // Every element of every shared batch was tallied exactly once.
+  const mac::AvcStats shared = avc.shared_stats();
+  EXPECT_EQ(shared.hits + shared.misses,
+            static_cast<std::uint64_t>(kReaders) * kIterations * keys.size());
+}
+
 // --------------------------------------------- PolicySet pin relaxation
 
 TEST(PolicySetConcurrency, ConstEvaluationOverBuiltImageIsMultiThreaded) {

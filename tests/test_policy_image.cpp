@@ -17,7 +17,9 @@
 #include "core/policy.h"
 #include "core/policy_compiler.h"
 #include "core/policy_image.h"
+#include "mac/batch_probe.h"
 #include "mac/mac_engine.h"
+#include "mac/te_policy.h"
 #include "sim/rng.h"
 
 namespace psme {
@@ -262,6 +264,142 @@ TEST(PolicyImageBatch, ShuffledBatchByteIdenticalToScalar) {
   std::vector<Decision> wrong_size(requests.size() - 1);
   EXPECT_THROW(image.evaluate_batch(requests, wrong_size),
                std::invalid_argument);
+}
+
+// ------------------------------- probe backends: SIMD/SWAR/scalar parity
+
+/// Restores the startup probe backend when a test body returns or fails
+/// mid-sweep, so backend overrides never leak into other tests.
+struct BackendGuard {
+  mac::probe::Backend previous = mac::probe::active_backend();
+  ~BackendGuard() { (void)mac::probe::set_probe_backend(previous); }
+};
+
+TEST(ProbeBackends, ShuffledBatchByteIdenticalAcrossAllBackends) {
+  BackendGuard guard;
+  sim::Rng rng(4242);
+  const PolicySet set = fuzz_policy_set(rng, 40);
+  const CompiledPolicyImage image = CompiledPolicyImage::from_policy_set(set);
+
+  // Keep the string and SID forms co-shuffled so every backend's batch
+  // output can be checked against the linear-scan oracle directly.
+  std::vector<AccessRequest> string_requests = fuzz_requests(rng, 500);
+  for (std::size_t i = string_requests.size() - 1; i > 0; --i) {
+    std::swap(string_requests[i], string_requests[rng.uniform(0, i)]);
+  }
+  std::vector<SidRequest> requests;
+  requests.reserve(string_requests.size());
+  for (const AccessRequest& request : string_requests) {
+    requests.push_back(image.resolve(request));
+  }
+
+  ASSERT_FALSE(mac::probe::available_backends().empty());
+  std::vector<Decision> reference;
+  for (const mac::probe::Backend backend : mac::probe::available_backends()) {
+    (void)mac::probe::set_probe_backend(backend);
+    ASSERT_EQ(mac::probe::active_backend(), backend);
+    const std::string name = mac::probe::backend_name(backend);
+
+    std::vector<Decision> out(requests.size());
+    image.evaluate_batch(requests, out);
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      // Byte-identical to the string oracle AND to every other backend
+      // (the first backend's output is the cross-backend reference).
+      expect_same_decision(out[i], oracle(set, string_requests[i]),
+                           name + " vs oracle, element " + std::to_string(i));
+      expect_same_decision(out[i], image.evaluate(requests[i]),
+                           name + " vs scalar evaluate, element " +
+                               std::to_string(i));
+      if (reference.empty()) continue;
+      expect_same_decision(out[i], reference[i],
+                           name + " vs first backend, element " +
+                               std::to_string(i));
+    }
+    if (reference.empty()) reference = std::move(out);
+  }
+}
+
+TEST(ProbeBackends, PolicyDbLookupBatchMatchesScalarLookupAcrossBackends) {
+  BackendGuard guard;
+  // A policy database large enough that the flat table grows a few times
+  // and carries real probe chains.
+  mac::PolicyDbBuilder builder;
+  builder.add_class("asset", {"read", "write"});
+  std::vector<std::string> types;
+  for (int t = 0; t < 24; ++t) {
+    types.push_back("t" + std::to_string(t));
+    builder.add_type(types.back());
+  }
+  sim::Rng rng(9090);
+  for (int r = 0; r < 200; ++r) {
+    mac::TeRule rule;
+    rule.source = types[rng.uniform(0, types.size() - 1)];
+    rule.target = types[rng.uniform(0, types.size() - 1)];
+    rule.object_class = "asset";
+    rule.permissions = {rng.chance(0.5) ? "read" : "write"};
+    builder.allow(std::move(rule));
+  }
+  const mac::PolicyDb db = builder.build();
+
+  // Key mix: real triples, unknown SIDs, null components (the guard
+  // path), duplicates — everything the AVC miss waves can feed through.
+  const mac::Sid cls = db.find_class(std::string_view("asset"))->sid;
+  std::vector<std::uint64_t> keys;
+  for (int i = 0; i < 1000; ++i) {
+    const mac::Sid source = static_cast<mac::Sid>(rng.uniform(0, 40));
+    const mac::Sid target = static_cast<mac::Sid>(rng.uniform(0, 40));
+    const mac::Sid key_cls = rng.chance(0.9) ? cls : mac::kNullSid;
+    keys.push_back(mac::pack_av_key(source, target, key_cls));
+    if (rng.chance(0.2)) keys.push_back(keys.back());  // duplicate
+  }
+
+  for (const mac::probe::Backend backend : mac::probe::available_backends()) {
+    (void)mac::probe::set_probe_backend(backend);
+    std::vector<mac::AccessVector> out(keys.size());
+    db.lookup_batch(keys, out);
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      const mac::AvKeyParts parts = mac::unpack_av_key(keys[i]);
+      EXPECT_EQ(out[i], db.lookup(parts.source, parts.target, parts.cls))
+          << mac::probe::backend_name(backend) << " key " << i;
+    }
+  }
+}
+
+TEST(ProbeBackends, VerdictOnlyBatchMatchesDecisionBatchAcrossBackends) {
+  BackendGuard guard;
+  sim::Rng rng(7171);
+  const PolicySet set = fuzz_policy_set(rng, 40);
+  const CompiledPolicyImage image = CompiledPolicyImage::from_policy_set(set);
+  std::vector<SidRequest> requests;
+  for (const AccessRequest& request : fuzz_requests(rng, 700)) {
+    requests.push_back(image.resolve(request));
+  }
+  for (const mac::probe::Backend backend : mac::probe::available_backends()) {
+    (void)mac::probe::set_probe_backend(backend);
+    std::vector<Decision> decisions(requests.size());
+    std::vector<std::uint8_t> flags(requests.size());
+    image.evaluate_batch(requests, decisions);
+    image.evaluate_batch_allowed(requests, flags);
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      EXPECT_EQ(flags[i] != 0, decisions[i].allowed)
+          << mac::probe::backend_name(backend) << " element " << i;
+    }
+  }
+  std::vector<std::uint8_t> wrong_size(requests.size() - 1);
+  EXPECT_THROW(image.evaluate_batch_allowed(requests, wrong_size),
+               std::invalid_argument);
+}
+
+TEST(ProbeBackends, ProbeDepthObserverCountsAtLeastTheFourProbeKeys) {
+  sim::Rng rng(31337);
+  const PolicySet set = fuzz_policy_set(rng, 40);
+  const CompiledPolicyImage image = CompiledPolicyImage::from_policy_set(set);
+  for (const AccessRequest& request : fuzz_requests(rng, 100)) {
+    // Four probe keys, each inspecting at least one slot; the cap is one
+    // table revolution per key.
+    const std::uint32_t depth = image.probe_depth(image.resolve(request));
+    EXPECT_GE(depth, 4u);
+  }
 }
 
 // -------------------------------------- MacEngine batch, reload, flush
