@@ -20,17 +20,63 @@
 
 #include "attack/attacker.h"
 #include "car/base_policy.h"
+#include "car/campaign.h"
 #include "car/fleet_boot.h"
 #include "car/table1.h"
+#include "car/update_transport.h"
 #include "car/vehicle.h"
 #include "core/lifecycle.h"
 #include "core/policy_blob.h"
 #include "core/policy_delta.h"
 #include "core/policy_diff.h"
 #include "core/update.h"
+#include "sim/fault_plan.h"
 
 using namespace psme;
 using namespace std::chrono_literals;
+
+namespace {
+
+// The release lineage the campaign section drives: the deployed v1
+// connected-car policy plus one small OTA fix per release — the shape
+// that makes composed deltas tiny next to the full blob.
+std::vector<core::PolicySet> release_lineage(std::size_t length) {
+  std::vector<core::PolicySet> lineage;
+  lineage.push_back(car::full_policy(car::connected_car_threat_model(), 1));
+  for (std::size_t v = 2; v <= length; ++v) {
+    core::PolicySet next("car-ota-v" + std::to_string(v), v);
+    next.set_default_allow(lineage.back().default_allow());
+    for (const core::PolicyRule& rule : lineage.back().rules()) {
+      next.add_rule(rule);
+    }
+    core::PolicyRule fix;
+    fix.id = "ota-fix-" + std::to_string(v);
+    fix.subject = "ecu.gateway";
+    fix.object = "asset.ota-channel-" + std::to_string(v);
+    fix.permission = threat::Permission::kRead;
+    fix.priority = 1;
+    next.add_rule(fix);
+    lineage.push_back(std::move(next));
+  }
+  return lineage;
+}
+
+// A poisoned release: one version past `prev`, denying everything —
+// the kind of bad compile the canary gate exists to catch.
+core::PolicySet deny_storm_after(const core::PolicySet& prev) {
+  core::PolicySet storm("deny-storm", prev.version() + 1);
+  storm.set_default_allow(false);
+  core::PolicyRule gag;
+  gag.id = "storm";
+  gag.subject = "*";
+  gag.object = "*";
+  gag.permission = threat::Permission::kNone;
+  gag.priority = 100;
+  storm.add_rule(gag);
+  return storm;
+}
+
+}  // namespace
 
 int main() {
   std::cout << "=== OTA policy update closing a newly discovered threat ===\n\n";
@@ -233,6 +279,95 @@ int main() {
               static_cast<unsigned long long>(patched.safety().failsafe_triggers()),
               patched.safety().failsafe_triggers() == 0 ? "threat neutralised"
                                                         : "still vulnerable");
+
+  // ======================================================================
+  // Scaling it up: the CAMPAIGN. One vehicle applying one delta is the
+  // mechanism; shipping a release to a whole fleet — skewed across old
+  // versions, behind a radio link that drops, truncates and corrupts —
+  // is the campaign orchestrator's job (car/campaign.h): staged waves
+  // (canary first), per-base composed-delta planning with full-blob
+  // fallback, bounded retries with seeded backoff, and a health gate
+  // after every wave that halts and rolls back when the release itself
+  // is the fault. Every fault below is INJECTED deterministically from
+  // a seed (sim/fault_plan.h) — re-running this example replays the
+  // same campaign byte for byte.
+  std::printf("\n=== Fleet campaign: staged rollout under injected faults ===\n\n");
+
+  car::CampaignConfig campaign_config;
+  campaign_config.canary_fraction = 0.02;
+  campaign_config.wave_fractions = {0.25, 1.0};
+  campaign_config.blob_fallback_after = 2;
+  // A 35% per-transfer fault rate needs a deeper retry budget than the
+  // production default: 0.35^12 leaves no vehicle stranded at 2000.
+  campaign_config.max_tries = 12;
+  car::CampaignServer server(release_lineage(4), campaign_config);
+
+  // 2000 vehicles, geometrically skewed over the three pre-target
+  // releases, behind a corruption-heavy link: enough damage that some
+  // vehicles burn through their delta retries and escalate to the full
+  // blob — the fallback ladder in action.
+  sim::FaultProfile rough;
+  rough.drop = 0.05;
+  rough.corrupt = 0.30;
+  car::FaultyTransport transport{sim::FaultPlan(0x0A7E5EED, rough)};
+  std::vector<car::CampaignVehicle> fleet = server.make_fleet(2000, 0xF1EE7);
+
+  const car::CampaignReport report = server.run(fleet, transport);
+  for (const car::WaveStats& wave : report.waves) {
+    std::printf("[wave %zu] %s: %zu vehicles, %zu committed "
+                "(commit %.2f, healthy %.2f) — gate %s\n",
+                wave.wave,
+                wave.wave == 0 ? "canary" : "cohort",
+                wave.size, wave.committed, wave.commit_fraction,
+                wave.healthy_fraction,
+                wave.gate_passed ? "passed" : "FAILED");
+  }
+  std::printf("[fleet] %s in %llu ticks: %zu healthy on v%llu, %zu "
+              "retries, %llu corrupted-delta vehicles escalated to the "
+              "full blob, %llu power-loss reboots, %zu corrupt sealed "
+              "stores (the invariant: injected damage delays, never "
+              "corrupts)\n",
+              std::string(to_string(report.status)).c_str(),
+              static_cast<unsigned long long>(report.ticks),
+              report.healthy,
+              static_cast<unsigned long long>(report.target_version),
+              static_cast<std::size_t>(report.retries),
+              static_cast<unsigned long long>(report.blob_fallbacks),
+              static_cast<unsigned long long>(report.power_loss_reboots),
+              report.corrupt_images);
+  std::printf("[fleet] wire cost: %.1f MB shipped (composed deltas + "
+              "fallback blobs) vs %.1f MB for naive full-blob "
+              "distribution\n",
+              static_cast<double>(report.delta_bytes_shipped +
+                                  report.blob_bytes_shipped) /
+                  1.0e6,
+              static_cast<double>(report.full_blob_bytes_baseline) / 1.0e6);
+
+  // The halt drill: the next "release" is a deny-storm (a bad compile
+  // that denies everything). The canary cohort commits it, the health
+  // window flags every canary, and the gate halts the campaign BEFORE
+  // wave two — then rolls the canaries back to the predecessor's
+  // content, restamped past the bad version (FleetBoot refuses version
+  // rollbacks, so the campaign rolls content back by rolling the
+  // version forward).
+  std::vector<core::PolicySet> poisoned = release_lineage(4);
+  poisoned.push_back(deny_storm_after(poisoned.back()));
+  car::CampaignServer poisoned_server(std::move(poisoned), campaign_config);
+  std::vector<car::CampaignVehicle> poisoned_fleet =
+      poisoned_server.make_fleet(2000, 0xF1EE7);
+  car::PerfectTransport clean_link;
+  const car::CampaignReport storm =
+      poisoned_server.run(poisoned_fleet, clean_link);
+  std::printf("[storm] poisoned release: %s after wave %zu of %zu "
+              "(canary healthy fraction %.2f), %zu canaries rolled back "
+              "to the v4 policy restamped v%llu — the rest of the fleet "
+              "never saw the bad release\n",
+              std::string(to_string(storm.status)).c_str(),
+              storm.waves.size(),
+              campaign_config.wave_fractions.size() + 1,
+              storm.waves.empty() ? 1.0 : storm.waves.back().healthy_fraction,
+              storm.rolled_back_vehicles,
+              static_cast<unsigned long long>(storm.rollback_version));
 
   std::printf("\nResponse completed as a policy update: %.1fx faster than the "
               "guideline-redesign cycle\n(see bench_policy_update for the "

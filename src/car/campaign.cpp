@@ -1,0 +1,685 @@
+#include "car/campaign.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "core/policy_blob.h"
+#include "core/policy_delta.h"
+#include "sim/fault_plan.h"
+#include "sim/rng.h"
+
+namespace psme::car {
+
+std::string_view to_string(UpdateChannel channel) noexcept {
+  switch (channel) {
+    case UpdateChannel::kDelta:
+      return "delta";
+    case UpdateChannel::kBlob:
+      return "blob";
+  }
+  return "unknown";
+}
+
+std::string_view to_string(VehicleState state) noexcept {
+  switch (state) {
+    case VehicleState::kIdle:
+      return "idle";
+    case VehicleState::kOffered:
+      return "offered";
+    case VehicleState::kDownloading:
+      return "downloading";
+    case VehicleState::kValidating:
+      return "validating";
+    case VehicleState::kCommitting:
+      return "committing";
+    case VehicleState::kHealthy:
+      return "healthy";
+    case VehicleState::kFailed:
+      return "failed";
+    case VehicleState::kDark:
+      return "dark";
+  }
+  return "unknown";
+}
+
+std::string_view to_string(CampaignStatus status) noexcept {
+  switch (status) {
+    case CampaignStatus::kConverged:
+      return "converged";
+    case CampaignStatus::kHalted:
+      return "halted";
+    case CampaignStatus::kStalled:
+      return "stalled";
+  }
+  return "unknown";
+}
+
+namespace {
+
+[[nodiscard]] bool terminal(VehicleState state) noexcept {
+  return state == VehicleState::kHealthy || state == VehicleState::kFailed ||
+         state == VehicleState::kDark;
+}
+
+}  // namespace
+
+CampaignServer::CampaignServer(std::vector<core::PolicySet> lineage,
+                               CampaignConfig config)
+    : config_(std::move(config)), lineage_(std::move(lineage)) {
+  if (lineage_.empty()) {
+    throw std::invalid_argument("CampaignServer: empty lineage");
+  }
+  images_.reserve(lineage_.size());
+  blobs_.reserve(lineage_.size());
+  for (std::size_t i = 0; i < lineage_.size(); ++i) {
+    if (i > 0 && lineage_[i].version() <= lineage_[i - 1].version()) {
+      throw std::invalid_argument(
+          "CampaignServer: lineage versions must be strictly increasing");
+    }
+    // Compile against a prefix replica of the predecessor so the whole
+    // lineage shares one SID space and every adjacent delta — and every
+    // composition of adjacent deltas — is anchor-valid.
+    std::shared_ptr<mac::SidTable> sids;
+    if (i > 0) {
+      const auto& prev = images_[i - 1]->sids();
+      sids = core::replicate_sid_prefix(prev, prev.size());
+    }
+    auto image = std::make_shared<const core::CompiledPolicyImage>(
+        core::CompiledPolicyImage::from_policy_set(lineage_[i],
+                                                   std::move(sids)));
+    blobs_.push_back(std::make_shared<const std::vector<std::byte>>(
+        core::PolicyBlobWriter::write(*image)));
+    version_index_.emplace(image->version(), i);
+    images_.push_back(std::move(image));
+  }
+  hop_deltas_.reserve(images_.size() - 1);
+  for (std::size_t i = 0; i + 1 < images_.size(); ++i) {
+    hop_deltas_.push_back(std::make_shared<std::vector<std::byte>>(
+        core::PolicyDeltaWriter::write(*images_[i], *images_[i + 1])));
+  }
+  probe_ = config_.health_probe.empty() ? default_fleet_checks()
+                                        : config_.health_probe;
+}
+
+void CampaignServer::break_hop(std::size_t hop) {
+  auto& bytes = *hop_deltas_.at(hop);
+  if (!bytes.empty()) {
+    bytes[bytes.size() / 2] ^= std::byte{0x5A};
+  }
+  plan_cache_.clear();  // cached plans may have used this hop
+}
+
+CampaignServer::Artefact CampaignServer::plan_for(std::uint64_t base_version) {
+  if (auto cached = plan_cache_.find(base_version);
+      cached != plan_cache_.end()) {
+    return cached->second;
+  }
+  Artefact plan;
+  plan.channel = UpdateChannel::kBlob;
+  plan.bytes = blobs_.back();
+
+  const auto base = version_index_.find(base_version);
+  if (base != version_index_.end() && base->second + 1 < images_.size()) {
+    std::vector<std::span<const std::byte>> hops;
+    hops.reserve(images_.size() - 1 - base->second);
+    for (std::size_t i = base->second; i + 1 < images_.size(); ++i) {
+      hops.push_back(std::span<const std::byte>(*hop_deltas_[i]));
+    }
+    try {
+      auto composed = std::make_shared<const std::vector<std::byte>>(
+          core::compose_delta_chain(*images_[base->second], hops));
+      if (composed->size() < blobs_.back()->size()) {
+        plan.channel = UpdateChannel::kDelta;
+        plan.bytes = std::move(composed);
+      } else {
+        ++plan_blob_fallbacks_;  // delta outweighs the blob
+      }
+    } catch (const core::PolicyDeltaError&) {
+      ++plan_blob_fallbacks_;  // broken chain: a hop failed to validate
+    }
+  } else if (base == version_index_.end()) {
+    ++plan_blob_fallbacks_;  // unknown base: no chain exists
+  }
+  plan_cache_.emplace(base_version, plan);
+  return plan;
+}
+
+std::vector<CampaignVehicle> CampaignServer::make_fleet(
+    std::size_t fleet_size, std::uint64_t seed, double skew,
+    std::size_t skew_depth) const {
+  if (images_.size() < 2) {
+    throw std::invalid_argument(
+        "CampaignServer::make_fleet: need at least two lineage versions");
+  }
+  if (!(skew > 0.0 && skew < 1.0)) {
+    throw std::invalid_argument("CampaignServer::make_fleet: skew in (0,1)");
+  }
+  // Geometric weights over the pre-target versions, newest first.
+  const std::size_t depth =
+      std::min(skew_depth == 0 ? std::size_t{1} : skew_depth,
+               images_.size() - 1);
+  std::vector<double> cumulative(depth);
+  double total = 0.0;
+  double weight = 1.0;
+  for (std::size_t d = 0; d < depth; ++d) {
+    total += weight;
+    cumulative[d] = total;
+    weight *= skew;
+  }
+  std::vector<CampaignVehicle> fleet(fleet_size);
+  sim::Rng rng(seed);
+  for (std::size_t v = 0; v < fleet_size; ++v) {
+    const double u = rng.uniform01() * total;
+    std::size_t d = 0;
+    while (d + 1 < depth && u >= cumulative[d]) {
+      ++d;
+    }
+    const std::size_t index = images_.size() - 2 - d;  // newest pre-target - d
+    auto& vehicle = fleet[v];
+    vehicle.id = static_cast<std::uint32_t>(v);
+    vehicle.version = images_[index]->version();
+    vehicle.fingerprint = images_[index]->fingerprint();
+    vehicle.sealed_blob = blobs_[index];
+  }
+  return fleet;
+}
+
+std::uint64_t CampaignServer::backoff_ticks(std::uint32_t vehicle,
+                                            std::uint32_t tries) const {
+  const std::uint32_t shift = tries > 0 ? tries - 1 : 0;
+  std::uint64_t wait = shift < 63 ? config_.backoff_base_ticks << shift
+                                  : config_.backoff_cap_ticks;
+  wait = std::min(wait, config_.backoff_cap_ticks);
+  if (config_.backoff_jitter_ticks > 0) {
+    wait += sim::mix3(config_.seed, vehicle, tries) %
+            config_.backoff_jitter_ticks;
+  }
+  return std::max<std::uint64_t>(wait, 1);
+}
+
+void CampaignServer::retry_or_fail(CampaignVehicle& vehicle, std::uint64_t now,
+                                   Tally& tally) {
+  vehicle.staged.clear();
+  vehicle.staged.shrink_to_fit();
+  if (++vehicle.tries >= config_.max_tries) {
+    vehicle.state = VehicleState::kFailed;
+    return;
+  }
+  ++tally.retries;
+  vehicle.state = VehicleState::kOffered;
+  vehicle.next_attempt_tick = now + backoff_ticks(vehicle.id, vehicle.tries);
+}
+
+UpdateResult CampaignServer::validate_staged(const CampaignVehicle& vehicle,
+                                             Objective& objective) const {
+  const bool via_delta = vehicle.channel == UpdateChannel::kDelta;
+  const auto& clean = via_delta ? *objective.delta : *objective.blob;
+  auto& memo =
+      via_delta ? objective.clean_delta_verdict : objective.clean_blob_verdict;
+  const bool is_clean =
+      vehicle.staged.size() == clean.size() &&
+      std::equal(vehicle.staged.begin(), vehicle.staged.end(), clean.begin());
+  if (is_clean && memo) {
+    return *memo;
+  }
+  UpdateResult result = UpdateResult::kOk;
+  try {
+    if (via_delta) {
+      const core::CompiledPolicyImage applied =
+          core::PolicyDeltaReader::apply(*objective.delta_base, vehicle.staged);
+      result = applied.fingerprint() == objective.fingerprint
+                   ? UpdateResult::kOk
+                   : UpdateResult::kFingerprintMismatch;
+    } else {
+      const core::CompiledPolicyImage loaded =
+          core::PolicyBlobReader::load(vehicle.staged);
+      result = loaded.fingerprint() == objective.fingerprint &&
+                       loaded.version() == objective.version
+                   ? UpdateResult::kOk
+                   : UpdateResult::kFingerprintMismatch;
+    }
+  } catch (const core::PolicyWireError& error) {
+    result = to_update_result(error.fault());
+  }
+  if (is_clean) {
+    memo = result;
+  }
+  return result;
+}
+
+void CampaignServer::step_vehicle(CampaignVehicle& vehicle,
+                                  Objective& objective,
+                                  UpdateTransport& transport, std::uint64_t now,
+                                  CampaignReport& report, Tally& tally) {
+  switch (vehicle.state) {
+    case VehicleState::kOffered: {
+      if (now < vehicle.next_attempt_tick) {
+        return;
+      }
+      if (vehicle.channel == UpdateChannel::kDelta && !objective.delta) {
+        vehicle.channel = UpdateChannel::kBlob;  // no delta path planned
+      }
+      const auto& artefact = vehicle.channel == UpdateChannel::kDelta
+                                 ? *objective.delta
+                                 : *objective.blob;
+      ++vehicle.attempts;
+      if (vehicle.channel == UpdateChannel::kDelta) {
+        report.delta_bytes_shipped += artefact.size();
+      } else {
+        report.blob_bytes_shipped += artefact.size();
+      }
+      Delivery delivery = transport.send(vehicle.id, vehicle.attempts,
+                                         std::span<const std::byte>(artefact));
+      switch (delivery.status) {
+        case DeliveryStatus::kDark:
+          vehicle.state = VehicleState::kDark;
+          return;
+        case DeliveryStatus::kLost:
+          // Nothing will arrive; the stage deadline discovers the loss.
+          vehicle.state = VehicleState::kDownloading;
+          vehicle.stage_deadline = now + config_.download_timeout_ticks;
+          return;
+        case DeliveryStatus::kDelivered:
+          vehicle.staged = std::move(delivery.payload);
+          vehicle.state = VehicleState::kValidating;
+          return;
+      }
+      return;
+    }
+    case VehicleState::kDownloading: {
+      if (now >= vehicle.stage_deadline) {
+        vehicle.last_result = UpdateResult::kValidationFailed;
+        retry_or_fail(vehicle, now, tally);
+      }
+      return;
+    }
+    case VehicleState::kValidating: {
+      const UpdateResult result = validate_staged(vehicle, objective);
+      vehicle.last_result = result;
+      if (result == UpdateResult::kOk) {
+        vehicle.state = VehicleState::kCommitting;
+        return;
+      }
+      if (vehicle.channel == UpdateChannel::kDelta) {
+        if (++vehicle.delta_failures >= config_.blob_fallback_after &&
+            objective.blob) {
+          vehicle.channel = UpdateChannel::kBlob;
+          ++report.blob_fallbacks;
+        }
+      }
+      retry_or_fail(vehicle, now, tally);
+      return;
+    }
+    case VehicleState::kCommitting: {
+      if (transport.power_loss_before_commit(vehicle.id, vehicle.attempts)) {
+        // Power cut between validate and commit: the staged artefact is
+        // gone, the sealed store untouched — on reboot the vehicle is
+        // exactly where it was (tests pin this via FleetBoot on the
+        // sealed blob). It retries like any other failed try.
+        ++vehicle.power_losses;
+        ++report.power_loss_reboots;
+        retry_or_fail(vehicle, now, tally);
+        return;
+      }
+      if (vehicle.channel == UpdateChannel::kBlob) {
+        vehicle.sealed_blob = std::make_shared<const std::vector<std::byte>>(
+            std::move(vehicle.staged));
+      } else {
+        // Delta commit: the vehicle's re-serialised applied image is
+        // byte-identical to the server's target blob (the PR 5 delta
+        // contract, pinned in tests), so the shared target blob IS the
+        // sealed store.
+        vehicle.sealed_blob = objective.commit_store;
+      }
+      vehicle.staged.clear();
+      vehicle.staged.shrink_to_fit();
+      vehicle.version = objective.version;
+      vehicle.fingerprint = objective.fingerprint;
+      vehicle.state = VehicleState::kHealthy;
+      return;
+    }
+    case VehicleState::kIdle:
+    case VehicleState::kHealthy:
+    case VehicleState::kFailed:
+    case VehicleState::kDark:
+      return;
+  }
+}
+
+CampaignServer::Objective CampaignServer::objective_for(
+    std::uint64_t base_version) {
+  Objective objective;
+  objective.version = images_.back()->version();
+  objective.fingerprint = images_.back()->fingerprint();
+  objective.blob = blobs_.back();
+  objective.commit_store = blobs_.back();
+  const Artefact plan = plan_for(base_version);
+  if (plan.channel == UpdateChannel::kDelta) {
+    objective.delta = plan.bytes;
+    objective.delta_base = images_[version_index_.at(base_version)].get();
+  }
+  return objective;
+}
+
+std::uint64_t CampaignServer::drive(
+    std::vector<CampaignVehicle>& fleet,
+    const std::vector<std::uint32_t>& members,
+    std::unordered_map<std::uint64_t, Objective>& objectives,
+    UpdateTransport& transport, std::uint64_t deadline, std::uint64_t& now,
+    CampaignReport& report, Tally& tally) {
+  const std::uint64_t start = now;
+  while (now < deadline) {
+    bool live = false;
+    for (const std::uint32_t id : members) {
+      if (!terminal(fleet[id].state)) {
+        live = true;
+        break;
+      }
+    }
+    if (!live) {
+      break;
+    }
+    ++now;
+    for (const std::uint32_t id : members) {
+      CampaignVehicle& vehicle = fleet[id];
+      if (terminal(vehicle.state)) {
+        continue;
+      }
+      step_vehicle(vehicle, objectives.at(vehicle.version), transport, now,
+                   report, tally);
+    }
+  }
+  // Deadline passed with vehicles still mid-flight: fail them out (their
+  // retry budget was not enough inside this wave's window).
+  for (const std::uint32_t id : members) {
+    if (!terminal(fleet[id].state)) {
+      fleet[id].state = VehicleState::kFailed;
+    }
+  }
+  return now - start;
+}
+
+std::uint32_t CampaignServer::probe_denies(
+    const core::CompiledPolicyImage& image) const {
+  std::uint32_t denies = 0;
+  for (const FleetCheck& check : probe_) {
+    const core::SidRequest request = image.resolve(core::AccessRequest{
+        check.subject, check.object, check.access, threat::ModeId{}});
+    if (!image.evaluate(request).allowed) {
+      ++denies;
+    }
+  }
+  return denies;
+}
+
+CampaignReport CampaignServer::run(std::vector<CampaignVehicle>& fleet,
+                                   UpdateTransport& transport) {
+  CampaignReport report;
+  report.target_version = images_.back()->version();
+  report.target_fingerprint = images_.back()->fingerprint();
+
+  // Gate threshold: "denying more than the predecessor policy did".
+  gate_deny_threshold_ = config_.streak.deny_threshold;
+  if (config_.auto_deny_threshold && images_.size() >= 2) {
+    gate_deny_threshold_ = probe_denies(*images_[images_.size() - 2]) + 1;
+  }
+
+  // Eligible vehicles, id order; wave boundaries as cumulative counts.
+  std::vector<std::uint32_t> eligible;
+  eligible.reserve(fleet.size());
+  for (const CampaignVehicle& vehicle : fleet) {
+    if (vehicle.version != report.target_version) {
+      eligible.push_back(vehicle.id);
+    } else {
+      ++report.untouched;
+    }
+  }
+  report.full_blob_bytes_baseline =
+      static_cast<std::uint64_t>(eligible.size()) * blobs_.back()->size();
+
+  std::vector<std::size_t> boundaries;
+  if (!eligible.empty()) {
+    const auto count_for = [&](double fraction) {
+      return static_cast<std::size_t>(std::ceil(
+          fraction * static_cast<double>(eligible.size())));
+    };
+    boundaries.push_back(std::max<std::size_t>(
+        1, std::min(eligible.size(), count_for(config_.canary_fraction))));
+    for (const double fraction : config_.wave_fractions) {
+      const std::size_t upto = std::min(eligible.size(), count_for(fraction));
+      if (upto > boundaries.back()) {
+        boundaries.push_back(upto);
+      }
+    }
+    if (boundaries.back() < eligible.size()) {
+      boundaries.push_back(eligible.size());
+    }
+  }
+
+  // Per-base-version objectives, shared across waves.
+  std::unordered_map<std::uint64_t, Objective> objectives;
+  for (const std::uint32_t id : eligible) {
+    const std::uint64_t base = fleet[id].version;
+    if (!objectives.contains(base)) {
+      objectives.emplace(base, objective_for(base));
+    }
+  }
+
+  std::uint64_t now = 0;
+  std::size_t covered = 0;
+  bool halted = false;
+  for (std::size_t w = 0; w < boundaries.size() && !halted; ++w) {
+    const std::vector<std::uint32_t> wave(eligible.begin() + covered,
+                                          eligible.begin() + boundaries[w]);
+    covered = boundaries[w];
+
+    for (const std::uint32_t id : wave) {
+      CampaignVehicle& vehicle = fleet[id];
+      vehicle.state = VehicleState::kOffered;
+      vehicle.tries = 0;
+      vehicle.next_attempt_tick = now;
+    }
+    Tally tally;
+    const std::uint64_t ticks =
+        drive(fleet, wave, objectives, transport,
+              now + config_.wave_timeout_ticks, now, report, tally);
+
+    WaveStats stats;
+    stats.wave = w;
+    stats.size = wave.size();
+    stats.ticks = ticks;
+    stats.retries = tally.retries;
+    report.retries += tally.retries;
+    std::vector<std::uint32_t> committed;
+    for (const std::uint32_t id : wave) {
+      switch (fleet[id].state) {
+        case VehicleState::kHealthy:
+          ++stats.committed;
+          committed.push_back(id);
+          break;
+        case VehicleState::kFailed:
+          ++stats.failed;
+          break;
+        case VehicleState::kDark:
+          ++stats.dark;
+          break;
+        default:
+          break;
+      }
+    }
+    const std::size_t reachable = stats.size - stats.dark;
+    stats.commit_fraction =
+        reachable == 0 ? 1.0
+                       : static_cast<double>(stats.committed) /
+                             static_cast<double>(reachable);
+
+    // Observation window: the committed cohort answers the probe under
+    // a fresh gate monitor (reset-at-window-open semantics — see
+    // DenyStreakMonitor::reset()). All committed vehicles run the same
+    // target image, so one probe evaluation per distinct version feeds
+    // every vehicle's deny count.
+    if (!committed.empty() && !probe_.empty()) {
+      monitor::DenyStreakMonitor gate(
+          committed.size(),
+          monitor::DenyStreakOptions{gate_deny_threshold_,
+                                     config_.streak.streak_ticks});
+      std::unordered_map<std::uint64_t, std::uint32_t> denies_by_version;
+      std::vector<std::uint32_t> counts(committed.size());
+      for (std::size_t i = 0; i < committed.size(); ++i) {
+        const std::uint64_t version = fleet[committed[i]].version;
+        auto entry = denies_by_version.find(version);
+        if (entry == denies_by_version.end()) {
+          entry = denies_by_version
+                      .emplace(version,
+                               probe_denies(
+                                   *images_[version_index_.at(version)]))
+                      .first;
+        }
+        counts[i] = entry->second;
+      }
+      for (std::uint64_t tick = 0; tick < config_.health_ticks; ++tick) {
+        gate.observe_tick(counts);
+      }
+      stats.healthy_fraction = gate.healthy_fraction();
+      now += config_.health_ticks;
+    }
+
+    stats.gate_passed =
+        stats.commit_fraction >= config_.min_commit_fraction &&
+        stats.healthy_fraction >= config_.min_healthy_fraction;
+    report.waves.push_back(stats);
+    halted = !stats.gate_passed;
+  }
+
+  if (halted) {
+    report.status = CampaignStatus::kHalted;
+    run_rollback(fleet, transport, now, report);
+  } else {
+    report.status = CampaignStatus::kConverged;
+    for (const std::uint32_t id : eligible) {
+      if (fleet[id].state != VehicleState::kHealthy &&
+          fleet[id].state != VehicleState::kDark) {
+        report.status = CampaignStatus::kStalled;
+        break;
+      }
+    }
+  }
+
+  report.ticks = now;
+  for (const CampaignVehicle& vehicle : fleet) {
+    switch (vehicle.state) {
+      case VehicleState::kHealthy:
+        ++report.healthy;
+        break;
+      case VehicleState::kFailed:
+        ++report.failed;
+        break;
+      case VehicleState::kDark:
+        ++report.dark;
+        break;
+      default:
+        break;
+    }
+  }
+  audit_fleet(fleet, report);
+  return report;
+}
+
+void CampaignServer::run_rollback(std::vector<CampaignVehicle>& fleet,
+                                  UpdateTransport& transport,
+                                  std::uint64_t& now, CampaignReport& report) {
+  if (images_.size() < 2) {
+    return;  // nothing older to roll back to
+  }
+  if (!rollback_image_) {
+    // FleetBoot refuses version rollbacks, so roll FORWARD: the
+    // predecessor's content restamped past the (bad) target version,
+    // compiled in the lineage SID space so a delta off the target image
+    // anchors cleanly.
+    core::PolicySet content = lineage_[lineage_.size() - 2];
+    content.set_version(images_.back()->version() + 1);
+    const auto& target_sids = images_.back()->sids();
+    rollback_image_ = std::make_shared<const core::CompiledPolicyImage>(
+        core::CompiledPolicyImage::from_policy_set(
+            content,
+            core::replicate_sid_prefix(target_sids, target_sids.size())));
+    rollback_blob_ = std::make_shared<const std::vector<std::byte>>(
+        core::PolicyBlobWriter::write(*rollback_image_));
+    rollback_delta_ = std::make_shared<const std::vector<std::byte>>(
+        core::PolicyDeltaWriter::write(*images_.back(), *rollback_image_));
+  }
+  report.rolled_back = true;
+  report.rollback_version = rollback_image_->version();
+  report.rollback_fingerprint = rollback_image_->fingerprint();
+
+  Objective objective;
+  objective.version = rollback_image_->version();
+  objective.fingerprint = rollback_image_->fingerprint();
+  objective.delta_base = images_.back().get();
+  objective.delta = rollback_delta_;
+  objective.blob = rollback_blob_;
+  objective.commit_store = rollback_blob_;
+
+  // Every vehicle that committed the (bad) target rolls back — across
+  // all waves run so far. Mid-flight and failed vehicles never left
+  // their old version; they need no rollback.
+  std::vector<std::uint32_t> victims;
+  std::unordered_map<std::uint64_t, Objective> objectives;
+  objectives.emplace(images_.back()->version(), std::move(objective));
+  for (CampaignVehicle& vehicle : fleet) {
+    if (vehicle.state == VehicleState::kHealthy &&
+        vehicle.fingerprint == images_.back()->fingerprint()) {
+      vehicle.state = VehicleState::kOffered;
+      vehicle.tries = 0;
+      vehicle.delta_failures = 0;
+      vehicle.channel = UpdateChannel::kDelta;
+      vehicle.next_attempt_tick = now;
+      victims.push_back(vehicle.id);
+    }
+  }
+  Tally tally;
+  drive(fleet, victims, objectives, transport,
+        now + config_.wave_timeout_ticks, now, report, tally);
+  report.retries += tally.retries;
+  for (const std::uint32_t id : victims) {
+    if (fleet[id].state == VehicleState::kHealthy) {
+      ++report.rolled_back_vehicles;
+    }
+  }
+}
+
+void CampaignServer::audit_fleet(const std::vector<CampaignVehicle>& fleet,
+                                 CampaignReport& report) const {
+  // The zero-corrupt-images invariant: every vehicle's sealed store must
+  // probe clean, match the vehicle's own record, and carry a fingerprint
+  // the server ever released (lineage or rollback). Injected damage may
+  // strand a vehicle on an OLD version; it must never corrupt a store.
+  for (const CampaignVehicle& vehicle : fleet) {
+    if (!vehicle.sealed_blob) {
+      ++report.corrupt_images;
+      continue;
+    }
+    try {
+      const core::PolicyBlobInfo info =
+          core::PolicyBlobReader::probe(*vehicle.sealed_blob);
+      if (info.fingerprint != vehicle.fingerprint) {
+        ++report.corrupt_images;
+        continue;
+      }
+      bool known = rollback_image_ &&
+                   info.fingerprint == rollback_image_->fingerprint();
+      for (const auto& image : images_) {
+        known = known || info.fingerprint == image->fingerprint();
+      }
+      if (!known) {
+        ++report.corrupt_images;
+      }
+    } catch (const core::PolicyBlobError&) {
+      ++report.corrupt_images;
+    }
+  }
+}
+
+}  // namespace psme::car

@@ -1,0 +1,382 @@
+// psme::car — fault-tolerant fleet OTA campaigns.
+//
+// PR 5 built the artefacts (sealed blobs, fingerprint-anchored deltas);
+// this module builds the CAMPAIGN: the server-side orchestrator that
+// drives a whole fleet from a skewed spread of policy versions onto one
+// target, and keeps its promises when the world misbehaves. The paper's
+// fleet story (Sec. VI: policies "updated over the air" across the
+// deployed fleet) is only credible with the failure half told — so the
+// orchestrator is specified against an explicit fault model
+// (sim/fault_plan.h) and every recovery path is exercised under
+// injection, deterministically, from a seed.
+//
+// The shape of a campaign:
+//
+//  * PLANNING. The server holds the policy lineage (each version
+//    compiled against a SID-prefix replica of its predecessor, so the
+//    whole lineage shares one SID space by construction) and the
+//    per-hop deltas between adjacent versions. For a vehicle on base
+//    version B it composes the hop chain B -> ... -> target into ONE
+//    delta (core::compose_delta_chain) and ships that when it is
+//    intact and smaller than the full blob; a broken chain (missing /
+//    corrupted hop artefact) or a delta that outweighs the blob falls
+//    back to the full target blob. Plans are cached per base version.
+//
+//  * WAVES. Vehicles roll in waves: a canary slice first, then
+//    successively larger cohorts. After each wave an observation
+//    window opens: the committed cohort answers the health-probe
+//    workload and a monitor::DenyStreakMonitor (reset at window open —
+//    see its reset() notes) watches for deny streaks. The wave gate is
+//    two-sided: enough of the reachable cohort must have COMMITTED,
+//    and enough of the committed cohort must look HEALTHY. A failed
+//    gate halts the campaign before the next wave and rolls every
+//    committed vehicle back.
+//
+//  * VEHICLE STATE MACHINE. Each vehicle walks
+//        idle -> offered -> downloading -> validating -> committing
+//             -> healthy | failed | dark
+//    with bounded retries, exponential backoff with seeded jitter
+//    (sim::mix3 — deterministic per (campaign seed, vehicle, try)),
+//    and a per-stage download timeout. Validation failures on the
+//    delta channel eventually switch the vehicle to the full-blob
+//    channel (blob_fallback_after). A power loss between validate and
+//    commit discards the staged artefact; the vehicle reboots on its
+//    old sealed blob — never a half-applied image — and retries.
+//
+//  * ROLLBACK. FleetBoot refuses version rollbacks by design, so the
+//    campaign rolls FORWARD: the rollback artefact is the prior
+//    version's CONTENT restamped as target_version + 1, compiled in
+//    the lineage SID space, shipped as a delta off the target image
+//    (blob fallback as usual). "Roll back" in the report means content
+//    rollback, version roll-forward.
+//
+// Everything is tick-based and seed-deterministic: same lineage, same
+// config, same fleet seed, same fault plan -> bit-identical report.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "car/fleet_boot.h"
+#include "car/fleet_evaluator.h"
+#include "car/update_transport.h"
+#include "core/policy.h"
+#include "core/policy_image.h"
+#include "monitor/anomaly.h"
+
+namespace psme::car {
+
+/// Which artefact kind a vehicle is currently being served.
+enum class UpdateChannel : std::uint8_t {
+  kDelta,  // composed base->target delta
+  kBlob,   // full target blob (planned fallback or per-vehicle fallback)
+};
+
+[[nodiscard]] std::string_view to_string(UpdateChannel channel) noexcept;
+
+enum class VehicleState : std::uint8_t {
+  kIdle,         // not yet offered in any wave
+  kOffered,      // update offered; transfer starts at next_attempt_tick
+  kDownloading,  // transfer in flight; a stage deadline bounds the wait
+  kValidating,   // artefact staged; validation runs next tick
+  kCommitting,   // validated; sealed-store commit runs next tick
+  kHealthy,      // committed and live on the objective version
+  kFailed,       // retry budget exhausted (campaign may retry next wave)
+  kDark,         // unreachable; excluded from gates and convergence
+};
+
+[[nodiscard]] std::string_view to_string(VehicleState state) noexcept;
+
+/// One simulated vehicle, deliberately lightweight: per-version images
+/// and sealed blobs are shared across the fleet (shared_ptr), so a
+/// 10^5..10^6-vehicle fleet costs a few hundred bytes per vehicle. The
+/// sealed_blob is the vehicle's power-loss-durable store: whatever it
+/// points at is what the vehicle boots from after a crash, and the
+/// campaign only ever replaces it in the commit step (atomic in the
+/// model; FleetBoot's strong guarantee in the real boot path).
+struct CampaignVehicle {
+  std::uint32_t id = 0;
+  std::uint64_t version = 0;
+  std::uint64_t fingerprint = 0;
+  std::shared_ptr<const std::vector<std::byte>> sealed_blob;
+
+  VehicleState state = VehicleState::kIdle;
+  UpdateChannel channel = UpdateChannel::kDelta;
+  UpdateResult last_result = UpdateResult::kOk;
+
+  /// Lifetime transfer counter — the fault-stream key. NEVER reset:
+  /// replaying an attempt number would replay its fault decision.
+  std::uint32_t attempts = 0;
+  /// Tries spent toward the current objective (bounded by max_tries).
+  std::uint32_t tries = 0;
+  /// Delta-channel validation failures (drives the blob fallback).
+  std::uint32_t delta_failures = 0;
+  std::uint32_t power_losses = 0;
+
+  std::uint64_t next_attempt_tick = 0;
+  std::uint64_t stage_deadline = 0;
+  std::vector<std::byte> staged;  // downloaded artefact awaiting validation
+};
+
+struct CampaignConfig {
+  // -- waves -------------------------------------------------------------
+  /// Fraction of eligible vehicles in the canary wave (at least 1).
+  double canary_fraction = 0.01;
+  /// Cumulative coverage fractions of the follow-on waves (the last is
+  /// clamped to 1.0 so every campaign ends with full coverage).
+  std::vector<double> wave_fractions = {0.10, 0.50, 1.0};
+  /// Ticks a wave may run before undelivered vehicles are failed out.
+  std::uint64_t wave_timeout_ticks = 4096;
+
+  // -- retries / backoff / timeouts -------------------------------------
+  /// Transfer tries per vehicle per objective before kFailed.
+  std::uint32_t max_tries = 6;
+  /// Exponential backoff: min(base << (try-1), cap) + jitter ticks,
+  /// jitter uniform in [0, jitter) from sim::mix3(seed, vehicle, try).
+  std::uint64_t backoff_base_ticks = 2;
+  std::uint64_t backoff_cap_ticks = 64;
+  std::uint64_t backoff_jitter_ticks = 4;
+  /// Ticks a vehicle waits in kDownloading before declaring the
+  /// transfer lost (drops and stalls are discovered only by this).
+  std::uint64_t download_timeout_ticks = 8;
+  /// Delta-channel validation failures before the vehicle switches to
+  /// the full-blob channel for its remaining tries.
+  std::uint32_t blob_fallback_after = 2;
+
+  // -- health gate -------------------------------------------------------
+  /// Per-vehicle probe workload for the observation window; empty uses
+  /// default_fleet_checks().
+  std::vector<FleetCheck> health_probe;
+  /// Sweeps of the probe fed to the gate monitor after each wave.
+  std::uint64_t health_ticks = 4;
+  monitor::DenyStreakOptions streak{};
+  /// When true (default), streak.deny_threshold is recomputed per
+  /// campaign as (probe denials of the PREDECESSOR version) + 1 — the
+  /// gate then flags vehicles denying MORE than the last known-good
+  /// policy did, instead of alerting on the workload's baseline noise.
+  bool auto_deny_threshold = true;
+  double min_healthy_fraction = 0.95;
+  /// Gate floor on committed / reachable (dark vehicles excluded).
+  double min_commit_fraction = 0.90;
+
+  /// Seed of the retry-jitter stream (independent of the fault plan's).
+  std::uint64_t seed = 0x636172756F7461ULL;
+};
+
+enum class CampaignStatus : std::uint8_t {
+  kConverged,  // every reachable eligible vehicle healthy on target
+  kHalted,     // a wave gate failed; committed cohort rolled back
+  kStalled,    // waves exhausted with reachable vehicles not on target
+};
+
+[[nodiscard]] std::string_view to_string(CampaignStatus status) noexcept;
+
+struct WaveStats {
+  std::size_t wave = 0;  // 0 = canary
+  std::size_t size = 0;
+  std::size_t committed = 0;
+  std::size_t failed = 0;
+  std::size_t dark = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t ticks = 0;  // ticks this wave ran before its gate
+  double commit_fraction = 1.0;
+  double healthy_fraction = 1.0;
+  bool gate_passed = true;
+};
+
+struct CampaignReport {
+  CampaignStatus status = CampaignStatus::kConverged;
+  std::uint64_t target_version = 0;
+  std::uint64_t target_fingerprint = 0;
+  std::vector<WaveStats> waves;
+
+  std::uint64_t ticks = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t power_loss_reboots = 0;
+  /// Vehicles that switched delta -> blob after repeated validation
+  /// failures (per-vehicle fallback, not the planner's).
+  std::uint64_t blob_fallbacks = 0;
+
+  // Bytes leaving the server, per channel (every send counts, including
+  // ones the fault plan destroys — that is what the radio link carried).
+  std::uint64_t delta_bytes_shipped = 0;
+  std::uint64_t blob_bytes_shipped = 0;
+  /// What shipping every eligible vehicle the full blob once would have
+  /// cost — the naive-plan baseline the bench compares against.
+  std::uint64_t full_blob_bytes_baseline = 0;
+
+  // Final fleet census.
+  std::size_t healthy = 0;
+  std::size_t failed = 0;
+  std::size_t dark = 0;
+  std::size_t untouched = 0;  // already on target before the campaign
+
+  /// Post-campaign audit: vehicles whose sealed blob fails probe or
+  /// disagrees with their recorded fingerprint, or whose fingerprint is
+  /// not a lineage (or rollback) fingerprint. The acceptance invariant
+  /// is ZERO at any fault rate — injected damage may delay a vehicle,
+  /// never corrupt its store.
+  std::size_t corrupt_images = 0;
+
+  bool rolled_back = false;
+  std::size_t rolled_back_vehicles = 0;
+  /// Version the rollback artefact was stamped with (target + 1; the
+  /// content is the predecessor policy — see the header comment).
+  std::uint64_t rollback_version = 0;
+  std::uint64_t rollback_fingerprint = 0;
+};
+
+/// The OEM-side campaign orchestrator: owns the policy lineage, plans
+/// per-vehicle update paths, and drives a fleet through waves over an
+/// UpdateTransport.
+class CampaignServer {
+ public:
+  struct Artefact {
+    UpdateChannel channel = UpdateChannel::kBlob;
+    std::shared_ptr<const std::vector<std::byte>> bytes;
+  };
+
+  /// Takes the policy lineage in release order. Versions must be
+  /// strictly increasing and the lineage non-empty (throws
+  /// std::invalid_argument). Each set is compiled against a SID-prefix
+  /// replica of its predecessor's image — the construction that makes
+  /// adjacent deltas (and their compositions) valid fleet-wide — and
+  /// the per-hop deltas and per-version sealed blobs are built up
+  /// front.
+  explicit CampaignServer(std::vector<core::PolicySet> lineage,
+                          CampaignConfig config = {});
+
+  // -- lineage access ----------------------------------------------------
+  [[nodiscard]] std::size_t lineage_size() const noexcept {
+    return images_.size();
+  }
+  [[nodiscard]] const core::CompiledPolicyImage& image_at(std::size_t i) const {
+    return *images_.at(i);
+  }
+  [[nodiscard]] const core::CompiledPolicyImage& target_image() const {
+    return *images_.back();
+  }
+  [[nodiscard]] std::shared_ptr<const std::vector<std::byte>> blob_at(
+      std::size_t i) const {
+    return blobs_.at(i);
+  }
+  [[nodiscard]] const CampaignConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// The update artefact for a vehicle currently on `base_version`: the
+  /// composed delta chain when intact and smaller than the blob, the
+  /// full target blob otherwise. Cached per base version.
+  [[nodiscard]] Artefact plan_for(std::uint64_t base_version);
+
+  /// Times the planner fell back to the full blob (unknown base,
+  /// broken chain, or delta outweighed the blob).
+  [[nodiscard]] std::uint64_t plan_blob_fallbacks() const noexcept {
+    return plan_blob_fallbacks_;
+  }
+
+  /// Test/ops hook: damages the stored hop delta version[i] ->
+  /// version[i+1] (byte flip), modelling a corrupted or evicted depot
+  /// artefact. Chains through this hop then fail to compose and the
+  /// planner falls back to the blob. Throws std::out_of_range.
+  void break_hop(std::size_t hop);
+
+  /// A fleet with geometric version skew over the last `skew_depth`
+  /// pre-target lineage versions: a vehicle sits on the newest
+  /// pre-target version with probability ~(1 - skew), one older with
+  /// probability ~skew * (1 - skew), and so on (renormalised). Every
+  /// vehicle starts kIdle on its version's sealed blob. Deterministic
+  /// in `seed`.
+  [[nodiscard]] std::vector<CampaignVehicle> make_fleet(
+      std::size_t fleet_size, std::uint64_t seed, double skew = 0.5,
+      std::size_t skew_depth = 6) const;
+
+  /// Runs the campaign: drives `fleet` onto the lineage target over
+  /// `transport`, wave by wave, gating each wave and halting + rolling
+  /// back on a failed gate. Mutates the fleet in place (final states,
+  /// versions, sealed blobs) and returns the full report.
+  [[nodiscard]] CampaignReport run(std::vector<CampaignVehicle>& fleet,
+                                   UpdateTransport& transport);
+
+ private:
+  /// What a vehicle is being driven to: the artefacts and validation
+  /// anchors of one objective (target rollout or rollback).
+  struct Objective {
+    std::uint64_t version = 0;
+    std::uint64_t fingerprint = 0;
+    /// Image the delta channel validates against (the vehicle's
+    /// running version); null disables the delta channel.
+    const core::CompiledPolicyImage* delta_base = nullptr;
+    std::shared_ptr<const std::vector<std::byte>> delta;  // may be null
+    std::shared_ptr<const std::vector<std::byte>> blob;
+    /// Sealed-store bytes a delta-channel commit installs. Safe by the
+    /// delta contract: the applied image's blob byte-equals the
+    /// target's (pinned in tests/test_policy_delta.cpp).
+    std::shared_ptr<const std::vector<std::byte>> commit_store;
+    /// Validation memo for CLEAN deliveries: a staged payload
+    /// byte-identical to the artefact the server sent validates once
+    /// per objective and the verdict is reused fleet-wide (what makes
+    /// 10^5-vehicle campaigns cheap). Damaged payloads never match the
+    /// clean bytes and validate individually, per vehicle.
+    std::optional<UpdateResult> clean_delta_verdict;
+    std::optional<UpdateResult> clean_blob_verdict;
+  };
+
+  struct Tally {
+    std::uint64_t retries = 0;
+  };
+
+  void step_vehicle(CampaignVehicle& vehicle, Objective& objective,
+                    UpdateTransport& transport, std::uint64_t now,
+                    CampaignReport& report, Tally& tally);
+  void retry_or_fail(CampaignVehicle& vehicle, std::uint64_t now,
+                     Tally& tally);
+  [[nodiscard]] UpdateResult validate_staged(const CampaignVehicle& vehicle,
+                                             Objective& objective) const;
+  [[nodiscard]] std::uint64_t backoff_ticks(std::uint32_t vehicle,
+                                            std::uint32_t tries) const;
+
+  /// Drives `members` of `fleet` to per-version objectives from
+  /// `objectives` until all terminal or `deadline`; returns ticks run.
+  std::uint64_t drive(std::vector<CampaignVehicle>& fleet,
+                      const std::vector<std::uint32_t>& members,
+                      std::unordered_map<std::uint64_t, Objective>& objectives,
+                      UpdateTransport& transport, std::uint64_t deadline,
+                      std::uint64_t& now, CampaignReport& report,
+                      Tally& tally);
+
+  [[nodiscard]] Objective objective_for(std::uint64_t base_version);
+  [[nodiscard]] std::uint32_t probe_denies(
+      const core::CompiledPolicyImage& image) const;
+  void run_rollback(std::vector<CampaignVehicle>& fleet,
+                    UpdateTransport& transport, std::uint64_t& now,
+                    CampaignReport& report);
+  void audit_fleet(const std::vector<CampaignVehicle>& fleet,
+                   CampaignReport& report) const;
+
+  CampaignConfig config_;
+  std::vector<core::PolicySet> lineage_;
+  std::vector<std::shared_ptr<const core::CompiledPolicyImage>> images_;
+  std::vector<std::shared_ptr<const std::vector<std::byte>>> blobs_;
+  /// hop_deltas_[i] takes version[i] to version[i+1].
+  std::vector<std::shared_ptr<std::vector<std::byte>>> hop_deltas_;
+  std::unordered_map<std::uint64_t, std::size_t> version_index_;
+  std::unordered_map<std::uint64_t, Artefact> plan_cache_;
+  std::uint64_t plan_blob_fallbacks_ = 0;
+
+  std::vector<FleetCheck> probe_;
+  /// Effective gate threshold this campaign (see auto_deny_threshold).
+  std::uint32_t gate_deny_threshold_ = 1;
+
+  /// Rollback artefacts, built lazily on first halt.
+  std::shared_ptr<const core::CompiledPolicyImage> rollback_image_;
+  std::shared_ptr<const std::vector<std::byte>> rollback_blob_;
+  std::shared_ptr<const std::vector<std::byte>> rollback_delta_;
+};
+
+}  // namespace psme::car

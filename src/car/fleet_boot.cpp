@@ -4,6 +4,37 @@
 
 namespace psme::car {
 
+// The wire layer only distinguishes the three recovery classes;
+// rollback refusal never throws (it is a clean `false` from
+// commit_update), so it has no WireFault mapping.
+UpdateResult to_update_result(core::WireFault fault) noexcept {
+  switch (fault) {
+    case core::WireFault::kAnchorMismatch:
+      return UpdateResult::kAnchorMismatch;
+    case core::WireFault::kFingerprintMismatch:
+      return UpdateResult::kFingerprintMismatch;
+    case core::WireFault::kMalformed:
+      break;
+  }
+  return UpdateResult::kValidationFailed;
+}
+
+std::string_view to_string(UpdateResult result) noexcept {
+  switch (result) {
+    case UpdateResult::kOk:
+      return "ok";
+    case UpdateResult::kRollbackRefused:
+      return "rollback-refused";
+    case UpdateResult::kValidationFailed:
+      return "validation-failed";
+    case UpdateResult::kFingerprintMismatch:
+      return "fingerprint-mismatch";
+    case UpdateResult::kAnchorMismatch:
+      return "anchor-mismatch";
+  }
+  return "unknown";
+}
+
 FleetBoot::FleetBoot(std::span<const std::byte> blob,
                      std::vector<FleetCheck> checks,
                      FleetEvaluatorOptions options) {
@@ -43,6 +74,25 @@ bool FleetBoot::apply_delta_update(std::span<const std::byte> delta) {
   // extension) and the evaluator re-resolves its workload below.
   return commit_update(std::make_unique<core::CompiledPolicyImage>(
       core::PolicyDeltaReader::apply(*image_, delta)));
+}
+
+UpdateResult FleetBoot::try_apply_update(std::span<const std::byte> blob) {
+  try {
+    return apply_update(blob) ? UpdateResult::kOk
+                              : UpdateResult::kRollbackRefused;
+  } catch (const core::PolicyBlobError& error) {
+    return to_update_result(error.fault());
+  }
+}
+
+UpdateResult FleetBoot::try_apply_delta_update(
+    std::span<const std::byte> delta) {
+  try {
+    return apply_delta_update(delta) ? UpdateResult::kOk
+                                     : UpdateResult::kRollbackRefused;
+  } catch (const core::PolicyDeltaError& error) {
+    return to_update_result(error.fault());
+  }
 }
 
 bool FleetBoot::commit_update(

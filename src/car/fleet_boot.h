@@ -22,8 +22,10 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <span>
+#include <string_view>
 #include <vector>
 
 #include "car/fleet_evaluator.h"
@@ -32,6 +34,30 @@
 #include "core/policy_image.h"
 
 namespace psme::car {
+
+/// Why an OTA staging attempt did (or did not) go live — the telemetry
+/// the campaign orchestrator (car/campaign.h) keys retry/fallback/halt
+/// decisions on. "Corrupt bytes" (kValidationFailed: retry the
+/// transfer), "stale or wrong base" (kAnchorMismatch: re-plan the
+/// update path), "content does not match its manifest"
+/// (kFingerprintMismatch: re-download or fall back to the full blob)
+/// and "replayed old version" (kRollbackRefused: drop it) demand
+/// different recoveries; a bool collapses them all.
+enum class UpdateResult : std::uint8_t {
+  kOk,                   // update validated, committed and live
+  kRollbackRefused,      // artefact carries version <= running version
+  kValidationFailed,     // malformed/corrupted bytes (structural reject)
+  kFingerprintMismatch,  // content does not match the recorded manifest
+  kAnchorMismatch,       // delta anchored to a different base image
+};
+
+[[nodiscard]] std::string_view to_string(UpdateResult result) noexcept;
+
+/// Maps a wire-layer rejection kind onto the update taxonomy — the
+/// shared translation FleetBoot::try_apply_* and the campaign engine's
+/// vehicle-side validation both use, so one classification governs all
+/// OTA telemetry.
+[[nodiscard]] UpdateResult to_update_result(core::WireFault fault) noexcept;
 
 class FleetBoot {
  public:
@@ -91,6 +117,25 @@ class FleetBoot {
   /// replacement image AND evaluator are fully built before the old
   /// ones are released.
   [[nodiscard]] bool apply_delta_update(std::span<const std::byte> delta);
+
+  /// apply_update with the failure REASON surfaced instead of thrown:
+  /// same staging flow and the same strong guarantee (anything but kOk
+  /// leaves the running policy answering exactly as before), but a
+  /// malformed blob earns UpdateResult::kValidationFailed (or
+  /// kFingerprintMismatch when the structure parsed and only the final
+  /// content gate failed) rather than a PolicyBlobError. The campaign
+  /// engine and fleet telemetry consume this form; the bool overload
+  /// above remains the throw-on-malformed shim for callers that treat
+  /// a bad artefact as exceptional.
+  [[nodiscard]] UpdateResult try_apply_update(std::span<const std::byte> blob);
+
+  /// apply_delta_update with the failure reason surfaced: additionally
+  /// distinguishes kAnchorMismatch (delta anchored to a different base
+  /// than the RUNNING image — re-plan, the bytes may be pristine) from
+  /// corrupt-byte kValidationFailed and manifest-gate
+  /// kFingerprintMismatch. Same strong guarantee as the bool shim.
+  [[nodiscard]] UpdateResult try_apply_delta_update(
+      std::span<const std::byte> delta);
 
  private:
   void boot(core::CompiledPolicyImage image, std::vector<FleetCheck> checks,

@@ -1,0 +1,77 @@
+#include "car/update_transport.h"
+
+#include <algorithm>
+
+namespace psme::car {
+
+Delivery PerfectTransport::send(std::uint32_t vehicle, std::uint32_t attempt,
+                                std::span<const std::byte> artefact) {
+  (void)vehicle;
+  (void)attempt;
+  Delivery delivery;
+  delivery.payload.assign(artefact.begin(), artefact.end());
+  return delivery;
+}
+
+Delivery FaultyTransport::send(std::uint32_t vehicle, std::uint32_t attempt,
+                               std::span<const std::byte> artefact) {
+  ++counters_.sent;
+  counters_.bytes_sent += artefact.size();
+
+  Delivery delivery;
+  if (dark_.contains(vehicle)) {
+    delivery.status = DeliveryStatus::kDark;
+    delivery.injected = sim::FaultKind::kDark;
+    ++counters_.dark;
+    return delivery;
+  }
+
+  const sim::FaultDecision fault = plan_.transport_fault(vehicle, attempt);
+  delivery.injected = fault.kind;
+  switch (fault.kind) {
+    case sim::FaultKind::kDrop:
+      delivery.status = DeliveryStatus::kLost;
+      ++counters_.dropped;
+      return delivery;
+    case sim::FaultKind::kStall:
+      delivery.status = DeliveryStatus::kLost;
+      ++counters_.stalled;
+      return delivery;
+    case sim::FaultKind::kDark:
+      dark_.insert(vehicle);
+      delivery.status = DeliveryStatus::kDark;
+      ++counters_.dark;
+      return delivery;
+    case sim::FaultKind::kTruncate: {
+      // Short delivery: at least one byte missing, possibly all of them.
+      const std::size_t keep = std::min(
+          artefact.size() - 1,
+          static_cast<std::size_t>(fault.at *
+                                   static_cast<double>(artefact.size())));
+      delivery.payload.assign(artefact.begin(),
+                              artefact.begin() + static_cast<long>(keep));
+      ++counters_.truncated;
+      return delivery;
+    }
+    case sim::FaultKind::kCorrupt: {
+      delivery.payload.assign(artefact.begin(), artefact.end());
+      if (!delivery.payload.empty()) {
+        const std::size_t at = std::min(
+            delivery.payload.size() - 1,
+            static_cast<std::size_t>(
+                fault.at * static_cast<double>(delivery.payload.size())));
+        delivery.payload[at] ^= std::byte{fault.flip};
+      }
+      ++counters_.corrupted;
+      return delivery;
+    }
+    case sim::FaultKind::kPowerLoss:  // not a transport fault; unreachable
+    case sim::FaultKind::kNone:
+      break;
+  }
+  delivery.payload.assign(artefact.begin(), artefact.end());
+  ++counters_.delivered_clean;
+  return delivery;
+}
+
+}  // namespace psme::car

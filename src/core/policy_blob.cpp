@@ -98,8 +98,9 @@ constexpr std::size_t kOffNameArenaLen = 84;
 constexpr std::size_t kOffMetaArenaLen = 88;
 constexpr std::size_t kOffReservedV2 = 92;  // u32, reserved 0
 
-[[noreturn]] void reject(const std::string& what) {
-  wire::reject<PolicyBlobError>(kDomain, what);
+[[noreturn]] void reject(const std::string& what,
+                         WireFault fault = WireFault::kMalformed) {
+  wire::reject<PolicyBlobError>(kDomain, what, fault);
 }
 
 using wire::align8;
@@ -789,7 +790,8 @@ CompiledPolicyImage PolicyBlobReader::load_v1(
   // what the writer recorded — the same integrity anchor the compiled
   // pipeline uses, now guarding the OTA trust boundary.
   if (image.fingerprint() != h.fingerprint) {
-    reject("fingerprint mismatch (content does not match manifest)");
+    reject("fingerprint mismatch (content does not match manifest)",
+           WireFault::kFingerprintMismatch);
   }
   return image;
 }
@@ -1090,7 +1092,8 @@ CompiledPolicyImage PolicyBlobReader::load_v2(
   // materialised. Skipped at the sealed level (it is O(n); the staging
   // pass already proved it for these bytes).
   if (untrusted && image.fingerprint() != h.fingerprint) {
-    reject("fingerprint mismatch (content does not match manifest)");
+    reject("fingerprint mismatch (content does not match manifest)",
+           WireFault::kFingerprintMismatch);
   }
   return image;
 }

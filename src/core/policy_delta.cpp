@@ -64,8 +64,9 @@ constexpr std::size_t kMinOpSize = 5;
 /// many entries a delta of a given size can introduce.
 constexpr std::size_t kMinEmitOpSize = 1 + kEntryRecordSize + 4 + 4;
 
-[[noreturn]] void reject(const std::string& what) {
-  wire::reject<PolicyDeltaError>(kDomain, what);
+[[noreturn]] void reject(const std::string& what,
+                         WireFault fault = WireFault::kMalformed) {
+  wire::reject<PolicyDeltaError>(kDomain, what, fault);
 }
 
 using wire::load_u32;
@@ -457,7 +458,8 @@ CompiledPolicyImage PolicyDeltaReader::apply(const CompiledPolicyImage& base,
   // -- the anchor: this delta must be FOR this base image ----------------
   if (h.base_fingerprint != base.fingerprint()) {
     reject("base fingerprint mismatch (delta is anchored to a different "
-           "base image)");
+           "base image)",
+           WireFault::kAnchorMismatch);
   }
   if (h.base_version != base.version_) {
     reject("base version mismatch (delta expects base v" +
@@ -474,7 +476,8 @@ CompiledPolicyImage PolicyDeltaReader::apply(const CompiledPolicyImage& base,
   // (Equality also bounds the anchor: every referenced SID is interned,
   // so anchor <= base.sids().size() by construction.)
   if (h.anchor_sids != PolicyDeltaDetail::max_referenced_sid(base)) {
-    reject("SID anchor does not match the base image's referenced range");
+    reject("SID anchor does not match the base image's referenced range",
+           WireFault::kAnchorMismatch);
   }
 
   // -- structural quick checks, all BEFORE any allocation ----------------
@@ -668,7 +671,8 @@ CompiledPolicyImage PolicyDeltaReader::apply(const CompiledPolicyImage& base,
   // compile pipeline and the blob loader use.
   if (image.fingerprint() != h.target_fingerprint) {
     reject("target fingerprint mismatch (applied image does not match the "
-           "delta's manifest)");
+           "delta's manifest)",
+           WireFault::kFingerprintMismatch);
   }
   return image;
 }
@@ -676,6 +680,30 @@ CompiledPolicyImage PolicyDeltaReader::apply(const CompiledPolicyImage& base,
 CompiledPolicyImage PolicyDeltaReader::apply_file(
     const CompiledPolicyImage& base, const std::string& path) {
   return apply(base, wire::read_file<PolicyDeltaError>(path, kDomain));
+}
+
+std::vector<std::byte> compose_delta_chain(
+    const CompiledPolicyImage& base,
+    std::span<const std::span<const std::byte>> hops,
+    PolicyDeltaStats* stats) {
+  if (hops.empty()) {
+    throw std::invalid_argument("compose_delta_chain: empty hop chain");
+  }
+  // Replay the chain through the vehicle-grade validated apply: each hop
+  // must anchor to the image the previous hop produced, and each hop's
+  // final fingerprint gate proves the reconstruction exact. Any defect
+  // anywhere in the chain throws out of apply() here — before a single
+  // byte of composed output exists.
+  CompiledPolicyImage landing = PolicyDeltaReader::apply(base, hops.front());
+  for (std::size_t hop = 1; hop < hops.size(); ++hop) {
+    CompiledPolicyImage next = PolicyDeltaReader::apply(landing, hops[hop]);
+    landing = std::move(next);
+  }
+  // The landing image is byte-identical to the direct compile of the
+  // final target against the chain's shared SID lineage (the per-hop
+  // apply contract, transitively), so writing it against `base` yields
+  // the same bytes a direct base→target writer emits.
+  return PolicyDeltaWriter::write(base, landing, stats);
 }
 
 }  // namespace psme::core

@@ -32,12 +32,33 @@
 
 namespace psme::core {
 
+/// Coarse classification of a wire rejection, carried alongside the
+/// message so the OTA campaign layer can tell recovery paths apart
+/// WITHOUT parsing error text: a kAnchorMismatch delta wants a re-plan
+/// (the vehicle is not on the base the server assumed), a
+/// kFingerprintMismatch wants a re-download or a full-blob fallback,
+/// and kMalformed covers every structural defect (truncation, bad
+/// counts, checksum, foreign byte order) — retry the transfer.
+enum class WireFault : std::uint8_t {
+  kMalformed,            // structural: truncated, corrupted, bad counts
+  kAnchorMismatch,       // artefact is anchored to a different base image
+  kFingerprintMismatch,  // content does not match the recorded manifest
+};
+
 /// Base class of every persistent-format rejection (malformed, truncated,
 /// tampered or incompatible byte streams). The message names the failed
 /// check — OTA tooling logs it; nothing malformed ever reaches UB.
 class PolicyWireError : public std::runtime_error {
  public:
-  using std::runtime_error::runtime_error;
+  explicit PolicyWireError(const std::string& what,
+                           WireFault fault = WireFault::kMalformed)
+      : std::runtime_error(what), fault_(fault) {}
+
+  /// Which recovery class this rejection belongs to (see WireFault).
+  [[nodiscard]] WireFault fault() const noexcept { return fault_; }
+
+ private:
+  WireFault fault_ = WireFault::kMalformed;
 };
 
 namespace wire {
@@ -122,11 +143,14 @@ inline void store_u64(std::byte* at, std::uint64_t v) {
 }
 
 /// Throws the format's error class with its domain prefix ("policy
-/// blob: ..." / "policy delta: ...").
+/// blob: ..." / "policy delta: ..."). `fault` classifies the rejection
+/// for the campaign layer; almost every site is structural (the
+/// default) — only the anchor and fingerprint gates say otherwise.
 template <class Error>
 [[noreturn]] inline void reject(std::string_view domain,
-                                const std::string& what) {
-  throw Error(std::string(domain) + ": " + what);
+                                const std::string& what,
+                                WireFault fault = WireFault::kMalformed) {
+  throw Error(std::string(domain) + ": " + what, fault);
 }
 
 /// Validates everything the shared 32-byte prefix can prove on its own:

@@ -154,6 +154,16 @@ class DenyStreakMonitor {
   [[nodiscard]] const std::vector<std::uint32_t>& flagged() const noexcept {
     return flagged_;
   }
+  /// O(1) cohort health summary — the fraction of the fleet NOT flagged
+  /// so far (flags are sticky, so this is monotone non-increasing
+  /// between resets). This is the wave gate the OTA campaign
+  /// orchestrator (car::CampaignServer) keys on: no per-vehicle
+  /// iteration by callers, just the flag count the monitor already
+  /// maintains. 1.0 before any tick.
+  [[nodiscard]] double healthy_fraction() const noexcept {
+    return 1.0 - static_cast<double>(flagged_.size()) /
+                     static_cast<double>(streaks_.size());
+  }
   /// Current consecutive-deny-tick streak of one vehicle.
   [[nodiscard]] std::uint32_t streak(std::size_t vehicle) const;
   [[nodiscard]] std::uint64_t ticks_observed() const noexcept {
@@ -163,7 +173,17 @@ class DenyStreakMonitor {
     return streaks_.size();
   }
 
-  /// Clears streaks and flags (e.g. after a fleet-wide policy rollout).
+  /// Clears streaks and flags. Reset semantics across policy swaps: the
+  /// monitor itself never observes a swap — streaks and flags persist
+  /// until the OWNER resets, which is deliberate in both directions.
+  /// During a staged rollout the campaign gate wants denial persistence
+  /// ACROSS the swap boundary (a deny-storm policy shows up as streaks
+  /// that begin right after the cohort commits), so the orchestrator
+  /// resets its gate monitor when a wave's observation window OPENS and
+  /// reads healthy_fraction() when it closes. A fleet operator's
+  /// long-lived monitor instead resets AFTER a rollout completes, so
+  /// denial bursts caused by the rule change itself (new quarantines
+  /// biting) are not mistaken for per-vehicle compromise streaks.
   void reset();
 
  private:

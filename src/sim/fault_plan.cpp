@@ -1,0 +1,115 @@
+#include "sim/fault_plan.h"
+
+#include <stdexcept>
+#include <string>
+
+#include "sim/rng.h"
+
+namespace psme::sim {
+
+namespace {
+
+[[nodiscard]] constexpr std::uint64_t splitmix(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// Salts keeping the two decision streams (transport vs power) disjoint
+/// even for identical (vehicle, attempt) pairs.
+constexpr std::uint64_t kTransportSalt = 0x7472616E73706F72ULL;  // "transpor"
+constexpr std::uint64_t kPowerSalt = 0x706F7765726C6F73ULL;      // "powerlos"
+
+void check_rate(double rate, const char* name) {
+  if (!(rate >= 0.0 && rate <= 1.0)) {
+    throw std::invalid_argument(std::string("FaultPlan: ") + name +
+                                " rate outside [0, 1]");
+  }
+}
+
+}  // namespace
+
+std::string_view to_string(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::kNone:
+      return "none";
+    case FaultKind::kDrop:
+      return "drop";
+    case FaultKind::kTruncate:
+      return "truncate";
+    case FaultKind::kCorrupt:
+      return "corrupt";
+    case FaultKind::kStall:
+      return "stall";
+    case FaultKind::kPowerLoss:
+      return "power-loss";
+    case FaultKind::kDark:
+      return "dark";
+  }
+  return "unknown";
+}
+
+FaultProfile FaultProfile::mixed(double rate) noexcept {
+  FaultProfile profile;
+  profile.drop = 0.30 * rate;
+  profile.truncate = 0.15 * rate;
+  profile.corrupt = 0.30 * rate;
+  profile.stall = 0.15 * rate;
+  profile.dark = 0.10 * rate;
+  profile.power_loss = 0.20 * rate;
+  return profile;
+}
+
+std::uint64_t mix3(std::uint64_t a, std::uint64_t b,
+                   std::uint64_t c) noexcept {
+  return splitmix(splitmix(splitmix(a) ^ b) ^ c);
+}
+
+FaultPlan::FaultPlan(std::uint64_t seed, FaultProfile profile)
+    : seed_(seed), profile_(profile) {
+  check_rate(profile.drop, "drop");
+  check_rate(profile.truncate, "truncate");
+  check_rate(profile.corrupt, "corrupt");
+  check_rate(profile.stall, "stall");
+  check_rate(profile.dark, "dark");
+  check_rate(profile.power_loss, "power-loss");
+  if (profile.transport_total() > 1.0) {
+    throw std::invalid_argument(
+        "FaultPlan: transport fault rates sum past 1");
+  }
+}
+
+FaultDecision FaultPlan::transport_fault(std::uint32_t vehicle,
+                                         std::uint32_t attempt) const noexcept {
+  // A private Rng per decision keeps the plan stateless: the stream is a
+  // function of the key, never of how many decisions were drawn before.
+  Rng rng(mix3(seed_ ^ kTransportSalt, vehicle, attempt));
+  const double u = rng.uniform01();
+  FaultDecision decision;
+  double edge = profile_.drop;
+  if (u < edge) {
+    decision.kind = FaultKind::kDrop;
+  } else if (u < (edge += profile_.truncate)) {
+    decision.kind = FaultKind::kTruncate;
+  } else if (u < (edge += profile_.corrupt)) {
+    decision.kind = FaultKind::kCorrupt;
+  } else if (u < (edge += profile_.stall)) {
+    decision.kind = FaultKind::kStall;
+  } else if (u < (edge += profile_.dark)) {
+    decision.kind = FaultKind::kDark;
+  } else {
+    return decision;  // clean
+  }
+  decision.at = rng.uniform01();
+  decision.flip = static_cast<std::uint8_t>(1 + rng.uniform(0, 254));
+  return decision;
+}
+
+bool FaultPlan::power_loss_before_commit(std::uint32_t vehicle,
+                                         std::uint32_t attempt) const noexcept {
+  Rng rng(mix3(seed_ ^ kPowerSalt, vehicle, attempt));
+  return rng.chance(profile_.power_loss);
+}
+
+}  // namespace psme::sim

@@ -1,0 +1,108 @@
+// psme::sim — seeded, deterministic fault plans for OTA campaigns.
+//
+// A fleet campaign is only trustworthy if every failure mode it claims
+// to survive has been INJECTED and the recovery path exercised — flaky
+// transports that drop, truncate or corrupt artefact bytes, downloads
+// that stall past their timeout, vehicles that lose power between
+// validating an update and committing it, and vehicles that simply go
+// dark mid-wave. A FaultPlan is the oracle for all of them: a pure
+// function of (seed, vehicle, attempt) — no internal state, no call-
+// order dependence — so a campaign run is bit-reproducible from its
+// seed alone, two independent observers (the transport injecting the
+// fault and the test asserting on it) agree on every decision, and a
+// failing seed replays exactly in a debugger.
+//
+// The plan decides; it never mutates bytes itself. The transport layer
+// (car/update_transport.h) applies transport decisions to payloads, and
+// the campaign engine (car/campaign.h) consults the power-loss stream at
+// the commit point — the one fault that is a vehicle event, not a
+// transport event, and therefore rides a separate decision stream from
+// the same seed.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace psme::sim {
+
+enum class FaultKind : std::uint8_t {
+  kNone,       // clean delivery
+  kDrop,       // artefact silently lost in transit (receiver times out)
+  kTruncate,   // delivered short — validation must reject
+  kCorrupt,    // delivered with a flipped byte — validation must reject
+  kStall,      // transfer hangs past the stage timeout, nothing arrives
+  kPowerLoss,  // vehicle loses power between validate and commit
+  kDark,       // vehicle stops responding entirely (permanent this wave)
+};
+
+[[nodiscard]] std::string_view to_string(FaultKind kind) noexcept;
+
+/// Per-transfer fault probabilities. Each is the marginal probability of
+/// that fault on one (vehicle, attempt) decision; their sum must stay
+/// <= 1 (FaultPlan's constructor throws otherwise). kPowerLoss rides a
+/// separate decision stream — `power_loss` is evaluated independently at
+/// the commit point, not part of the transport sum.
+struct FaultProfile {
+  double drop = 0.0;
+  double truncate = 0.0;
+  double corrupt = 0.0;
+  double stall = 0.0;
+  double dark = 0.0;
+  double power_loss = 0.0;
+
+  /// Total transport-fault probability (everything except power_loss).
+  [[nodiscard]] double transport_total() const noexcept {
+    return drop + truncate + corrupt + stall + dark;
+  }
+
+  /// The acceptance workload's shape: a total transport fault rate of
+  /// `rate` spread over the modes in realistic proportion (drops and
+  /// corruption dominate, dark vehicles are rare), plus a power-loss
+  /// rate of one fifth of `rate`.
+  [[nodiscard]] static FaultProfile mixed(double rate) noexcept;
+};
+
+/// One transport decision. `at` selects a position as a fraction of the
+/// payload (truncation point / corrupted byte); `flip` is the non-zero
+/// XOR mask a corruption applies.
+struct FaultDecision {
+  FaultKind kind = FaultKind::kNone;
+  double at = 0.0;
+  std::uint8_t flip = 0;
+};
+
+/// splitmix64-chained mixing of three words — the seeding discipline
+/// shared by the fault streams and the campaign's retry jitter, so
+/// every per-(vehicle, attempt) draw is decorrelated yet reproducible.
+[[nodiscard]] std::uint64_t mix3(std::uint64_t a, std::uint64_t b,
+                                 std::uint64_t c) noexcept;
+
+class FaultPlan {
+ public:
+  /// Throws std::invalid_argument when any rate is outside [0, 1] or the
+  /// transport rates sum past 1.
+  explicit FaultPlan(std::uint64_t seed, FaultProfile profile = {});
+
+  /// The transport fault injected into transfer `attempt` to `vehicle`
+  /// (kNone = clean). Pure: same (seed, vehicle, attempt) -> same
+  /// decision, regardless of call order or count.
+  [[nodiscard]] FaultDecision transport_fault(std::uint32_t vehicle,
+                                              std::uint32_t attempt) const noexcept;
+
+  /// Whether `vehicle` loses power between validating attempt `attempt`
+  /// and committing it (the half-applied-image hazard the sealed store
+  /// must survive). Independent stream from transport_fault.
+  [[nodiscard]] bool power_loss_before_commit(std::uint32_t vehicle,
+                                              std::uint32_t attempt) const noexcept;
+
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+  [[nodiscard]] const FaultProfile& profile() const noexcept {
+    return profile_;
+  }
+
+ private:
+  std::uint64_t seed_ = 0;
+  FaultProfile profile_{};
+};
+
+}  // namespace psme::sim

@@ -164,6 +164,71 @@ inline DeltaCase random_case(sim::Rng& rng) {
   return c;
 }
 
+/// A seeded policy LINEAGE: `length` releases where each version is a
+/// random_case-style mutation of its predecessor (rules dropped, edited
+/// in place, spliced in; occasional brand-new generation-specific
+/// identities) with strictly increasing versions. This is the fixture
+/// the delta-CHAIN and campaign tests share: compile each set against a
+/// prefix replica of its predecessor's image and the adjacent deltas —
+/// and their compositions — are anchor-valid by construction.
+inline std::vector<core::PolicySet> random_lineage(sim::Rng& rng,
+                                                   std::size_t length) {
+  std::vector<core::PolicySet> lineage;
+  lineage.reserve(length);
+  std::vector<std::string> subjects = base_subjects();
+  std::vector<std::string> objects = base_objects();
+  std::vector<std::string> modes = base_modes();
+
+  core::PolicySet current("lineage-v1", 1 + rng.uniform(0, 3));
+  current.set_default_allow(rng.chance(0.3));
+  const std::size_t rules = 8 + rng.uniform(0, 16);
+  for (std::size_t i = 0; i < rules; ++i) {
+    current.add_rule(
+        random_rule(rng, "r" + std::to_string(i), subjects, objects, modes));
+  }
+  lineage.push_back(current);
+
+  std::size_t added = 0;
+  for (std::size_t gen = 1; gen < length; ++gen) {
+    if (rng.chance(0.3)) {
+      subjects.push_back("ecu.gen" + std::to_string(gen));
+    }
+    if (rng.chance(0.3)) {
+      objects.push_back("asset.gen" + std::to_string(gen));
+    }
+    core::PolicySet next("lineage-v" + std::to_string(gen + 1),
+                         current.version() + 1 + rng.uniform(0, 2));
+    next.set_default_allow(rng.chance(0.05) ? !current.default_allow()
+                                            : current.default_allow());
+    for (const core::PolicyRule& rule : current.rules()) {
+      if (rng.chance(0.10)) continue;  // retired this release
+      core::PolicyRule kept = rule;
+      if (rng.chance(0.20)) {
+        switch (rng.uniform(0, 2)) {
+          case 0:
+            kept.permission =
+                static_cast<threat::Permission>(rng.uniform(0, 3));
+            break;
+          case 1:
+            kept.priority = static_cast<int>(rng.uniform(0, 6)) - 3;
+            break;
+          default:
+            kept.object = objects[rng.uniform(0, objects.size() - 1)];
+            break;
+        }
+      }
+      next.add_rule(std::move(kept));
+      if (rng.chance(0.08)) {
+        next.add_rule(random_rule(rng, "a" + std::to_string(added++),
+                                  subjects, objects, modes));
+      }
+    }
+    lineage.push_back(next);
+    current = std::move(next);
+  }
+  return lineage;
+}
+
 /// The DIRECT compile of the target — the oracle the delta-applied image
 /// must be byte-identical to: same rules, compiled against a prefix
 /// replica of the base image's SID space (the OEM flow; the base image

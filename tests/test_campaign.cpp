@@ -1,0 +1,378 @@
+// Fault-injection tests for fleet OTA campaigns (car/campaign.h).
+//
+// The fault model is sim/fault_plan.h — drops, truncations, byte
+// corruption, stalls, dark vehicles, power loss between validate and
+// commit — and every test here is deterministic from fixed seeds: the
+// fault plan is a pure function of (seed, vehicle, attempt), so a
+// failing seed replays bit-identically. Headline invariants:
+//
+//  * CONVERGENCE: a version-skewed fleet converges onto the target
+//    under a mixed fault profile, with ZERO corrupt sealed stores —
+//    injected damage may delay a vehicle, never corrupt it. Pinned at
+//    three seeds plus one acceptance-scale (10^5-vehicle) run.
+//  * POWER LOSS: a vehicle cut between validate and commit reboots on
+//    its OLD sealed blob via FleetBoot — never a half-applied image.
+//  * HALT + ROLLBACK: a poisoned (deny-storm) target trips the canary
+//    wave's health gate; the campaign halts before wave two and rolls
+//    the canary cohort back to the predecessor's content.
+//  * TAXONOMY: FleetBoot::try_apply_* classifies rejections
+//    (rollback-refused / validation-failed / fingerprint-mismatch /
+//    anchor-mismatch) without string matching.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "car/campaign.h"
+#include "car/fleet_boot.h"
+#include "car/update_transport.h"
+#include "core/policy.h"
+#include "core/policy_blob.h"
+#include "core/policy_delta.h"
+#include "core/policy_image.h"
+#include "sim/fault_plan.h"
+
+namespace psme {
+namespace {
+
+using car::CampaignConfig;
+using car::CampaignReport;
+using car::CampaignServer;
+using car::CampaignStatus;
+using car::CampaignVehicle;
+using car::FaultyTransport;
+using car::FleetCheck;
+using car::PerfectTransport;
+using car::UpdateChannel;
+using car::UpdateResult;
+using car::VehicleState;
+using core::CompiledPolicyImage;
+using core::PolicyBlobReader;
+using core::PolicyBlobWriter;
+using core::PolicyDeltaWriter;
+using core::PolicyRule;
+using core::PolicySet;
+using sim::FaultPlan;
+using sim::FaultProfile;
+
+PolicyRule allow_rule(std::string id, std::string subject, std::string object,
+                      threat::Permission permission, int priority = 0) {
+  PolicyRule rule;
+  rule.id = std::move(id);
+  rule.subject = std::move(subject);
+  rule.object = std::move(object);
+  rule.permission = permission;
+  rule.priority = priority;
+  return rule;
+}
+
+/// A handcrafted release lineage with fully controlled probe behaviour:
+/// deny-by-default, a stable allow core, and one more generation rule
+/// per release (so every hop delta is non-trivial). Every version
+/// ALLOWS the whole health probe below — baseline probe denials are 0.
+std::vector<PolicySet> fleet_lineage(std::size_t length) {
+  std::vector<PolicySet> lineage;
+  lineage.reserve(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    PolicySet set("fleet-v" + std::to_string(i + 1), i + 1);
+    set.set_default_allow(false);
+    set.add_rule(allow_rule("obd-log", "ep.obd", "asset.log",
+                            threat::Permission::kRead));
+    set.add_rule(allow_rule("tcu-fw", "ep.tcu", "asset.fw",
+                            threat::Permission::kReadWrite));
+    for (std::size_t gen = 0; gen <= i; ++gen) {
+      set.add_rule(allow_rule("gen" + std::to_string(gen), "ecu.brake",
+                              "asset.gen" + std::to_string(gen),
+                              threat::Permission::kRead));
+    }
+    lineage.push_back(std::move(set));
+  }
+  return lineage;
+}
+
+/// A poisoned target: the predecessor's successor version whose content
+/// denies everything (an explicit deny-all at top priority) — the
+/// deny-storm policy the canary gate must catch.
+PolicySet deny_storm_after(const PolicySet& prev) {
+  PolicySet storm("deny-storm", prev.version() + 1);
+  storm.set_default_allow(false);
+  storm.add_rule(allow_rule("storm", "*", "*", threat::Permission::kNone,
+                            /*priority=*/100));
+  return storm;
+}
+
+std::vector<FleetCheck> probe_checks() {
+  return {
+      {"ep.obd", "asset.log", core::AccessType::kRead},
+      {"ep.tcu", "asset.fw", core::AccessType::kWrite},
+      {"ecu.brake", "asset.gen0", core::AccessType::kRead},
+  };
+}
+
+CampaignConfig test_config() {
+  CampaignConfig config;
+  config.canary_fraction = 0.02;
+  config.wave_fractions = {0.20, 1.0};
+  config.health_probe = probe_checks();
+  return config;
+}
+
+void expect_zero_corruption(const CampaignReport& report) {
+  EXPECT_EQ(report.corrupt_images, 0u)
+      << "injected faults must never corrupt a sealed store";
+}
+
+TEST(CampaignConvergence, ThreePinnedSeedsMixedFaults) {
+  CampaignServer server(fleet_lineage(7), test_config());
+  for (const std::uint64_t seed :
+       {0xA11CE5EEDULL, 0xB0B5EED02ULL, 0xC0FFEE503ULL}) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    std::vector<CampaignVehicle> fleet = server.make_fleet(2000, seed);
+    FaultyTransport transport{FaultPlan(seed, FaultProfile::mixed(0.05))};
+    const CampaignReport report = server.run(fleet, transport);
+
+    EXPECT_EQ(report.status, CampaignStatus::kConverged);
+    expect_zero_corruption(report);
+    EXPECT_EQ(report.failed, 0u);
+    EXPECT_EQ(report.healthy + report.dark, fleet.size());
+    EXPECT_GT(report.retries, 0u) << "faults were injected; retries must show";
+    for (const auto& wave : report.waves) {
+      EXPECT_TRUE(wave.gate_passed);
+    }
+    const auto& counters = transport.counters();
+    EXPECT_GT(counters.dropped + counters.truncated + counters.corrupted +
+                  counters.stalled,
+              0u);
+    for (const CampaignVehicle& vehicle : fleet) {
+      if (vehicle.state == VehicleState::kDark) {
+        continue;  // unreachable; still on some released version
+      }
+      EXPECT_EQ(vehicle.state, VehicleState::kHealthy);
+      EXPECT_EQ(vehicle.fingerprint, report.target_fingerprint);
+      EXPECT_EQ(vehicle.version, report.target_version);
+    }
+  }
+}
+
+TEST(CampaignConvergence, AcceptanceScaleHundredThousandVehicles) {
+  CampaignServer server(fleet_lineage(7), test_config());
+  std::vector<CampaignVehicle> fleet =
+      server.make_fleet(100000, 0xF1EE75EEDULL);
+  FaultyTransport transport{FaultPlan(0xACCE9717ULL, FaultProfile::mixed(0.01))};
+  const CampaignReport report = server.run(fleet, transport);
+
+  EXPECT_EQ(report.status, CampaignStatus::kConverged);
+  expect_zero_corruption(report);
+  EXPECT_EQ(report.healthy + report.dark + report.failed, fleet.size());
+  EXPECT_EQ(report.failed, 0u);
+  // The composed-delta plan must beat naive full-blob distribution.
+  EXPECT_GT(report.full_blob_bytes_baseline, 0u);
+  EXPECT_LT(report.delta_bytes_shipped + report.blob_bytes_shipped,
+            report.full_blob_bytes_baseline);
+}
+
+TEST(CampaignPowerLoss, RebootsOnOldSealedBlobNeverHalfApplied) {
+  CampaignServer server(fleet_lineage(5), test_config());
+  std::vector<CampaignVehicle> fleet = server.make_fleet(64, 0x9055EEDULL);
+  const std::vector<std::uint64_t> versions_before = [&] {
+    std::vector<std::uint64_t> v;
+    for (const auto& vehicle : fleet) v.push_back(vehicle.version);
+    return v;
+  }();
+
+  FaultProfile always_power_loss;
+  always_power_loss.power_loss = 1.0;  // every commit attempt is cut
+  FaultyTransport transport{FaultPlan(0xDEAD9077ULL, always_power_loss)};
+  const CampaignReport report = server.run(fleet, transport);
+
+  // No vehicle can ever commit: the campaign halts on the canary gate's
+  // commit floor and there is nothing to roll back.
+  EXPECT_EQ(report.status, CampaignStatus::kHalted);
+  EXPECT_GT(report.power_loss_reboots, 0u);
+  EXPECT_EQ(report.rolled_back_vehicles, 0u);
+  expect_zero_corruption(report);
+
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    const CampaignVehicle& vehicle = fleet[i];
+    EXPECT_EQ(vehicle.version, versions_before[i])
+        << "a power-cut vehicle must stay on its old version";
+    // The reboot path: FleetBoot from the sealed store must come up on
+    // the OLD image, fully functional — never a half-applied hybrid.
+    car::FleetBoot boot(*vehicle.sealed_blob, probe_checks());
+    EXPECT_EQ(boot.image().version(), versions_before[i]);
+    EXPECT_EQ(boot.image().fingerprint(), vehicle.fingerprint);
+  }
+}
+
+TEST(CampaignHalt, PoisonedCanaryHaltsBeforeWaveTwoAndRollsBack) {
+  std::vector<PolicySet> lineage = fleet_lineage(4);
+  lineage.push_back(deny_storm_after(lineage.back()));
+  const std::uint64_t storm_version = lineage.back().version();
+  CampaignServer server(std::move(lineage), test_config());
+
+  std::vector<CampaignVehicle> fleet = server.make_fleet(500, 0x57028A1ULL);
+  PerfectTransport transport;  // isolate the health gate: no faults
+  const CampaignReport report = server.run(fleet, transport);
+
+  ASSERT_EQ(report.waves.size(), 1u) << "must halt before wave two";
+  EXPECT_FALSE(report.waves[0].gate_passed);
+  EXPECT_EQ(report.waves[0].healthy_fraction, 0.0);
+  EXPECT_EQ(report.status, CampaignStatus::kHalted);
+  EXPECT_TRUE(report.rolled_back);
+  EXPECT_EQ(report.rolled_back_vehicles, report.waves[0].committed);
+  EXPECT_GT(report.rolled_back_vehicles, 0u);
+  EXPECT_EQ(report.rollback_version, storm_version + 1);
+  expect_zero_corruption(report);
+
+  std::size_t on_rollback = 0;
+  for (const CampaignVehicle& vehicle : fleet) {
+    EXPECT_NE(vehicle.fingerprint, report.target_fingerprint)
+        << "no vehicle may be left on the poisoned policy";
+    if (vehicle.fingerprint == report.rollback_fingerprint) {
+      ++on_rollback;
+      EXPECT_EQ(vehicle.version, report.rollback_version);
+      // Rollback is CONTENT rollback: the re-shipped image answers the
+      // probe like the healthy predecessor, not like the storm.
+      const CompiledPolicyImage image =
+          PolicyBlobReader::load(*vehicle.sealed_blob);
+      for (const FleetCheck& check : probe_checks()) {
+        const core::SidRequest request = image.resolve(core::AccessRequest{
+            check.subject, check.object, check.access, threat::ModeId{}});
+        EXPECT_TRUE(image.evaluate(request).allowed);
+      }
+    }
+  }
+  EXPECT_EQ(on_rollback, report.rolled_back_vehicles);
+}
+
+TEST(CampaignDeterminism, IdenticalSeedsReplayBitIdentically) {
+  const std::uint64_t fleet_seed = 0x5A5A5A5AULL;
+  const std::uint64_t fault_seed = 0x1BADB002ULL;
+  const auto run_once = [&](CampaignReport& report,
+                            std::vector<CampaignVehicle>& fleet) {
+    CampaignServer server(fleet_lineage(6), test_config());
+    fleet = server.make_fleet(1500, fleet_seed);
+    FaultyTransport transport{FaultPlan(fault_seed, FaultProfile::mixed(0.04))};
+    report = server.run(fleet, transport);
+  };
+  CampaignReport first, second;
+  std::vector<CampaignVehicle> fleet_a, fleet_b;
+  run_once(first, fleet_a);
+  run_once(second, fleet_b);
+
+  EXPECT_EQ(first.status, second.status);
+  EXPECT_EQ(first.ticks, second.ticks);
+  EXPECT_EQ(first.retries, second.retries);
+  EXPECT_EQ(first.power_loss_reboots, second.power_loss_reboots);
+  EXPECT_EQ(first.blob_fallbacks, second.blob_fallbacks);
+  EXPECT_EQ(first.delta_bytes_shipped, second.delta_bytes_shipped);
+  EXPECT_EQ(first.blob_bytes_shipped, second.blob_bytes_shipped);
+  EXPECT_EQ(first.healthy, second.healthy);
+  EXPECT_EQ(first.failed, second.failed);
+  EXPECT_EQ(first.dark, second.dark);
+  ASSERT_EQ(first.waves.size(), second.waves.size());
+  for (std::size_t w = 0; w < first.waves.size(); ++w) {
+    EXPECT_EQ(first.waves[w].committed, second.waves[w].committed);
+    EXPECT_EQ(first.waves[w].retries, second.waves[w].retries);
+    EXPECT_EQ(first.waves[w].ticks, second.waves[w].ticks);
+  }
+  ASSERT_EQ(fleet_a.size(), fleet_b.size());
+  for (std::size_t i = 0; i < fleet_a.size(); ++i) {
+    EXPECT_EQ(fleet_a[i].fingerprint, fleet_b[i].fingerprint);
+    EXPECT_EQ(fleet_a[i].state, fleet_b[i].state);
+    EXPECT_EQ(fleet_a[i].attempts, fleet_b[i].attempts);
+  }
+}
+
+TEST(CampaignPlanning, ComposedDeltaPreferredAndSmallerThanBlob) {
+  CampaignServer server(fleet_lineage(7), test_config());
+  const std::uint64_t oldest = server.image_at(0).version();
+  const CampaignServer::Artefact plan = server.plan_for(oldest);
+  ASSERT_EQ(plan.channel, UpdateChannel::kDelta);
+  EXPECT_LT(plan.bytes->size(),
+            server.blob_at(server.lineage_size() - 1)->size());
+  EXPECT_EQ(server.plan_blob_fallbacks(), 0u);
+}
+
+TEST(CampaignPlanning, BrokenHopFallsBackToFullBlob) {
+  CampaignServer server(fleet_lineage(7), test_config());
+  server.break_hop(2);  // depot artefact v3 -> v4 damaged
+  const CampaignServer::Artefact plan =
+      server.plan_for(server.image_at(0).version());
+  EXPECT_EQ(plan.channel, UpdateChannel::kBlob);
+  EXPECT_GE(server.plan_blob_fallbacks(), 1u);
+  // Bases PAST the broken hop still compose a clean chain.
+  const CampaignServer::Artefact late =
+      server.plan_for(server.image_at(3).version());
+  EXPECT_EQ(late.channel, UpdateChannel::kDelta);
+
+  // An unknown base version (a vehicle older than the depot retains)
+  // also falls back to the blob.
+  const CampaignServer::Artefact unknown = server.plan_for(0xDEADULL);
+  EXPECT_EQ(unknown.channel, UpdateChannel::kBlob);
+}
+
+TEST(CampaignFallback, RepeatedDeltaCorruptionSwitchesVehicleToBlob) {
+  CampaignConfig config = test_config();
+  config.blob_fallback_after = 2;
+  config.max_tries = 16;  // 0.6^16 leaves no vehicle stranded at this scale
+  CampaignServer server(fleet_lineage(6), config);
+  std::vector<CampaignVehicle> fleet = server.make_fleet(200, 0xFA11BAC2ULL);
+
+  FaultProfile heavy_corruption;
+  heavy_corruption.corrupt = 0.6;
+  FaultyTransport transport{FaultPlan(0xC0221977ULL, heavy_corruption)};
+  const CampaignReport report = server.run(fleet, transport);
+
+  EXPECT_GE(report.blob_fallbacks, 1u)
+      << "repeated delta corruption must switch vehicles to the blob";
+  expect_zero_corruption(report);
+  EXPECT_EQ(report.status, CampaignStatus::kConverged);
+}
+
+TEST(UpdateResultTaxonomy, FleetBootClassifiesEveryRejection) {
+  const std::vector<PolicySet> lineage = fleet_lineage(3);
+  const CompiledPolicyImage v1 =
+      CompiledPolicyImage::from_policy_set(lineage[0]);
+  const CompiledPolicyImage v2 = CompiledPolicyImage::from_policy_set(
+      lineage[1], core::replicate_sid_prefix(v1.sids(), v1.sids().size()));
+  const CompiledPolicyImage v3 = CompiledPolicyImage::from_policy_set(
+      lineage[2], core::replicate_sid_prefix(v2.sids(), v2.sids().size()));
+  const std::vector<std::byte> v1_blob = PolicyBlobWriter::write(v1);
+  const std::vector<std::byte> v2_blob = PolicyBlobWriter::write(v2);
+
+  car::FleetBoot boot(v1_blob, probe_checks());
+
+  // Malformed bytes: a structural reject.
+  std::vector<std::byte> garbage(64, std::byte{0x42});
+  EXPECT_EQ(boot.try_apply_update(garbage), UpdateResult::kValidationFailed);
+
+  // Version replay: clean refusal, not an exception.
+  EXPECT_EQ(boot.try_apply_update(v1_blob), UpdateResult::kRollbackRefused);
+
+  // A delta anchored to v2 cannot apply on a v1 vehicle.
+  const std::vector<std::byte> v2_to_v3 = PolicyDeltaWriter::write(v2, v3);
+  EXPECT_EQ(boot.try_apply_delta_update(v2_to_v3),
+            UpdateResult::kAnchorMismatch);
+
+  // Tampered manifest: the carried fingerprint no longer matches the
+  // content (fingerprint field is a u64 at offset 32, past the hashed
+  // payload's header — see tests/test_policy_blob.cpp).
+  std::vector<std::byte> tampered = v2_blob;
+  tampered[32] ^= std::byte{0x01};
+  EXPECT_EQ(boot.try_apply_update(tampered),
+            UpdateResult::kFingerprintMismatch);
+
+  // Every rejection above left the running policy untouched...
+  EXPECT_EQ(boot.image().fingerprint(), v1.fingerprint());
+  // ...and the clean path still works.
+  EXPECT_EQ(boot.try_apply_update(v2_blob), UpdateResult::kOk);
+  EXPECT_EQ(boot.image().fingerprint(), v2.fingerprint());
+  EXPECT_EQ(std::string(to_string(UpdateResult::kAnchorMismatch)),
+            "anchor-mismatch");
+}
+
+}  // namespace
+}  // namespace psme

@@ -572,6 +572,30 @@ TEST(DenyStreakMonitor, FlagsOnlyPersistentDenyStreaks) {
   EXPECT_EQ(0u, streaks.streak(1));
 }
 
+TEST(DenyStreakMonitor, HealthyFractionIsAnO1CohortSummary) {
+  monitor::DenyStreakOptions options;
+  options.deny_threshold = 1;
+  options.streak_ticks = 2;
+  monitor::DenyStreakMonitor streaks(8, options);
+  EXPECT_EQ(1.0, streaks.healthy_fraction());  // before any tick
+
+  // Vehicles 2 and 5 deny persistently; everyone else is quiet.
+  const std::uint32_t tick[] = {0, 0, 3, 0, 0, 7, 0, 0};
+  streaks.observe_tick(tick);
+  EXPECT_EQ(1.0, streaks.healthy_fraction());  // streaks open, no flags yet
+  streaks.observe_tick(tick);
+  EXPECT_EQ(2u, streaks.flagged().size());
+  EXPECT_DOUBLE_EQ(0.75, streaks.healthy_fraction());  // 6 of 8 healthy
+
+  // Sticky flags: recovery ticks do not raise the fraction...
+  const std::uint32_t quiet[] = {0, 0, 0, 0, 0, 0, 0, 0};
+  streaks.observe_tick(quiet);
+  EXPECT_DOUBLE_EQ(0.75, streaks.healthy_fraction());
+  // ...only reset() does (the campaign gate's window-open semantics).
+  streaks.reset();
+  EXPECT_EQ(1.0, streaks.healthy_fraction());
+}
+
 TEST(DenyStreakMonitor, ValidatesArguments) {
   EXPECT_THROW(monitor::DenyStreakMonitor(0), std::invalid_argument);
   monitor::DenyStreakOptions zero_threshold;

@@ -20,6 +20,9 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
 #include <string>
 #include <type_traits>
 #include <vector>
@@ -562,6 +565,104 @@ TEST(PolicyWireTaxonomy, EndiannessMismatchRejectsWithTheSameErrorClass) {
   EXPECT_NE(delta_message.find(want), std::string::npos) << delta_message;
   EXPECT_EQ(blob_message.substr(blob_message.find(want)),
             delta_message.substr(delta_message.find(want)));
+}
+
+// -- delta-chain composition (core::compose_delta_chain) -----------------
+//
+// The campaign planner composes per-hop deltas server-side into ONE
+// base->target delta. The contract under test: the composed delta is
+// fingerprint- and blob-byte-equal to the direct compile, and a chain
+// with one corrupted hop composes NOTHING (all-or-nothing; the caller
+// falls back to the full blob).
+
+/// A seeded lineage compiled the OEM way: each image against a prefix
+/// replica of its predecessor, with the adjacent hop deltas.
+struct CompiledLineage {
+  std::vector<PolicySet> sets;
+  std::vector<CompiledPolicyImage> images;
+  std::vector<std::vector<std::byte>> hops;  // hops[i]: image[i]->image[i+1]
+};
+
+CompiledLineage compiled_lineage(std::uint64_t seed, std::size_t length) {
+  sim::Rng rng(seed);
+  CompiledLineage lineage;
+  lineage.sets = deltatest::random_lineage(rng, length);
+  for (std::size_t i = 0; i < lineage.sets.size(); ++i) {
+    std::shared_ptr<mac::SidTable> sids;
+    if (i > 0) {
+      const auto& prev = lineage.images[i - 1].sids();
+      sids = core::replicate_sid_prefix(prev, prev.size());
+    }
+    lineage.images.push_back(CompiledPolicyImage::from_policy_set(
+        lineage.sets[i], std::move(sids)));
+  }
+  for (std::size_t i = 0; i + 1 < lineage.images.size(); ++i) {
+    lineage.hops.push_back(
+        PolicyDeltaWriter::write(lineage.images[i], lineage.images[i + 1]));
+  }
+  return lineage;
+}
+
+std::vector<std::span<const std::byte>> hop_spans(
+    const CompiledLineage& lineage) {
+  std::vector<std::span<const std::byte>> spans;
+  for (const auto& hop : lineage.hops) spans.emplace_back(hop);
+  return spans;
+}
+
+TEST(PolicyDeltaChain, SixHopCompositionMatchesDirectCompile) {
+  for (const std::uint64_t seed : {11ULL, 23ULL, 47ULL}) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const CompiledLineage lineage = compiled_lineage(seed, 7);  // 6 hops
+    const CompiledPolicyImage& base = lineage.images.front();
+    const CompiledPolicyImage& target = lineage.images.back();
+
+    const std::vector<std::byte> composed =
+        core::compose_delta_chain(base, hop_spans(lineage));
+    const CompiledPolicyImage applied =
+        PolicyDeltaReader::apply(base, composed);
+
+    EXPECT_EQ(applied.fingerprint(), target.fingerprint());
+    EXPECT_EQ(applied.version(), target.version());
+    // The strong form the campaign's shared-sealed-store commit leans
+    // on: the applied image re-serialises to the EXACT bytes of the
+    // directly compiled target's blob.
+    EXPECT_EQ(PolicyBlobWriter::write(applied),
+              PolicyBlobWriter::write(target));
+  }
+}
+
+TEST(PolicyDeltaChain, SingleHopCompositionEqualsTheHop) {
+  const CompiledLineage lineage = compiled_lineage(5, 2);
+  const std::vector<std::byte> composed = core::compose_delta_chain(
+      lineage.images.front(), hop_spans(lineage));
+  const CompiledPolicyImage via_composed =
+      PolicyDeltaReader::apply(lineage.images.front(), composed);
+  const CompiledPolicyImage via_hop =
+      PolicyDeltaReader::apply(lineage.images.front(), lineage.hops.front());
+  EXPECT_EQ(via_composed.fingerprint(), via_hop.fingerprint());
+}
+
+TEST(PolicyDeltaChain, CorruptedHopComposesNothing) {
+  CompiledLineage lineage = compiled_lineage(7, 7);
+  const CompiledPolicyImage& base = lineage.images.front();
+  const std::uint64_t base_fingerprint = base.fingerprint();
+  // Damage a MIDDLE hop: hops before it apply fine, so this proves the
+  // all-or-nothing property, not just first-hop validation.
+  auto& bad_hop = lineage.hops[3];
+  bad_hop[bad_hop.size() / 2] ^= std::byte{0x10};
+
+  EXPECT_THROW((void)core::compose_delta_chain(base, hop_spans(lineage)),
+               PolicyDeltaError);
+  // The base image the caller handed in is untouched.
+  EXPECT_EQ(base.fingerprint(), base_fingerprint);
+}
+
+TEST(PolicyDeltaChain, EmptyChainIsAnError) {
+  const CompiledLineage lineage = compiled_lineage(3, 2);
+  EXPECT_THROW(
+      (void)core::compose_delta_chain(lineage.images.front(), {}),
+      std::invalid_argument);
 }
 
 }  // namespace
