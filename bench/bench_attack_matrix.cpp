@@ -1,7 +1,9 @@
 // Claim C1 — the paper's central claim: policies derived from threat
-// modelling (Table I) block the modelled attacks when enforced.
+// modelling (Table I) block the modelled attacks when enforced — plus
+// its robustness extension: GENERATED adversarial campaigns (families
+// beyond Table I) must never silently succeed.
 //
-// Runs all sixteen Table I attack scenarios under four regimes:
+// Part 1 runs all sixteen Table I attack scenarios under four regimes:
 //   none            — unprotected broadcast CAN (the problem statement);
 //   software-filter — controllers' acceptance filters programmed from the
 //                     policy (receive-side only, firmware-rewritable);
@@ -12,10 +14,22 @@
 // outside spoofing but misses transmit-side (inside) attacks; the HPE
 // blocks everything id filtering can express (13/16); the content-rule
 // extension closes the remaining three (T09, T14, T15).
+//
+// Part 2 runs the attack::CampaignRunner differential oracle at three
+// pinned seeds: every generated scenario must end denied, flagged, or
+// explicitly catalogued out of scope (DESIGN.md §12) — a silent success
+// or a no-effect scenario fails the oracle. One campaign is re-run to
+// assert byte-identical replay. The exit status gates BOTH parts, so CI
+// fails the moment a generated attack slips past the defence fabric.
+//
+// A JSON record of both parts is printed for BENCH_attack_matrix.json.
 #include <cstdio>
 #include <iostream>
+#include <string>
 
+#include "attack/campaign.h"
 #include "attack/runner.h"
+#include "host_note.h"
 #include "report/table.h"
 
 int main() {
@@ -62,13 +76,66 @@ int main() {
   }
   std::cout << summary.render();
 
-  std::cout << "\nshape check vs paper: unprotected CAN admits every "
-               "modelled threat; the\npolicy engine blocks all id-"
-               "filterable rows; fine-grained ('behavioural or\n"
-               "situational') policies are required for T09/T14/T15, exactly "
-               "the rows the\npaper marks as needing more complex policies.\n";
+  const bool table1_ok = hazards[0] == 16 && hazards[2] <= 3 &&
+                         hazards[3] == 0 && hazards[1] > hazards[2];
+  std::cout << "\nTable I shape vs paper: " << (table1_ok ? "met" : "MISSED")
+            << " (unprotected admits all; hpe+content closes T09/T14/T15)\n";
 
-  const bool ok = hazards[0] == 16 && hazards[2] <= 3 && hazards[3] == 0 &&
-                  hazards[1] > hazards[2];
-  return ok ? 0 : 1;
+  // -- Part 2: generated campaigns under the differential oracle ----------
+  std::cout << "\n=== Generated adversarial campaigns (differential oracle, "
+               "3 pinned seeds) ===\n\n";
+
+  const std::uint64_t kPinnedSeeds[] = {101, 202, 303};
+  std::vector<attack::CampaignReport> reports;
+  bool campaigns_ok = true;
+
+  for (const std::uint64_t seed : kPinnedSeeds) {
+    attack::CampaignOptions options;
+    options.seed = seed;
+    const attack::CampaignRunner runner(options);
+    attack::CampaignReport report = runner.run_all();
+
+    report::TextTable table({"family", "idx", "artefacts", "hazard", "denied",
+                             "flagged", "quarantine", "verdict"});
+    for (const attack::ScenarioReport& s : report.scenarios) {
+      table.add(to_string(s.family), s.index, s.artefacts,
+                s.hazard ? "yes" : "no", s.denied, s.flagged,
+                std::to_string(s.quarantine_blocks) + "b/" +
+                    std::to_string(s.quarantine_isolations) + "i/" +
+                    std::to_string(s.quarantine_escalations) + "e",
+                std::string(to_string(s.verdict)));
+    }
+    std::cout << "seed " << seed << ":\n" << table.render();
+    std::cout << "oracle: "
+              << (report.oracle_passed() ? "passed" : "FAILED (silent success)")
+              << "\n\n";
+    campaigns_ok = campaigns_ok && report.oracle_passed();
+    reports.push_back(std::move(report));
+  }
+
+  // Replay determinism: the same seed must reproduce the report
+  // byte-for-byte.
+  attack::CampaignOptions replay_options;
+  replay_options.seed = kPinnedSeeds[0];
+  const attack::CampaignRunner replay_runner(replay_options);
+  const bool replay_ok =
+      replay_runner.run_all().to_json() == reports[0].to_json();
+  std::cout << "replay determinism (seed " << kPinnedSeeds[0]
+            << "): " << (replay_ok ? "byte-identical" : "DIVERGED") << "\n";
+
+  // Machine-readable record (BENCH_attack_matrix.json).
+  std::printf("\nJSON: {\"bench\":\"attack_matrix\",");
+  benchhost::print_host_json();
+  std::printf(",\"table1\":{\"hazards\":[%zu,%zu,%zu,%zu],\"ok\":%s},",
+              hazards[0], hazards[1], hazards[2], hazards[3],
+              table1_ok ? "true" : "false");
+  std::printf("\"campaigns\":[");
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    std::printf("%s%s", i == 0 ? "" : ",", reports[i].to_json().c_str());
+  }
+  std::printf("],\"replay_deterministic\":%s,\"ok\":%s}\n",
+              replay_ok ? "true" : "false",
+              (table1_ok && campaigns_ok && replay_ok) ? "true" : "false");
+
+  return (table1_ok && campaigns_ok && replay_ok) ? 0 : 1;
 }

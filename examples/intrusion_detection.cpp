@@ -2,12 +2,17 @@
 // software policy engine. A passive IDS tap learns the vehicle's traffic
 // matrix and flags anomalies; a frame recorder preserves the evidence for
 // the OEM's incident response — the trigger for the policy-update cycle.
+// The second half turns the tables: the adversarial campaign engine
+// generates seeded attack families beyond Table I and runs each one under
+// the differential oracle, with the quarantine response layer reacting
+// live — the red-team loop that keeps the policy honest.
 //
 // Build & run:  ./build/examples/intrusion_detection
 #include <cstdio>
 #include <iostream>
 
 #include "attack/attacker.h"
+#include "attack/campaign.h"
 #include "can/recorder.h"
 #include "car/vehicle.h"
 #include "monitor/anomaly.h"
@@ -72,5 +77,45 @@ int main() {
                 "input to the threat-model update that produces the policy "
                 "fix.\n", recorder.to_csv().size());
   }
+
+  // ---- The adversarial campaign: red-teaming the policy engine --------
+  //
+  // One hand-run attack is an anecdote. The campaign engine generates
+  // whole FAMILIES of them from a seed and judges each under the
+  // differential oracle: the world is built twice — with and without the
+  // attack schedule — so every counter below is attributable to the
+  // attack by construction. The quarantine layer runs live inside the
+  // attack worlds: watch it isolate flooders and block unknown ids while
+  // the oracle checks it never denies legitimate Table-I traffic.
+  std::cout << "\n=== Adversarial campaign under the differential oracle "
+               "===\n\n";
+  attack::CampaignOptions options;
+  options.seed = 101;
+  attack::CampaignRunner runner(options);
+  const attack::Family sampler[] = {
+      attack::Family::kNmImpersonation, attack::Family::kBusFlood,
+      attack::Family::kModeConfusion, attack::Family::kOtaCorrupt};
+  for (const attack::Family family : sampler) {
+    const attack::ScenarioReport report = runner.run(family, 0);
+    std::printf("%-20s seed=%llu artefacts=%-4llu denied=%-4llu "
+                "flagged=%-3llu quarantine(iso=%llu blk=%llu) -> %s\n",
+                std::string(to_string(report.family)).c_str(),
+                static_cast<unsigned long long>(report.seed),
+                static_cast<unsigned long long>(report.artefacts),
+                static_cast<unsigned long long>(report.denied),
+                static_cast<unsigned long long>(report.flagged),
+                static_cast<unsigned long long>(report.quarantine_isolations),
+                static_cast<unsigned long long>(report.quarantine_blocks),
+                std::string(to_string(report.verdict)).c_str());
+    if (const auto rationale = out_of_scope_rationale(report.family)) {
+      std::printf("  catalogued out of scope: %s\n",
+                  std::string(*rationale).c_str());
+    }
+  }
+  std::cout << "\nEvery verdict above is denied, flagged/detected or "
+               "explicitly catalogued —\na silent success would fail the "
+               "oracle (and CI, via bench_attack_matrix).\nReplaying any "
+               "row needs only its seed: the schedule is a pure function\n"
+               "of (campaign seed, family, index).\n";
   return 0;
 }

@@ -86,6 +86,12 @@ void Bus::complete(std::size_t winner_index) {
     if (tx.sink_ != nullptr) tx.sink_->on_transmit_complete(frame, false, now);
   } else {
     ++frames_delivered_;
+    const std::uint64_t id_key =
+        (static_cast<std::uint64_t>(frame.id().is_extended()) << 32) |
+        frame.id().raw();
+    auto& counts = tx_by_id_[id_key];
+    if (counts.size() < ports_.size()) counts.resize(ports_.size(), 0);
+    ++counts[winner_index];
     if (tx.sink_ != nullptr) tx.sink_->on_transmit_complete(frame, true, now);
     // CAN is broadcast: every other connected node observes the frame.
     for (const auto& port : ports_) {
@@ -97,6 +103,19 @@ void Bus::complete(std::size_t winner_index) {
   // Losers of the previous round (and the retransmitting sender) compete
   // again as soon as the wire is free.
   kick();
+}
+
+std::vector<std::uint64_t> Bus::tx_attribution(CanId id) const {
+  const std::uint64_t id_key =
+      (static_cast<std::uint64_t>(id.is_extended()) << 32) | id.raw();
+  std::vector<std::uint64_t> counts(ports_.size(), 0);
+  const auto it = tx_by_id_.find(id_key);
+  if (it != tx_by_id_.end()) {
+    for (std::size_t i = 0; i < it->second.size() && i < counts.size(); ++i) {
+      counts[i] = it->second[i];
+    }
+  }
+  return counts;
 }
 
 double Bus::utilisation() const noexcept {

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -104,6 +105,15 @@ class Bus {
     return arbitration_rounds_;
   }
 
+  /// Per-port attribution of successful transmissions of `id`: entry i is
+  /// how many frames carrying `id` port i has put on the wire so far. On a
+  /// broadcast medium the receivers cannot tell transmitters apart, but the
+  /// wire itself can — this is the physical-layer evidence a quarantine
+  /// response layer uses to tell an attacker port spoofing a known id from
+  /// the id's legitimate owner. Returns port_count() entries (all zero when
+  /// the id was never transmitted).
+  [[nodiscard]] std::vector<std::uint64_t> tx_attribution(CanId id) const;
+
   [[nodiscard]] sim::Scheduler& scheduler() noexcept { return sched_; }
 
  private:
@@ -132,6 +142,8 @@ class Bus {
   std::uint64_t frames_delivered_ = 0;
   std::uint64_t frames_corrupted_ = 0;
   std::uint64_t arbitration_rounds_ = 0;
+  /// id key -> per-port successful-transmission counts (see tx_attribution).
+  std::map<std::uint64_t, std::vector<std::uint64_t>> tx_by_id_;
   sim::SimDuration busy_time_{0};
 };
 

@@ -77,6 +77,20 @@ bool Controller::receive(Frame& out) {
   return true;
 }
 
+void Controller::quarantine_id(CanId id) {
+  if (std::find(quarantined_.begin(), quarantined_.end(), id) ==
+      quarantined_.end()) {
+    quarantined_.push_back(id);
+  }
+}
+
+bool Controller::release_quarantined_id(CanId id) {
+  const auto it = std::find(quarantined_.begin(), quarantined_.end(), id);
+  if (it == quarantined_.end()) return false;
+  quarantined_.erase(it);
+  return true;
+}
+
 bool Controller::accepts(CanId id) const noexcept {
   if (filters_.empty()) return true;
   return std::any_of(filters_.begin(), filters_.end(),
@@ -86,6 +100,14 @@ bool Controller::accepts(CanId id) const noexcept {
 void Controller::on_frame(const Frame& frame, sim::SimTime at) {
   ++stats_.rx_seen;
   errors_.on_receive_success();
+  if (!quarantined_.empty() &&
+      std::find(quarantined_.begin(), quarantined_.end(), frame.id()) !=
+          quarantined_.end()) {
+    ++stats_.rx_quarantined;
+    trace(sim::TraceLevel::kSecurity,
+          "RX dropped by quarantine block: " + frame.to_string());
+    return;
+  }
   if (!accepts(frame.id())) {
     ++stats_.rx_filtered;
     return;

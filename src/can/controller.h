@@ -51,6 +51,7 @@ struct ControllerStats {
   std::uint64_t rx_accepted = 0;     // frames passing the acceptance filter
   std::uint64_t rx_filtered = 0;     // frames rejected by the filter
   std::uint64_t rx_overflow = 0;     // FIFO overruns (receiver too slow)
+  std::uint64_t rx_quarantined = 0;  // frames dropped by a quarantine block
 };
 
 /// The data-link controller of one CAN node.
@@ -96,6 +97,23 @@ class Controller final : public FrameSink {
 
   /// Pops the oldest frame from the RX FIFO, if any.
   [[nodiscard]] bool receive(Frame& out);
+
+  // -- quarantine blocks -----------------------------------------------
+  // A response layer (car::QuarantineController) can install temporary
+  // id-level blocks that drop matching frames BEFORE the acceptance
+  // filter, counted separately in rx_quarantined. Unlike set_filters()
+  // these are additive (they never widen acceptance) and reversible one
+  // id at a time, so a quarantine expiry restores exactly the previous
+  // behaviour.
+
+  /// Installs a quarantine block for `id` (idempotent).
+  void quarantine_id(CanId id);
+  /// Removes the block for `id`; returns false when none existed.
+  bool release_quarantined_id(CanId id);
+  void clear_quarantine() { quarantined_.clear(); }
+  [[nodiscard]] const std::vector<CanId>& quarantined_ids() const noexcept {
+    return quarantined_;
+  }
 
   [[nodiscard]] std::size_t rx_fifo_depth() const noexcept {
     return rx_fifo_.size();
@@ -145,6 +163,7 @@ class Controller final : public FrameSink {
   std::optional<Frame> in_flight_;
 
   std::vector<AcceptanceFilter> filters_;
+  std::vector<CanId> quarantined_;  // tiny; linear scan
   RxHandler rx_handler_;
   std::deque<Frame> rx_fifo_;
   std::size_t rx_fifo_capacity_ = kDefaultRxFifo;

@@ -1,0 +1,167 @@
+// psme::car::nm — OSEK/VDX-style direct network management on the CAN bus.
+//
+// Production ECUs coordinate sleep/wake through OSEK NM 2.5.3: every
+// station owns a node address, NM frames ride CAN id (base | address),
+// stations form a LOGICAL RING by address order and circulate a token
+// (ringmsg), a station that cannot reach the ring degrades to LIMP HOME,
+// and bus sleep is negotiated with sleep.ind / sleep.ack bits piggybacked
+// on ring messages (exemplar: the revag-nm tooling referenced in
+// SNIPPETS.md — OFF/LOGIN/ON/LIMPHOME states, 0x420 | node id).
+//
+// The protocol is a first-class ATTACK SURFACE: forged alive frames under
+// a victim's address (impersonation), forged sleep.ack frames that try to
+// talk the ring into sleeping while the vehicle is active, and phantom
+// rings that starve real members of the token until they fall into limp
+// home. This module models just enough of the state machine for those
+// abuse families to be generated, detected and measured — each
+// participant keeps protocol-level security counters (own-address frames
+// seen, sleep requests refused, token starvation, limp-home entries) that
+// the adversarial campaign engine reads as detection/denial evidence.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string_view>
+
+#include "can/node.h"
+#include "sim/event_queue.h"
+
+namespace psme::car::nm {
+
+/// NM frames occupy a dedicated id window: id = kNmBase | source address.
+/// The address space is 5-bit so the window is exactly [0x420, 0x43F] —
+/// a 6-bit space would collide with bit 5 of the base id itself.
+inline constexpr std::uint32_t kNmBase = 0x420;
+inline constexpr std::uint8_t kMaxAddress = 0x1F;  // 5-bit address space
+
+/// Payload layout (2 bytes): [destination address, opcode bits].
+inline constexpr std::uint8_t kOpAlive = 0x01;     // joining / re-asserting
+inline constexpr std::uint8_t kOpRing = 0x02;      // the circulating token
+inline constexpr std::uint8_t kOpLimpHome = 0x04;  // degraded-station beacon
+inline constexpr std::uint8_t kSleepInd = 0x10;    // "I am ready to sleep"
+inline constexpr std::uint8_t kSleepAck = 0x20;    // "everyone is; sleep now"
+
+enum class NmState : std::uint8_t {
+  kOff,       // not started
+  kLogin,     // alive sent, waiting for first token
+  kOn,        // full ring member
+  kLimpHome,  // cannot hold the ring; periodic limp-home beacon
+  kSleep,     // bus sleep agreed
+};
+
+[[nodiscard]] std::string_view to_string(NmState state) noexcept;
+
+/// Builds an NM frame from `source` with the given destination/opcode.
+/// Throws std::out_of_range when either address exceeds kMaxAddress.
+[[nodiscard]] can::Frame make_nm_frame(std::uint8_t source,
+                                       std::uint8_t dest,
+                                       std::uint8_t opcode);
+
+/// A parsed NM frame.
+struct NmInfo {
+  std::uint8_t source = 0;
+  std::uint8_t dest = 0;
+  std::uint8_t opcode = 0;
+};
+
+/// Parses an NM frame; nullopt when the id is outside the NM window or the
+/// payload is short.
+[[nodiscard]] std::optional<NmInfo> parse_nm_frame(const can::Frame& frame);
+
+struct NmOptions {
+  /// Delay between receiving the token and passing it on (T_Typ).
+  sim::SimDuration typ_delay = std::chrono::milliseconds{40};
+  /// Poll granularity of the supervision timers.
+  sim::SimDuration poll_period = std::chrono::milliseconds{50};
+  /// Max NM silence before a station re-asserts itself with alive (T_Max).
+  sim::SimDuration max_silence = std::chrono::milliseconds{400};
+  /// Max time without being ADDRESSED by the token before a station
+  /// considers itself skipped (phantom ring / starvation detection).
+  sim::SimDuration token_wait = std::chrono::milliseconds{700};
+  /// Consecutive supervision failures before degrading to limp home.
+  std::uint32_t limp_limit = 3;
+  /// Station advertises readiness to sleep in its ring messages.
+  bool ready_to_sleep = false;
+};
+
+/// Protocol and security counters of one participant.
+struct NmStats {
+  std::uint64_t alive_sent = 0;
+  std::uint64_t ring_sent = 0;
+  std::uint64_t tokens_received = 0;
+  /// Frames carrying THIS station's source address that it did not send —
+  /// on a broadcast bus a station never hears its own frames, so every one
+  /// of these is an impersonation attempt (OSEK: the skipped station
+  /// answers with alive, re-asserting ring membership).
+  std::uint64_t impersonations_detected = 0;
+  /// sleep.ack frames refused because this station was not ready.
+  std::uint64_t sleep_refusals = 0;
+  /// Supervision: token starvation events (addressed-by-ring timeout).
+  std::uint64_t skipped_detections = 0;
+  /// Supervision: whole-ring silence timeouts.
+  std::uint64_t silence_timeouts = 0;
+  std::uint64_t limp_home_entries = 0;
+  std::uint64_t limp_home_recoveries = 0;
+  std::uint64_t sleeps_entered = 0;
+  std::uint64_t wakeups = 0;
+};
+
+/// One NM station. Attach to a raw bus port; the controller's acceptance
+/// filter is narrowed to the NM id window so the station coexists with
+/// application traffic without seeing it.
+class NmParticipant final : public can::Node {
+ public:
+  /// Throws std::out_of_range when `address` exceeds kMaxAddress.
+  NmParticipant(sim::Scheduler& sched, can::Channel& channel,
+                std::uint8_t address, NmOptions options = {},
+                sim::Trace* trace = nullptr);
+
+  /// kOff -> kLogin: broadcast alive, start ring supervision, and offer a
+  /// first token so a second station can join the circulation. A station
+  /// with no peers degrades to limp home (the bus never echoes its own
+  /// frames back, so a one-member ring cannot sustain itself).
+  void start();
+
+  [[nodiscard]] NmState state() const noexcept { return state_; }
+  [[nodiscard]] std::uint8_t address() const noexcept { return address_; }
+  [[nodiscard]] const NmStats& stats() const noexcept { return stats_; }
+  /// Addresses this station currently believes are ring members (learned
+  /// from observed NM traffic; always contains the own address).
+  [[nodiscard]] const std::set<std::uint8_t>& members() const noexcept {
+    return members_;
+  }
+
+  void set_ready_to_sleep(bool ready) noexcept {
+    options_.ready_to_sleep = ready;
+  }
+
+ protected:
+  void handle_frame(const can::Frame& frame, sim::SimTime at) override;
+
+ private:
+  void send_alive();
+  void pass_token();
+  void supervise();
+  void enter_limp_home();
+  [[nodiscard]] std::uint8_t successor() const noexcept;
+  /// True when every known member's last NM frame carried sleep.ind.
+  [[nodiscard]] bool ring_ready_to_sleep() const noexcept;
+
+  std::uint8_t address_;
+  NmOptions options_;
+  NmState state_ = NmState::kOff;
+  NmStats stats_;
+
+  std::set<std::uint8_t> members_;
+  std::map<std::uint8_t, bool> member_sleep_ind_;
+  sim::SimTime last_rx_{};     // last NM frame from any station
+  sim::SimTime last_token_{};  // last token addressed to this station
+  std::uint32_t supervision_failures_ = 0;
+  sim::EventId pending_pass_ = 0;
+  std::unique_ptr<sim::PeriodicTask> supervision_;
+};
+
+}  // namespace psme::car::nm

@@ -1,0 +1,171 @@
+// psme::car — graceful degradation: the quarantine response layer.
+//
+// Detection without response is a dashboard. QuarantineController closes
+// the loop the paper leaves open between "identify anomalous behaviour"
+// (monitor::FrameRateMonitor) and the enforcement fabric: it consumes the
+// monitor's alert stream and REACTS, so a compromised or rogue node
+// degrades the vehicle instead of owning it. Escalation ladder, least
+// drastic first:
+//
+//  1. isolate  — the bus's physical-layer TX attribution
+//                (can::Bus::tx_attribution) names which PORT transmits an
+//                offending id. When one port dominates the traffic, that
+//                port is disconnected (the classic bus-guardian cut).
+//                Dominance matters: an attacker spoofing a legitimate id
+//                shares the id with its real owner, and cutting the owner
+//                would do the attacker's job for it.
+//  2. block    — no single transmitter dominates (or the port is
+//                protected): install an expiring id-level quarantine
+//                block on every registered controller
+//                (can::Controller::quarantine_id). Ids on the allowlist —
+//                everything Table I legitimises — are NEVER blocked; for
+//                those the controller records the skip and relies on
+//                isolation or escalation instead.
+//  3. escalate — alerts keep arriving despite responses: force the
+//                fail-safe ("limp home") mode transition through the
+//                escalation hook, surfacing the event to telemetry.
+//
+// Everything is driven by a periodic poll on the simulation scheduler and
+// is deterministic; every action lands in an event log for forensics.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "can/bus.h"
+#include "can/controller.h"
+#include "monitor/anomaly.h"
+#include "sim/event_queue.h"
+
+namespace psme::car {
+
+class Vehicle;
+
+enum class QuarantineAction : std::uint8_t {
+  kIdBlocked,      // expiring controller-level block installed
+  kIdReleased,     // block expired and was removed
+  kPortIsolated,   // dominant transmitter port disconnected
+  kAllowlistSkip,  // offending id is Table-I-allowed; block refused
+  kEscalated,      // fail-safe transition forced
+};
+
+[[nodiscard]] std::string_view to_string(QuarantineAction action) noexcept;
+
+struct QuarantineEvent {
+  sim::SimTime at{};
+  QuarantineAction action = QuarantineAction::kIdBlocked;
+  can::CanId id;          // offending id (default for kEscalated)
+  std::string detail;     // port name, alert count, ...
+};
+
+struct QuarantineOptions {
+  /// Alert-stream poll cadence.
+  sim::SimDuration poll_period = std::chrono::milliseconds{50};
+  /// Alerts on one id before the controller reacts to it.
+  std::uint32_t react_after_alerts = 2;
+  /// Port isolation requires at least this many attributed transmissions
+  /// of the offending id from the candidate port since the last poll era…
+  std::uint64_t isolate_min_tx = 8;
+  /// …and the candidate must out-transmit the runner-up port by this
+  /// factor (spoof-vs-owner disambiguation).
+  double isolate_dominance = 4.0;
+  /// Lifetime of an id block; expiry restores normal reception.
+  sim::SimDuration block_duration = std::chrono::milliseconds{400};
+  /// Total consumed alerts that force the fail-safe escalation (0 = never).
+  std::uint32_t escalate_after_alerts = 0;
+};
+
+struct QuarantineStats {
+  std::uint64_t alerts_consumed = 0;
+  std::uint64_t ids_blocked = 0;
+  std::uint64_t blocks_expired = 0;
+  std::uint64_t ports_isolated = 0;
+  std::uint64_t allowlist_skips = 0;
+  std::uint64_t escalations = 0;
+};
+
+class QuarantineController {
+ public:
+  /// Escalation hook; typically wired to force the fail-safe car mode.
+  using EscalationHook = std::function<void()>;
+
+  QuarantineController(sim::Scheduler& sched, can::Bus& bus,
+                       const monitor::FrameRateMonitor& monitor,
+                       QuarantineOptions options = {});
+
+  QuarantineController(const QuarantineController&) = delete;
+  QuarantineController& operator=(const QuarantineController&) = delete;
+
+  // -- wiring (before start) --------------------------------------------
+
+  /// Registers a controller to receive id blocks.
+  void protect(can::Controller& controller);
+  /// Adds a standard id to the never-block allowlist.
+  void allow_id(std::uint32_t standard_id);
+  /// Marks a port as never-isolate (e.g. the gateway).
+  void protect_port(std::size_t port_index);
+  void set_escalation(EscalationHook hook) { escalate_ = std::move(hook); }
+
+  /// Starts the poll loop.
+  void start();
+
+  // -- observation --------------------------------------------------------
+  [[nodiscard]] const QuarantineStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const std::vector<QuarantineEvent>& events() const noexcept {
+    return events_;
+  }
+  [[nodiscard]] std::vector<can::CanId> blocked_ids() const;
+  [[nodiscard]] const std::vector<std::size_t>& isolated_ports() const noexcept {
+    return isolated_;
+  }
+  [[nodiscard]] bool is_allowed(std::uint32_t standard_id) const noexcept {
+    return allowlist_.count(standard_id) != 0;
+  }
+
+ private:
+  void poll();
+  void react(can::CanId id);
+  /// Attempts port isolation; true when a port was cut.
+  bool try_isolate(can::CanId id);
+  void install_block(can::CanId id);
+  void release_block(can::CanId id);
+
+  sim::Scheduler& sched_;
+  can::Bus& bus_;
+  const monitor::FrameRateMonitor& monitor_;
+  QuarantineOptions options_;
+
+  std::vector<can::Controller*> controllers_;
+  std::set<std::uint32_t> allowlist_;
+  std::set<std::size_t> protected_ports_;
+  EscalationHook escalate_;
+
+  std::size_t alerts_seen_ = 0;                  // monitor stream cursor
+  std::map<std::uint64_t, std::uint32_t> alert_counts_;  // per id key
+  std::map<std::uint64_t, std::vector<std::uint64_t>> tx_snapshot_;
+  std::set<std::uint64_t> handled_;   // ids already blocked/isolated
+  std::vector<std::size_t> isolated_;
+  bool escalated_ = false;
+
+  QuarantineStats stats_;
+  std::vector<QuarantineEvent> events_;
+  std::unique_ptr<sim::PeriodicTask> poller_;
+};
+
+/// Vehicle wiring helper: registers every component controller (gateway
+/// included), allowlists every id Table I legitimises — all asset command
+/// and status ids plus the structural frames (mode change, fail-safe
+/// trigger, emergency call, diagnostics, sensors, firmware, tracking) —
+/// protects the gateway's port from isolation, and wires escalation to
+/// the fail-safe mode transition. The returned controller still needs
+/// start().
+[[nodiscard]] std::unique_ptr<QuarantineController> make_vehicle_quarantine(
+    Vehicle& vehicle, const monitor::FrameRateMonitor& monitor,
+    QuarantineOptions options = {});
+
+}  // namespace psme::car

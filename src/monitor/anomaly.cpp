@@ -29,7 +29,13 @@ FrameRateMonitor::FrameRateMonitor(sim::Scheduler& sched,
 void FrameRateMonitor::start_training() {
   training_ = true;
   detecting_ = false;
+  trained_ = false;
   live_.clear();
+  // A restart learns the matrix from scratch. Without this, ids from the
+  // previous baseline — including unknown ids registered (at ceiling 0)
+  // during a past detection phase — would leak into the new matrix and
+  // permanently mute the unknown-id alert for them.
+  baseline_.clear();
 }
 
 void FrameRateMonitor::start_detection() {

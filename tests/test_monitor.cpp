@@ -106,6 +106,123 @@ TEST(Monitor, MinCeilingSuppressesJitterOnRareIds) {
   EXPECT_TRUE(monitor.alerts().empty());
 }
 
+TEST(Monitor, RetrainClearsTheOldBaseline) {
+  // Regression: unknown ids seen during a DETECTION phase are registered
+  // in the baseline (at ceiling 0) to rate-limit their alerts. A retrain
+  // must drop them — otherwise every id that ever alerted is permanently
+  // known, and the unknown-id detector goes mute for it after the first
+  // retrain.
+  sim::Scheduler sched;
+  FrameRateMonitor monitor(sched);
+  monitor.start_training();
+  monitor.on_frame(can::make_frame(0x100, {}), sim::SimTime{0ms});
+  monitor.start_detection();
+  monitor.on_frame(can::make_frame(0x666, {}), sim::SimTime{10ms});
+  ASSERT_EQ(monitor.alerts().size(), 1u);
+
+  monitor.start_training();
+  monitor.on_frame(can::make_frame(0x100, {}), sim::SimTime{1000ms});
+  monitor.start_detection();
+  EXPECT_EQ(monitor.known_ids(), 1u);
+
+  monitor.on_frame(can::make_frame(0x666, {}), sim::SimTime{2000ms});
+  ASSERT_EQ(monitor.alerts().size(), 2u);
+  EXPECT_EQ(monitor.alerts()[1].kind, AlertKind::kUnknownId);
+  EXPECT_EQ(monitor.alerts()[1].id.raw(), 0x666u);
+}
+
+TEST(Monitor, ThresholdBoundaryIsExclusive) {
+  // The alert predicate is count > ceiling * factor, so landing EXACTLY
+  // on the threshold is still legitimate; one more frame is not.
+  sim::Scheduler sched;
+  RateMonitorOptions options;
+  options.window = 100ms;
+  options.threshold_factor = 4.0;
+  options.min_ceiling = 3;
+  FrameRateMonitor monitor(sched, options);
+  monitor.start_training();
+  // Learn a ceiling of exactly 5 (above min_ceiling, so it governs).
+  for (int i = 0; i < 5; ++i) {
+    monitor.on_frame(can::make_frame(0x100, {}), sim::SimTime{1ms * i});
+  }
+  monitor.start_detection();
+  ASSERT_EQ(monitor.ceiling(can::CanId::standard(0x100)), 5u);
+
+  // 20 frames in one window: count == 5 * 4 — on the line, no alert.
+  for (int i = 0; i < 20; ++i) {
+    monitor.on_frame(can::make_frame(0x100, {}), sim::SimTime{1000ms + 1ms * i});
+  }
+  EXPECT_TRUE(monitor.alerts().empty());
+
+  // The 21st crosses it.
+  monitor.on_frame(can::make_frame(0x100, {}), sim::SimTime{1050ms});
+  ASSERT_EQ(monitor.alerts().size(), 1u);
+  EXPECT_EQ(monitor.alerts()[0].kind, AlertKind::kRateExceeded);
+  EXPECT_EQ(monitor.alerts()[0].observed, 21u);
+  EXPECT_EQ(monitor.alerts()[0].ceiling, 5u);
+}
+
+TEST(Monitor, WindowBoundaryResetsTheCount) {
+  // Threshold-level traffic split across adjacent windows must not alert:
+  // the counter belongs to the window, not to a sliding total.
+  sim::Scheduler sched;
+  RateMonitorOptions options;
+  options.window = 100ms;
+  options.threshold_factor = 4.0;
+  options.min_ceiling = 3;
+  FrameRateMonitor monitor(sched, options);
+  monitor.start_training();
+  for (int i = 0; i < 5; ++i) {
+    monitor.on_frame(can::make_frame(0x100, {}), sim::SimTime{1ms * i});
+  }
+  monitor.start_detection();
+
+  // 20 frames ending at the last instant of window [1000, 1100), then 20
+  // starting at the first instant of window [1100, 1200): 40 frames in
+  // 40ms of wall time, never more than the threshold per window.
+  for (int i = 0; i < 20; ++i) {
+    monitor.on_frame(can::make_frame(0x100, {}), sim::SimTime{1080ms + 1ms * i});
+  }
+  for (int i = 0; i < 20; ++i) {
+    monitor.on_frame(can::make_frame(0x100, {}), sim::SimTime{1100ms + 1ms * i});
+  }
+  EXPECT_TRUE(monitor.alerts().empty());
+
+  // The same 21-frame burst inside ONE window still alerts (the reset
+  // must not have weakened detection).
+  for (int i = 0; i < 21; ++i) {
+    monitor.on_frame(can::make_frame(0x100, {}), sim::SimTime{1300ms + 1ms * i});
+  }
+  ASSERT_EQ(monitor.alerts().size(), 1u);
+  EXPECT_EQ(monitor.alerts()[0].kind, AlertKind::kRateExceeded);
+}
+
+TEST(Monitor, SustainedUnknownFloodAlertsPerWindowNotPerFrame) {
+  sim::Scheduler sched;
+  RateMonitorOptions options;
+  options.window = 100ms;
+  options.threshold_factor = 4.0;
+  options.min_ceiling = 3;
+  FrameRateMonitor monitor(sched, options);
+  monitor.start_training();
+  monitor.on_frame(can::make_frame(0x100, {}), sim::SimTime{0ms});
+  monitor.start_detection();
+
+  // 300 frames of one unknown id across three windows: one unknown-id
+  // alert on first sight, then at most one rate alert per later window —
+  // bounded, attributable, not 300 alerts.
+  for (int i = 0; i < 300; ++i) {
+    monitor.on_frame(can::make_frame(0x666, {}), sim::SimTime{1000ms + 1ms * i});
+  }
+  ASSERT_GE(monitor.alerts().size(), 2u);
+  EXPECT_LE(monitor.alerts().size(), 4u);
+  EXPECT_EQ(monitor.alerts()[0].kind, AlertKind::kUnknownId);
+  for (std::size_t i = 1; i < monitor.alerts().size(); ++i) {
+    EXPECT_EQ(monitor.alerts()[i].kind, AlertKind::kRateExceeded);
+    EXPECT_EQ(monitor.alerts()[i].id.raw(), 0x666u);
+  }
+}
+
 TEST(Monitor, VehicleIntegrationNoFalsePositives) {
   // Train on the real vehicle's traffic, then keep driving: a clean run
   // must produce zero alerts (the IDS must not cry wolf).
