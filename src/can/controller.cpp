@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "can/wire_mac.h"
+
 namespace psme::can {
 
 Controller::Controller(sim::Scheduler& sched, Channel& channel,
@@ -110,6 +112,15 @@ void Controller::on_frame(const Frame& frame, sim::SimTime at) {
   }
   if (!accepts(frame.id())) {
     ++stats_.rx_filtered;
+    return;
+  }
+  // Wire MAC runs strictly AFTER the acceptance filter: a frame the
+  // hardware would never deliver must not cost a SID lookup (ordering
+  // pinned by test_controller's stage-counter test).
+  if (wire_mac_ != nullptr && !wire_mac_->admit(frame, at)) {
+    ++stats_.rx_wire_denied;
+    trace(sim::TraceLevel::kSecurity,
+          "RX dropped by wire MAC: " + frame.to_string());
     return;
   }
   ++stats_.rx_accepted;

@@ -24,6 +24,8 @@
 
 namespace psme::can {
 
+class WireMac;
+
 /// Classic mask/value acceptance filter. A frame matches when its format
 /// agrees and (raw & mask) == (value & mask).
 struct AcceptanceFilter {
@@ -52,6 +54,7 @@ struct ControllerStats {
   std::uint64_t rx_filtered = 0;     // frames rejected by the filter
   std::uint64_t rx_overflow = 0;     // FIFO overruns (receiver too slow)
   std::uint64_t rx_quarantined = 0;  // frames dropped by a quarantine block
+  std::uint64_t rx_wire_denied = 0;  // frames dropped by the wire MAC
 };
 
 /// The data-link controller of one CAN node.
@@ -97,6 +100,15 @@ class Controller final : public FrameSink {
 
   /// Pops the oldest frame from the RX FIFO, if any.
   [[nodiscard]] bool receive(Frame& out);
+
+  /// Attaches a wire-rate MAC adjudicator (nullptr detaches). Ingress
+  /// order is pinned: quarantine blocks, then the acceptance filter,
+  /// then the wire MAC — a filtered frame never burns a SID lookup.
+  /// Denied frames are dropped before the application processor sees
+  /// them, counted in rx_wire_denied. The WireMac must outlive its
+  /// attachment; the controller does not own it.
+  void set_wire_mac(WireMac* wire_mac) noexcept { wire_mac_ = wire_mac; }
+  [[nodiscard]] WireMac* wire_mac() const noexcept { return wire_mac_; }
 
   // -- quarantine blocks -----------------------------------------------
   // A response layer (car::QuarantineController) can install temporary
@@ -164,6 +176,7 @@ class Controller final : public FrameSink {
 
   std::vector<AcceptanceFilter> filters_;
   std::vector<CanId> quarantined_;  // tiny; linear scan
+  WireMac* wire_mac_ = nullptr;     // borrowed; see set_wire_mac
   RxHandler rx_handler_;
   std::deque<Frame> rx_fifo_;
   std::size_t rx_fifo_capacity_ = kDefaultRxFifo;

@@ -1,6 +1,9 @@
 #include "car/policy_binding.h"
 
 #include <algorithm>
+#include <array>
+
+#include "car/network_mgmt.h"
 
 namespace psme::car {
 
@@ -171,6 +174,73 @@ hpe::ListPair BindingCompiler::build_lists(const std::string& node,
   // ids) — already covered by the owner branch above.
   if (options_.content_rules) add_content_rules(node, mode, lists);
   return lists;
+}
+
+can::WireBindingTable BindingCompiler::build_wire_table(
+    const std::string& node, CarMode mode) {
+  can::WireBindingTable::Builder builder;
+  builder.set_mode(mode_sids_[static_cast<std::size_t>(mode)]);
+
+  // Structural pass-throughs: mode changes, the fail-safe trigger and
+  // the OSEK-NM ring window are bus plumbing every node must hear — the
+  // 5-bit NM address space maps to exactly [0x420, 0x43F] (the PR 9
+  // regression pin).
+  builder.pass_standard(msg::kModeChange);
+  builder.pass_standard(msg::kFailSafeTrigger);
+  builder.pass_standard_range(nm::kNmBase, nm::kNmBase | nm::kMaxAddress);
+  if (mode == CarMode::kRemoteDiagnostic) {
+    // Diagnostic payloads exceed one frame; both ids carry ISO-TP. Bind
+    // them to the connectivity entry point (the paper's remote-diag
+    // commander) against the EV ECU — the asset under diagnosis, which
+    // the remote-diagnostic rules grant that entry point read AND write
+    // on (requests command the ECU, responses report its state).
+    const mac::Sid diag_subject = sids_->intern(entry::kConnectivity);
+    const mac::Sid diag_object = sids_->intern(asset::kEvEcu);
+    const std::array<mac::Sid, 1> diag_subjects{diag_subject};
+    builder.bind_standard(msg::kDiagRequest, diag_subjects, diag_object,
+                          core::AccessType::kWrite, /*isotp=*/true);
+    builder.bind_standard(msg::kDiagResponse, diag_subjects, diag_object,
+                          core::AccessType::kRead, /*isotp=*/true);
+  }
+
+  // Candidate-subject pools. The node's own entry points answer READ
+  // questions; the system-wide pool answers the ∃-writer question for
+  // command ids of owned assets.
+  std::vector<mac::Sid> node_subjects;
+  for (const std::string& ep : entry_points_of(node)) {
+    node_subjects.push_back(sids_->intern(ep));
+  }
+  std::vector<mac::Sid> all_subjects;
+  for (const NodeBinding& nb : node_bindings()) {
+    for (const std::string& ep : nb.entry_points) {
+      all_subjects.push_back(sids_->intern(ep));
+    }
+  }
+
+  // Structural ids stay pass-through even when an asset also lists them
+  // (the fail-safe trigger doubles as a safety status id): everyone must
+  // hear them regardless of read permissions.
+  const auto structural = [](std::uint32_t id) {
+    return id == msg::kModeChange || id == msg::kFailSafeTrigger;
+  };
+
+  for (const AssetBinding& asset : asset_bindings()) {
+    const mac::Sid object = sids_->intern(asset.asset_id);
+    if (!node_subjects.empty()) {
+      for (const std::uint32_t id : asset.status_ids) {
+        if (structural(id)) continue;
+        builder.bind_standard(id, node_subjects, object,
+                              core::AccessType::kRead);
+      }
+    }
+    if (asset.owner_node == node) {
+      for (const std::uint32_t id : asset.command_ids) {
+        builder.bind_standard(id, all_subjects, object,
+                              core::AccessType::kWrite);
+      }
+    }
+  }
+  return builder.build();
 }
 
 hpe::HpeConfig BindingCompiler::build_hpe_config(const std::string& node) {

@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "can/controller.h"
+#include "can/wire_mac.h"
 #include "car/ids.h"
 #include "car/modes.h"
 #include "core/policy.h"
@@ -107,6 +108,27 @@ class BindingCompiler {
   /// Software acceptance filters equivalent to the mode-`mode` read list.
   [[nodiscard]] std::vector<can::AcceptanceFilter> build_rx_filters(
       const std::string& node, CarMode mode);
+
+  /// Compiles the wire-MAC binding table for one node's ingress in one
+  /// mode — the read side of the binding rules expressed in SID space:
+  ///   * status ids of every asset bind (subjects = the node's entry
+  ///     points, object = asset, READ) — the frame is admitted iff the
+  ///     node may read the asset;
+  ///   * command ids of assets the node OWNS bind (subjects = EVERY
+  ///     entry point in the system, object = asset, WRITE) — the wire
+  ///     form of the ∃-writer gate: a command frame is legitimate iff
+  ///     SOME entry point may command the asset, adjudicated as an OR
+  ///     over candidate subjects in one batch;
+  ///   * command ids of assets the node does not own stay unbound
+  ///     (deny-by-default), as in the HPE read lists;
+  ///   * structural ids pass: mode change, fail-safe trigger, the
+  ///     OSEK-NM window [0x420, 0x43F], and (in remote-diagnostic mode
+  ///     only) the diagnostic request/response pair, which carry ISO-TP
+  ///     conversations and are marked as such.
+  /// The table's mode SID is the given mode's, so an image-backed
+  /// can::WireMac adjudicates mode-conditional rules correctly.
+  [[nodiscard]] can::WireBindingTable build_wire_table(const std::string& node,
+                                                       CarMode mode);
 
   struct Stats {
     std::uint64_t queries = 0;             // entry_point_may calls

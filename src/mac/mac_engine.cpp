@@ -298,6 +298,55 @@ void MacEngine::evaluate_batch_shared(
   }
 }
 
+void MacEngine::evaluate_batch_allowed_shared(
+    std::span<const core::SidRequest> requests,
+    std::span<std::uint8_t> allowed_out) const {
+  if (requests.size() != allowed_out.size()) {
+    throw std::invalid_argument(
+        "MacEngine::evaluate_batch_allowed_shared: span lengths differ");
+  }
+  // Same pinning discipline as evaluate_batch_shared: one policy
+  // generation and one enforcement mode for the whole span.
+  const std::shared_ptr<const DbSnapshot> snap = snapshot();
+  const bool permissive_mode = permissive();
+  constexpr std::size_t kChunk = 256;
+  std::uint64_t keys[kChunk];
+  AccessVector avs[kChunk];
+  for (std::size_t base = 0; base < requests.size(); base += kChunk) {
+    const std::size_t n = std::min(kChunk, requests.size() - base);
+    {
+      PSME_STAGE_TIMER(resolve, n);
+      for (std::size_t j = 0; j < n; ++j) {
+        const core::SidRequest& request = requests[base + j];
+        const Sid source =
+            request.subject <= kMaxTypeSid ? request.subject : kNullSid;
+        const Sid target =
+            request.object <= kMaxTypeSid ? request.object : kNullSid;
+        keys[j] = pack_av_key(source, target, snap->asset_class_sid);
+      }
+    }
+    avc_.query_batch_shared(snap->db, std::span<const std::uint64_t>(keys, n),
+                            std::span<AccessVector>(avs, n));
+    {
+      PSME_STAGE_TIMER(copy, n);
+      for (std::size_t j = 0; j < n; ++j) {
+        const core::SidRequest& request = requests[base + j];
+        const AccessVector need = request.access == core::AccessType::kRead
+                                      ? snap->read_mask
+                                      : snap->write_mask;
+        const bool allowed = (avs[j] & need) != 0;
+        // Permissive parity with decide(): a would-be denial is allowed
+        // but counted, so telemetry sees the same totals either path.
+        if (!allowed && permissive_mode) {
+          permissive_denials_.fetch_add(1, std::memory_order_relaxed);
+        }
+        allowed_out[base + j] =
+            static_cast<std::uint8_t>(allowed || permissive_mode);
+      }
+    }
+  }
+}
+
 bool MacEngine::allowed(const std::string& source_type,
                         const std::string& target_type,
                         const std::string& perm) {

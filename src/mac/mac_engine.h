@@ -152,6 +152,19 @@ class MacEngine final : public core::PolicyEngine {
   void evaluate_batch_shared(std::span<const core::SidRequest> requests,
                              std::span<core::Decision> out) const;
 
+  /// Verdict-only twin of evaluate_batch_shared: `allowed_out[i]` is 1
+  /// when `requests[i]` would be allowed, 0 when denied — always equal
+  /// to evaluate_batch_shared's `out[i].allowed` (test-pinned). Same
+  /// concurrency contract (any number of threads, one pinned snapshot
+  /// and enforcement mode per call), but materialises a byte instead of
+  /// a three-string Decision, which is what wire-rate consumers
+  /// (can::WireMac adjudicating bus batches) actually read. Permissive
+  /// mode still converts denials to allows and counts them. Throws
+  /// std::invalid_argument when the spans differ in length.
+  void evaluate_batch_allowed_shared(
+      std::span<const core::SidRequest> requests,
+      std::span<std::uint8_t> allowed_out) const;
+
   /// Direct TE query (bypasses the request translation; used by tests).
   [[nodiscard]] bool allowed(const std::string& source_type,
                              const std::string& target_type,

@@ -1,0 +1,49 @@
+#include "monitor/wire_drops.h"
+
+namespace psme::monitor {
+
+namespace {
+
+[[nodiscard]] std::uint64_t key_of(can::CanId id) noexcept {
+  return (static_cast<std::uint64_t>(id.is_extended()) << 32) | id.raw();
+}
+
+}  // namespace
+
+void WireDropMonitor::on_wire_drop(const can::Frame& frame,
+                                   can::WireDropReason reason,
+                                   sim::SimTime at) {
+  ++total_;
+  ++by_reason_[static_cast<std::size_t>(reason)];
+  IdCount& entry = by_id_[key_of(frame.id())];
+  entry.id = frame.id();
+  ++entry.drops;
+  last_drop_at_ = at;
+}
+
+std::uint64_t WireDropMonitor::by_id(can::CanId id) const noexcept {
+  const auto it = by_id_.find(key_of(id));
+  return it != by_id_.end() ? it->second.drops : 0;
+}
+
+WireDropMonitor::IdCount WireDropMonitor::top_offender() const noexcept {
+  IdCount best;
+  for (const auto& [key, entry] : by_id_) {
+    (void)key;
+    if (entry.drops > best.drops ||
+        (entry.drops == best.drops && best.drops != 0 &&
+         entry.id.raw() < best.id.raw())) {
+      best = entry;
+    }
+  }
+  return best;
+}
+
+void WireDropMonitor::reset() {
+  total_ = 0;
+  by_reason_.fill(0);
+  by_id_.clear();
+  last_drop_at_ = sim::SimTime{};
+}
+
+}  // namespace psme::monitor

@@ -1,0 +1,61 @@
+// psme::monitor — telemetry over wire-MAC frame drops.
+//
+// can::WireMac enforces; this module observes. Every frame the wire MAC
+// drops lands here with its reason, building the per-identifier drop
+// matrix a fleet operator actually reads: which ids are being denied,
+// why, and which single id dominates (a compromised node hammering one
+// command id shows up as a top offender long before a rate monitor
+// window closes). Like the anomaly monitor, it is detection-side only —
+// the drop already happened at the controller.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+
+#include "can/wire_mac.h"
+
+namespace psme::monitor {
+
+class WireDropMonitor final : public can::WireDropSink {
+ public:
+  struct IdCount {
+    can::CanId id;
+    std::uint64_t drops = 0;
+  };
+
+  void on_wire_drop(const can::Frame& frame, can::WireDropReason reason,
+                    sim::SimTime at) override;
+
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] std::uint64_t by_reason(
+      can::WireDropReason reason) const noexcept {
+    return by_reason_[static_cast<std::size_t>(reason)];
+  }
+  /// Drops recorded against one identifier (0 when never seen).
+  [[nodiscard]] std::uint64_t by_id(can::CanId id) const noexcept;
+  /// Distinct identifiers that have been dropped at least once.
+  [[nodiscard]] std::size_t distinct_ids() const noexcept {
+    return by_id_.size();
+  }
+  /// The identifier with the most drops (ties broken by lower raw id);
+  /// a zero-count default when nothing has been dropped yet.
+  [[nodiscard]] IdCount top_offender() const noexcept;
+  /// Timestamp of the most recent drop.
+  [[nodiscard]] sim::SimTime last_drop_at() const noexcept {
+    return last_drop_at_;
+  }
+
+  void reset();
+
+ private:
+  std::uint64_t total_ = 0;
+  std::array<std::uint64_t,
+             static_cast<std::size_t>(can::WireDropReason::kCount)>
+      by_reason_{};
+  /// Keyed like the reassembler: format bit above the raw id.
+  std::unordered_map<std::uint64_t, IdCount> by_id_;
+  sim::SimTime last_drop_at_{};
+};
+
+}  // namespace psme::monitor

@@ -5,6 +5,9 @@
 #include "can/bus.h"
 #include "can/controller.h"
 #include "can/errors.h"
+#include "can/node.h"
+#include "can/wire_mac.h"
+#include "mac/mac_engine.h"
 
 namespace psme::can {
 namespace {
@@ -192,6 +195,162 @@ TEST(Controller, ReceiverErrorCountersRecoverOnGoodFrames) {
   rig.sched.run();
   EXPECT_EQ(received, 10);
   EXPECT_EQ(rig.b.errors().rec(), 0u);
+}
+
+// -- wire-MAC ingress -------------------------------------------------------
+//
+// A minimal engine-backed wire MAC: id 0x100 allowed, id 0x120 denied,
+// [0x420, 0x43F] structural pass, everything else unbound (denied).
+struct WireRig : Rig {
+  mac::MacEngine engine;
+  // make_table configures `engine` (declared first, so it is live) and
+  // outlives nothing: the table is moved into the WireMac.
+  WireMac wire{make_table(engine), engine};
+
+  WireRig() { b.set_wire_mac(&wire); }
+
+  static WireBindingTable make_table(mac::MacEngine& engine) {
+    mac::PolicyModule m;
+    m.name = "wire";
+    m.types = {"ecu_t", "ivi_t", "engine_t"};
+    m.allows.push_back({"ecu_t", "engine_t", "asset", {"write"}});
+    engine.load_module(std::move(m));
+    engine.label("ecu", mac::SecurityContext("system", "subject", "ecu_t"));
+    engine.label("ivi", mac::SecurityContext("system", "subject", "ivi_t"));
+    engine.label("engine",
+                 mac::SecurityContext("system", "object", "engine_t"));
+    WireBindingTable::Builder builder;
+    const std::array<mac::Sid, 1> ecu{engine.type_sid_of("ecu")};
+    const std::array<mac::Sid, 1> ivi{engine.type_sid_of("ivi")};
+    builder.bind_standard(0x100, ecu, engine.type_sid_of("engine"),
+                          core::AccessType::kWrite);
+    builder.bind_standard(0x120, ivi, engine.type_sid_of("engine"),
+                          core::AccessType::kWrite);
+    builder.pass_standard_range(0x420, 0x43F);
+    return builder.build();
+  }
+};
+
+TEST(ControllerWireMac, DeniedFrameNeverReachesNodeRx) {
+  // A Node subclass records what its application processor sees; a
+  // denied frame must be dropped at the controller, below it.
+  sim::Scheduler sched;
+  Bus bus{sched};
+  Port& pa{bus.attach("a")};
+  Port& pb{bus.attach("b")};
+  Controller tx{sched, pa, "tx"};
+
+  struct RecordingNode final : Node {
+    using Node::Node;
+    std::vector<std::uint32_t> seen;
+    void handle_frame(const Frame& f, sim::SimTime) override {
+      seen.push_back(f.id().raw());
+    }
+  };
+  RecordingNode rx{sched, pb, "rx"};
+
+  mac::MacEngine engine;
+  mac::PolicyModule m;
+  m.name = "wire";
+  m.types = {"ecu_t", "engine_t"};
+  engine.load_module(std::move(m));
+  engine.label("ecu", mac::SecurityContext("system", "subject", "ecu_t"));
+  engine.label("engine", mac::SecurityContext("system", "object", "engine_t"));
+  WireBindingTable::Builder builder;
+  const std::array<mac::Sid, 1> ecu{engine.type_sid_of("ecu")};
+  builder.bind_standard(0x120, ecu, engine.type_sid_of("engine"),
+                        core::AccessType::kWrite);  // no allow rule: denied
+  builder.pass_standard(0x100);
+  WireMac wire{builder.build(), engine};
+  rx.controller().set_wire_mac(&wire);
+
+  ASSERT_TRUE(tx.transmit(make_frame(0x120, {1})));  // denied
+  ASSERT_TRUE(tx.transmit(make_frame(0x100, {2})));  // pass
+  sched.run();
+
+  EXPECT_EQ(rx.seen, (std::vector<std::uint32_t>{0x100}));
+  EXPECT_EQ(rx.controller().stats().rx_wire_denied, 1u);
+  EXPECT_EQ(rx.controller().stats().rx_accepted, 1u);
+}
+
+TEST(ControllerWireMac, DropCounterIncrementsExactlyOncePerFrame) {
+  WireRig rig;
+  int delivered = 0;
+  rig.b.set_rx_handler([&](const Frame&, sim::SimTime) { ++delivered; });
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(rig.a.transmit(make_frame(0x120, {})));  // denied every time
+  }
+  ASSERT_TRUE(rig.a.transmit(make_frame(0x100, {})));  // allowed
+  rig.sched.run();
+  EXPECT_EQ(rig.b.stats().rx_wire_denied, 5u);
+  EXPECT_EQ(rig.b.stats().rx_seen, 6u);
+  EXPECT_EQ(rig.b.stats().rx_accepted, 1u);
+  EXPECT_EQ(delivered, 1);
+  // The wire MAC itself agrees: 6 frames presented, 5 denied.
+  EXPECT_EQ(rig.wire.stats().frames, 6u);
+  EXPECT_EQ(rig.wire.stats().denied, 5u);
+}
+
+TEST(ControllerWireMac, NmRangePassesUntouched) {
+  // The allowlisted OSEK-NM window [0x420, 0x43F] — the PR 9 5-bit
+  // regression — must pass the wire MAC with zero adjudications.
+  WireRig rig;
+  std::vector<std::uint32_t> seen;
+  rig.b.set_rx_handler(
+      [&](const Frame& f, sim::SimTime) { seen.push_back(f.id().raw()); });
+  for (const std::uint32_t id : {0x420u, 0x42Au, 0x43Fu}) {
+    ASSERT_TRUE(rig.a.transmit(make_frame(id, {0x01})));
+  }
+  rig.sched.run();
+  EXPECT_EQ(seen, (std::vector<std::uint32_t>{0x420, 0x42A, 0x43F}));
+  EXPECT_EQ(rig.b.stats().rx_wire_denied, 0u);
+  EXPECT_EQ(rig.wire.stats().adjudicated, 0u);
+  EXPECT_EQ(rig.wire.stats().passed, 3u);
+  // Just outside the 5-bit window: unbound, denied.
+  ASSERT_TRUE(rig.a.transmit(make_frame(0x440, {})));
+  rig.sched.run();
+  EXPECT_EQ(rig.b.stats().rx_wire_denied, 1u);
+}
+
+TEST(ControllerWireMac, FilterRunsBeforeWireMac) {
+  // Stage-counter ordering pin: a frame rejected by the acceptance
+  // filter (and one dropped by quarantine, which precedes both) must
+  // never reach the wire MAC — WireMacStats::frames is the stage
+  // counter proving no SID lookup was burned.
+  WireRig rig;
+  rig.b.set_filters({AcceptanceFilter::exact(0x100)});
+  rig.b.quarantine_id(CanId::standard(0x100));
+
+  ASSERT_TRUE(rig.a.transmit(make_frame(0x120, {})));  // filtered out
+  rig.sched.run();
+  EXPECT_EQ(rig.b.stats().rx_filtered, 1u);
+  EXPECT_EQ(rig.wire.stats().frames, 0u);  // wire MAC never consulted
+
+  ASSERT_TRUE(rig.a.transmit(make_frame(0x100, {})));  // quarantined
+  rig.sched.run();
+  EXPECT_EQ(rig.b.stats().rx_quarantined, 1u);
+  EXPECT_EQ(rig.wire.stats().frames, 0u);  // still never consulted
+
+  rig.b.clear_quarantine();
+  ASSERT_TRUE(rig.a.transmit(make_frame(0x100, {})));  // passes all stages
+  rig.sched.run();
+  EXPECT_EQ(rig.wire.stats().frames, 1u);
+  EXPECT_EQ(rig.b.stats().rx_accepted, 1u);
+  EXPECT_EQ(rig.b.stats().rx_wire_denied, 0u);
+}
+
+TEST(ControllerWireMac, DetachRestoresOpenIngress) {
+  WireRig rig;
+  int delivered = 0;
+  rig.b.set_rx_handler([&](const Frame&, sim::SimTime) { ++delivered; });
+  ASSERT_TRUE(rig.a.transmit(make_frame(0x300, {})));  // unbound: denied
+  rig.sched.run();
+  EXPECT_EQ(delivered, 0);
+  rig.b.set_wire_mac(nullptr);
+  ASSERT_TRUE(rig.a.transmit(make_frame(0x300, {})));
+  rig.sched.run();
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(rig.b.stats().rx_wire_denied, 1u);
 }
 
 }  // namespace
